@@ -1,0 +1,140 @@
+// Benchmarks regenerating each figure of the paper's evaluation (see
+// DESIGN.md section 4 for the figure-to-module map and EXPERIMENTS.md for
+// paper-vs-measured results). Each benchmark runs one experiment at a
+// reduced scale; use cmd/vpbench for the full quick/full-scale runs and the
+// printed data series.
+//
+// The shared corpus and wardriven venues are cached across benchmarks, so
+// the first corpus-touching benchmark pays the render+SIFT setup cost.
+package visualprint_test
+
+import (
+	"testing"
+
+	"visualprint/internal/bench"
+)
+
+// benchScale keeps `go test -bench=.` tractable: a small corpus and
+// shrunken venues. Shapes (orderings, ratios) are preserved; magnitudes are
+// reported by cmd/vpbench at quick/full scale.
+func benchScale() bench.Scale {
+	return bench.Scale{
+		Name: "bench", Scenes: 10, Distractors: 20, QueriesPerScene: 2,
+		ImgW: 160, ImgH: 120, VenueShrink: 0.25, LocalizationQueries: 5,
+	}
+}
+
+func run1(b *testing.B, f func(bench.Scale) (*bench.Experiment, error)) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		e, err := f(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(e.Points) == 0 {
+			b.Fatalf("%s produced no data", e.ID)
+		}
+	}
+}
+
+// BenchmarkFig02EncodingFPS regenerates Figure 2 (uplink vs sustainable FPS
+// per encoding).
+func BenchmarkFig02EncodingFPS(b *testing.B) { run1(b, bench.Fig02EncodingFPS) }
+
+// BenchmarkFig03KeypointCDF regenerates Figure 3 (usable keypoints under
+// PNG vs JPEG).
+func BenchmarkFig03KeypointCDF(b *testing.B) { run1(b, bench.Fig03KeypointCDF) }
+
+// BenchmarkFig05FeatureRatio regenerates Figure 5 (feature/image size
+// ratio).
+func BenchmarkFig05FeatureRatio(b *testing.B) { run1(b, bench.Fig05FeatureRatio) }
+
+// BenchmarkFig06DimDominance regenerates Figure 6a (few dimensions dominate
+// NN distance).
+func BenchmarkFig06DimDominance(b *testing.B) { run1(b, bench.Fig06DimDominance) }
+
+// BenchmarkFig06PCA regenerates Figure 6b (descriptor covariance
+// eigenvalue decay).
+func BenchmarkFig06PCA(b *testing.B) { run1(b, bench.Fig06PCA) }
+
+// BenchmarkFig13PrecisionRecall regenerates Figure 13 (precision/recall
+// CDFs for the five schemes).
+func BenchmarkFig13PrecisionRecall(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		ep, er, err := bench.Fig13PrecisionRecall(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ep.Points) == 0 || len(er.Points) == 0 {
+			b.Fatal("fig13 produced no data")
+		}
+	}
+}
+
+// BenchmarkFig14UploadTrace regenerates Figure 14 (cumulative upload,
+// VisualPrint vs frames).
+func BenchmarkFig14UploadTrace(b *testing.B) { run1(b, bench.Fig14UploadTrace) }
+
+// BenchmarkFig15Memory regenerates Figure 15 (client disk/memory by
+// scheme).
+func BenchmarkFig15Memory(b *testing.B) { run1(b, bench.Fig15Memory) }
+
+// BenchmarkFig16Latency regenerates Figure 16 (SIFT vs oracle filtering
+// latency).
+func BenchmarkFig16Latency(b *testing.B) { run1(b, bench.Fig16Latency) }
+
+// BenchmarkFig18Energy regenerates Figure 18 (component power traces).
+func BenchmarkFig18Energy(b *testing.B) { run1(b, bench.Fig18Energy) }
+
+// BenchmarkFig19Localization regenerates Figure 19 (3D localization error
+// CDFs per venue).
+func BenchmarkFig19Localization(b *testing.B) { run1(b, bench.Fig19Localization) }
+
+// BenchmarkFig20AxisError regenerates Figure 20 (error by axis).
+func BenchmarkFig20AxisError(b *testing.B) { run1(b, bench.Fig20AxisError) }
+
+// BenchmarkTakeaways regenerates the paper's evaluation-takeaways summary.
+func BenchmarkTakeaways(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Takeaways(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no takeaways")
+		}
+	}
+}
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+func runAblation(b *testing.B, f func() (*bench.Experiment, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		e, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(e.Points) == 0 {
+			b.Fatalf("%s produced no data", e.ID)
+		}
+	}
+}
+
+// BenchmarkAblationVerification: verification Bloom filter on/off.
+func BenchmarkAblationVerification(b *testing.B) { runAblation(b, bench.AblationVerification) }
+
+// BenchmarkAblationMultiprobe: multiprobe on/off.
+func BenchmarkAblationMultiprobe(b *testing.B) { runAblation(b, bench.AblationMultiprobe) }
+
+// BenchmarkAblationSaturation: counter width sweep.
+func BenchmarkAblationSaturation(b *testing.B) { runAblation(b, bench.AblationSaturation) }
+
+// BenchmarkAblationLSHParams: L/M/W sweep around the paper's values.
+func BenchmarkAblationLSHParams(b *testing.B) { runAblation(b, bench.AblationLSHParams) }
+
+// BenchmarkAblationICP: map error with/without ICP drift correction.
+func BenchmarkAblationICP(b *testing.B) { run1(b, bench.AblationICP) }

@@ -1,0 +1,79 @@
+// Command vpclient plays the smartphone role against a running vpserver:
+// it downloads the uniqueness oracle, captures query frames in a venue,
+// filters keypoints to the most-unique fingerprint, and requests
+// localization — reporting accuracy and bandwidth.
+//
+//	vpclient -server localhost:7310 -venue office -seed 1 -queries 5
+//
+// The venue and seed must match what vpwardrive ingested.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"visualprint"
+)
+
+func main() {
+	serverAddr := flag.String("server", "localhost:7310", "vpserver address")
+	venue := flag.String("venue", "office", "venue: office, cafeteria, grocery, gallery")
+	seed := flag.Uint("seed", 1, "venue construction seed (must match vpwardrive)")
+	queries := flag.Int("queries", 5, "number of query viewpoints")
+	selectN := flag.Int("select", 200, "most-unique keypoints to upload per query")
+	flag.Parse()
+
+	var world *visualprint.World
+	switch *venue {
+	case "office":
+		world = visualprint.NewOfficeWorld(uint32(*seed))
+	case "cafeteria":
+		world = visualprint.NewCafeteriaWorld(uint32(*seed))
+	case "grocery":
+		world = visualprint.NewGroceryWorld(uint32(*seed))
+	case "gallery":
+		world = visualprint.NewGalleryWorld(uint32(*seed))
+	default:
+		log.Fatalf("unknown venue %q", *venue)
+	}
+
+	client, err := visualprint.Connect(*serverAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	oracle, blobSize, err := client.FetchOracle()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("oracle downloaded: %.1f MB compressed, %.1f MB in RAM",
+		float64(blobSize)/1e6, float64(oracle.MemoryBytes())/1e6)
+
+	sc := visualprint.DefaultSiftConfig()
+	sc.ContrastThreshold = 0.02
+	pois := world.POIsOfKind(visualprint.POIUnique)
+	success := 0
+	for q := 0; q < *queries && q < len(pois); q++ {
+		cam := visualprint.CameraFacing(world, pois[(q*5)%len(pois)], 3.0, 0.25, -0.05, 240, 180)
+		fr, err := visualprint.Render(world, cam)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kps := visualprint.ExtractKeypoints(fr.Image, sc)
+		sel, err := oracle.SelectUnique(kps, *selectN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := client.Query(sel, visualprint.IntrinsicsOf(cam))
+		if err != nil {
+			log.Printf("query %d: %v", q, err)
+			continue
+		}
+		success++
+		log.Printf("query %d: %d/%d keypoints uploaded, error %.2f m, %d matches",
+			q, len(sel), len(kps), res.Position.Dist(cam.Pos), res.Matched)
+	}
+	log.Printf("%d/%d queries localized; %.1f KB uploaded total",
+		success, *queries, float64(client.BytesSent())/1024)
+}

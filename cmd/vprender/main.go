@@ -1,0 +1,114 @@
+// Command vprender renders views of a procedural venue to PNG files — a
+// debugging and inspection aid for the simulated worlds (what does the
+// wardriver actually see?). It renders one frontal view per point of
+// interest plus an overview sweep from the venue center, and optionally a
+// depth map per view.
+//
+//	vprender -venue gallery -out /tmp/gallery -views 6 -depth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"visualprint"
+)
+
+func main() {
+	venue := flag.String("venue", "gallery", "venue: office, cafeteria, grocery, gallery")
+	seed := flag.Uint("seed", 1, "venue construction seed")
+	out := flag.String("out", "renders", "output directory")
+	views := flag.Int("views", 6, "POI views to render")
+	width := flag.Int("w", 480, "image width")
+	height := flag.Int("h", 360, "image height")
+	depth := flag.Bool("depth", false, "also write depth heat maps")
+	flag.Parse()
+
+	var world *visualprint.World
+	switch *venue {
+	case "office":
+		world = visualprint.NewOfficeWorld(uint32(*seed))
+	case "cafeteria":
+		world = visualprint.NewCafeteriaWorld(uint32(*seed))
+	case "grocery":
+		world = visualprint.NewGroceryWorld(uint32(*seed))
+	case "gallery":
+		world = visualprint.NewGalleryWorld(uint32(*seed))
+	default:
+		log.Fatalf("unknown venue %q", *venue)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	save := func(name string, fr *visualprint.Frame) {
+		path := filepath.Join(*out, name+".png")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := png.Encode(f, fr.Image.ToImage()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+		if !*depth {
+			return
+		}
+		dm := image.NewRGBA(image.Rect(0, 0, fr.Cam.W, fr.Cam.H))
+		maxD := 0.0
+		for _, d := range fr.Depth {
+			maxD = math.Max(maxD, float64(d))
+		}
+		for y := 0; y < fr.Cam.H; y++ {
+			for x := 0; x < fr.Cam.W; x++ {
+				d := fr.DepthAt(x, y) / maxD
+				// Near = blue, far = red.
+				dm.Set(x, y, color.RGBA{R: uint8(255 * d), B: uint8(255 * (1 - d)), A: 255})
+			}
+		}
+		dpath := filepath.Join(*out, name+"-depth.png")
+		df, err := os.Create(dpath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer df.Close()
+		if err := png.Encode(df, dm); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", dpath)
+	}
+
+	// POI views.
+	pois := world.POIsOfKind(visualprint.POIUnique)
+	for i := 0; i < *views && i < len(pois); i++ {
+		cam := visualprint.CameraFacing(world, pois[i], 3, 0.15, -0.05, *width, *height)
+		fr, err := visualprint.Render(world, cam)
+		if err != nil {
+			log.Fatal(err)
+		}
+		save(fmt.Sprintf("%s-poi%02d", world.Name, i), fr)
+	}
+	// Overview sweep from the center.
+	cam := visualprint.NewCamera(*width, *height)
+	cam.Pos = visualprint.Vec3{
+		X: (world.Min.X + world.Max.X) / 2,
+		Y: 1.6,
+		Z: (world.Min.Z + world.Max.Z) / 2,
+	}
+	for i := 0; i < 4; i++ {
+		cam.Yaw = float64(i) * math.Pi / 2
+		fr, err := visualprint.Render(world, cam)
+		if err != nil {
+			log.Fatal(err)
+		}
+		save(fmt.Sprintf("%s-sweep%d", world.Name, i), fr)
+	}
+}

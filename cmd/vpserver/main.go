@@ -1,0 +1,39 @@
+// Command vpserver runs the VisualPrint cloud service: it accepts
+// wardriving ingest, serves uniqueness-oracle downloads, and answers
+// localization queries over the binary TCP protocol.
+//
+//	vpserver -listen :7310
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"visualprint"
+)
+
+func main() {
+	listen := flag.String("listen", ":7310", "listen address")
+	flag.Parse()
+
+	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("visualprint server listening on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down (%d mappings served)", srv.Database().Len())
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

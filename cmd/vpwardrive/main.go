@@ -1,0 +1,71 @@
+// Command vpwardrive simulates the Tango wardriving phase of a venue and
+// streams the keypoint-to-3D mappings to a running vpserver.
+//
+//	vpwardrive -server localhost:7310 -venue office -seed 1
+package main
+
+import (
+	"flag"
+	"log"
+
+	"visualprint"
+)
+
+func main() {
+	serverAddr := flag.String("server", "localhost:7310", "vpserver address")
+	venue := flag.String("venue", "office", "venue: office, cafeteria, grocery, gallery")
+	seed := flag.Uint("seed", 1, "venue construction seed")
+	drift := flag.Float64("drift", 0.05, "dead-reckoning drift stddev per sqrt-meter")
+	icpFix := flag.Bool("icp", true, "correct drift with ICP before upload")
+	batch := flag.Int("batch", 2000, "mappings per ingest message")
+	flag.Parse()
+
+	var world *visualprint.World
+	switch *venue {
+	case "office":
+		world = visualprint.NewOfficeWorld(uint32(*seed))
+	case "cafeteria":
+		world = visualprint.NewCafeteriaWorld(uint32(*seed))
+	case "grocery":
+		world = visualprint.NewGroceryWorld(uint32(*seed))
+	case "gallery":
+		world = visualprint.NewGalleryWorld(uint32(*seed))
+	default:
+		log.Fatalf("unknown venue %q", *venue)
+	}
+
+	cfg := visualprint.DefaultWardriveConfig()
+	cfg.Drift.PosStddevPerMeter = *drift
+	log.Printf("wardriving %s (%.0fx%.0f m)...", world.Name, world.Max.X, world.Max.Z)
+	snaps, err := visualprint.Wardrive(world, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d snapshots captured", len(snaps))
+	if *icpFix {
+		before, after, err := visualprint.CorrectDrift(snaps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ICP: map error %.2f m -> %.2f m", before, after)
+	}
+	ms := visualprint.MappingsFrom(snaps)
+
+	client, err := visualprint.Connect(*serverAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < len(ms); i += *batch {
+		end := i + *batch
+		if end > len(ms) {
+			end = len(ms)
+		}
+		total, err := client.Ingest(ms[i:end])
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ingested %d/%d (server total %d)", end, len(ms), total)
+	}
+	log.Printf("done: uploaded %.1f MB", float64(client.BytesSent())/1e6)
+}

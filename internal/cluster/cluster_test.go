@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"visualprint/internal/mathx"
+)
+
+func blob(rng *rand.Rand, center mathx.Vec3, n int, spread float64) []mathx.Vec3 {
+	pts := make([]mathx.Vec3, n)
+	for i := range pts {
+		pts[i] = center.Add(mathx.Vec3{
+			X: rng.NormFloat64() * spread,
+			Y: rng.NormFloat64() * spread,
+			Z: rng.NormFloat64() * spread,
+		})
+	}
+	return pts
+}
+
+func TestDBSCANValidation(t *testing.T) {
+	if _, err := DBSCAN(nil, Params{Eps: 0, MinPts: 3}); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := DBSCAN(nil, Params{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("zero MinPts accepted")
+	}
+}
+
+func TestDBSCANEmpty(t *testing.T) {
+	cs, err := DBSCAN(nil, DefaultParams())
+	if err != nil || cs != nil {
+		t.Errorf("empty input: %v, %v", cs, err)
+	}
+}
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := blob(rng, mathx.Vec3{}, 40, 0.3)
+	b := blob(rng, mathx.Vec3{X: 20}, 25, 0.3)
+	pts := append(append([]mathx.Vec3{}, a...), b...)
+	cs, err := DBSCAN(pts, Params{Eps: 1.5, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("found %d clusters, want 2", len(cs))
+	}
+	if len(cs[0].Indices) < len(cs[1].Indices) {
+		t.Error("clusters not sorted by size")
+	}
+	if len(cs[0].Indices) != 40 || len(cs[1].Indices) != 25 {
+		t.Errorf("cluster sizes %d, %d", len(cs[0].Indices), len(cs[1].Indices))
+	}
+	// The largest cluster's members must all come from blob a (indices < 40).
+	for _, i := range cs[0].Indices {
+		if i >= 40 {
+			t.Fatalf("blob b point %d in cluster a", i)
+		}
+	}
+}
+
+func TestDBSCANNoiseExcluded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := blob(rng, mathx.Vec3{}, 30, 0.3)
+	// Scattered singletons far apart: noise.
+	for i := 0; i < 10; i++ {
+		pts = append(pts, mathx.Vec3{X: 100 + float64(i)*50})
+	}
+	cs, err := DBSCAN(pts, Params{Eps: 1.5, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range cs {
+		total += len(c.Indices)
+	}
+	if total != 30 {
+		t.Errorf("%d points clustered, want 30 (noise excluded)", total)
+	}
+}
+
+func TestDBSCANChainConnectivity(t *testing.T) {
+	// A dense line of points should form ONE cluster via density
+	// reachability even though the ends are far apart.
+	var pts []mathx.Vec3
+	for i := 0; i < 100; i++ {
+		pts = append(pts, mathx.Vec3{X: float64(i) * 0.5})
+	}
+	cs, err := DBSCAN(pts, Params{Eps: 1.0, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || len(cs[0].Indices) != 100 {
+		t.Errorf("chain split into %d clusters", len(cs))
+	}
+}
+
+func TestDBSCANAllPointsLabeledOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := append(blob(rng, mathx.Vec3{}, 50, 0.5), blob(rng, mathx.Vec3{X: 30}, 50, 0.5)...)
+	cs, err := DBSCAN(pts, Params{Eps: 2, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range cs {
+		for _, i := range c.Indices {
+			if seen[i] {
+				t.Fatalf("point %d in two clusters", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestLargest(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	big := blob(rng, mathx.Vec3{}, 60, 0.3)
+	small := blob(rng, mathx.Vec3{X: 25}, 10, 0.3)
+	pts := append(append([]mathx.Vec3{}, small...), big...)
+	c, ok, err := Largest(pts, Params{Eps: 1.5, MinPts: 3})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(c.Indices) != 60 {
+		t.Errorf("largest cluster size %d, want 60", len(c.Indices))
+	}
+	// All-noise input.
+	if _, ok, _ := Largest([]mathx.Vec3{{X: 0}, {X: 100}}, Params{Eps: 1, MinPts: 3}); ok {
+		t.Error("noise-only input reported a cluster")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []mathx.Vec3{{X: 0}, {X: 2}, {X: 4}}
+	c := Cluster{Indices: []int{0, 1, 2}}
+	if got := c.Centroid(pts); got.Dist(mathx.Vec3{X: 2}) > 1e-12 {
+		t.Errorf("centroid = %v", got)
+	}
+	if got := (Cluster{}).Centroid(pts); got != (mathx.Vec3{}) {
+		t.Errorf("empty centroid = %v", got)
+	}
+}
+
+func TestDBSCANScenarioQueryFiltering(t *testing.T) {
+	// The server-side use case: true matches cluster at the viewed scene;
+	// false LSH matches scatter. Largest-cluster filtering keeps the truth.
+	rng := rand.New(rand.NewSource(5))
+	sceneMatches := blob(rng, mathx.Vec3{X: 12, Y: 1.5, Z: 3}, 35, 0.8)
+	var falseMatches []mathx.Vec3
+	for i := 0; i < 30; i++ {
+		falseMatches = append(falseMatches, mathx.Vec3{
+			X: rng.Float64() * 80, Y: rng.Float64() * 3, Z: rng.Float64() * 50,
+		})
+	}
+	pts := append(append([]mathx.Vec3{}, sceneMatches...), falseMatches...)
+	c, ok, err := Largest(pts, DefaultParams())
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	inScene := 0
+	for _, i := range c.Indices {
+		if i < 35 {
+			inScene++
+		}
+	}
+	if inScene < 30 {
+		t.Errorf("largest cluster holds only %d/35 true matches", inScene)
+	}
+	if len(c.Indices)-inScene > 5 {
+		t.Errorf("largest cluster polluted by %d false matches", len(c.Indices)-inScene)
+	}
+}
+
+func BenchmarkDBSCAN1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pts := append(blob(rng, mathx.Vec3{}, 500, 1), blob(rng, mathx.Vec3{X: 50}, 500, 1)...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DBSCAN(pts, DefaultParams())
+	}
+}

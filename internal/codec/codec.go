@@ -1,0 +1,215 @@
+// Package codec handles the client's frame and keypoint wire formats: the
+// frame encodings compared in Figure 2 (RAW, lossless PNG, lossy JPEG, and
+// an H.264 rate model), and the keypoint serialization whose size the paper
+// compares to whole images in Figure 5 ("extracted keypoints typically
+// require at least as much space as the image itself").
+//
+// PNG and JPEG use the Go standard library encoders, so their sizes — and
+// the keypoint-count degradation under JPEG in Figure 3 — are measured on
+// real compression, not modeled. H.264 is a hardware encoder on the phone;
+// it is represented by a calibrated bits-per-pixel rate model (see
+// H264FrameSize).
+package codec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"image/jpeg"
+	"image/png"
+	"io"
+	"math"
+
+	"visualprint/internal/imaging"
+	"visualprint/internal/sift"
+)
+
+// Encoding identifies a frame encoding.
+type Encoding int
+
+// Frame encodings, in Figure 2's legend order.
+const (
+	EncodingH264 Encoding = iota
+	EncodingJPEG
+	EncodingPNG
+	EncodingRAW
+)
+
+// String returns the figure-legend name of the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingH264:
+		return "H264"
+	case EncodingJPEG:
+		return "JPEG"
+	case EncodingPNG:
+		return "PNG"
+	case EncodingRAW:
+		return "RAW"
+	default:
+		return fmt.Sprintf("Encoding(%d)", int(e))
+	}
+}
+
+// DefaultJPEGQuality matches the compression ratio regime of the paper's
+// Figure 2/3 comparison (aggressive lossy compression).
+const DefaultJPEGQuality = 40
+
+// h264BitsPerPixel calibrates the H.264 rate model to the paper's Figure 2
+// operating point: 10 FPS of high-resolution frames at 2 Mbps. For
+// 1920x1080 that is (2e6/10)/(1920*1080) ≈ 0.0965 bits per pixel.
+const h264BitsPerPixel = 0.0965
+
+// H264FrameSize returns the modeled per-frame size in bytes of an H.264
+// stream at the paper's quality operating point.
+func H264FrameSize(w, h int) int64 {
+	return int64(math.Ceil(float64(w) * float64(h) * h264BitsPerPixel / 8))
+}
+
+// EncodeFrame serializes img with the given encoding and returns the
+// encoded bytes. For EncodingH264 the returned buffer is a placeholder of
+// the modeled size (the content of a hardware-encoded stream is irrelevant
+// to the bandwidth experiments; only its size matters).
+func EncodeFrame(img *imaging.Gray, enc Encoding, jpegQuality int) ([]byte, error) {
+	switch enc {
+	case EncodingRAW:
+		buf := make([]byte, 8+img.W*img.H)
+		binary.LittleEndian.PutUint32(buf, uint32(img.W))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(img.H))
+		std := img.ToImage()
+		copy(buf[8:], std.Pix)
+		return buf, nil
+	case EncodingPNG:
+		var buf bytes.Buffer
+		if err := png.Encode(&buf, img.ToImage()); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	case EncodingJPEG:
+		if jpegQuality <= 0 {
+			jpegQuality = DefaultJPEGQuality
+		}
+		var buf bytes.Buffer
+		if err := jpeg.Encode(&buf, img.ToImage(), &jpeg.Options{Quality: jpegQuality}); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	case EncodingH264:
+		return make([]byte, H264FrameSize(img.W, img.H)), nil
+	default:
+		return nil, fmt.Errorf("codec: unknown encoding %v", enc)
+	}
+}
+
+// DecodeFrame decodes a frame produced by EncodeFrame with EncodingRAW,
+// EncodingPNG or EncodingJPEG, returning the grayscale image. H.264
+// placeholders cannot be decoded.
+func DecodeFrame(data []byte, enc Encoding) (*imaging.Gray, error) {
+	switch enc {
+	case EncodingRAW:
+		if len(data) < 8 {
+			return nil, errors.New("codec: short RAW frame")
+		}
+		w := int(binary.LittleEndian.Uint32(data))
+		h := int(binary.LittleEndian.Uint32(data[4:]))
+		if w <= 0 || h <= 0 || len(data) != 8+w*h {
+			return nil, errors.New("codec: corrupt RAW frame header")
+		}
+		g := imaging.NewGray(w, h)
+		for i := 0; i < w*h; i++ {
+			g.Pix[i] = float32(data[8+i]) / 255
+		}
+		return g, nil
+	case EncodingPNG:
+		img, err := png.Decode(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return imaging.FromImage(img), nil
+	case EncodingJPEG:
+		img, err := jpeg.Decode(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return imaging.FromImage(img), nil
+	default:
+		return nil, fmt.Errorf("codec: cannot decode encoding %v", enc)
+	}
+}
+
+// KeypointWireSize is the serialized size of one keypoint: four float32
+// fields (x, y, scale, orientation) plus the 128-byte descriptor.
+const KeypointWireSize = 16 + sift.DescriptorSize
+
+const keypointMagic = "VPKP1\x00"
+
+// MarshalKeypoints serializes keypoints in the client upload wire format.
+func MarshalKeypoints(kps []sift.Keypoint) []byte {
+	buf := make([]byte, 0, len(keypointMagic)+4+len(kps)*KeypointWireSize)
+	buf = append(buf, keypointMagic...)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(kps)))
+	buf = append(buf, tmp[:]...)
+	for i := range kps {
+		kp := &kps[i]
+		for _, f := range []float32{float32(kp.X), float32(kp.Y), float32(kp.Scale), float32(kp.Orientation)} {
+			binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(f))
+			buf = append(buf, tmp[:]...)
+		}
+		buf = append(buf, kp.Desc[:]...)
+	}
+	return buf
+}
+
+// UnmarshalKeypoints parses the wire format produced by MarshalKeypoints.
+func UnmarshalKeypoints(data []byte) ([]sift.Keypoint, error) {
+	if len(data) < len(keypointMagic)+4 {
+		return nil, errors.New("codec: short keypoint payload")
+	}
+	if string(data[:len(keypointMagic)]) != keypointMagic {
+		return nil, errors.New("codec: bad keypoint magic")
+	}
+	data = data[len(keypointMagic):]
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != n*KeypointWireSize {
+		return nil, fmt.Errorf("codec: keypoint payload %d bytes, want %d", len(data), n*KeypointWireSize)
+	}
+	kps := make([]sift.Keypoint, n)
+	for i := 0; i < n; i++ {
+		rec := data[i*KeypointWireSize:]
+		kps[i].X = float64(math.Float32frombits(binary.LittleEndian.Uint32(rec)))
+		kps[i].Y = float64(math.Float32frombits(binary.LittleEndian.Uint32(rec[4:])))
+		kps[i].Scale = float64(math.Float32frombits(binary.LittleEndian.Uint32(rec[8:])))
+		kps[i].Orientation = float64(math.Float32frombits(binary.LittleEndian.Uint32(rec[12:])))
+		copy(kps[i].Desc[:], rec[16:KeypointWireSize])
+	}
+	return kps, nil
+}
+
+// Gzip compresses data with gzip at the default level — the "heavy GZIP
+// compression" applied to keypoints in Figure 5 and to the downloaded
+// oracle filters.
+func Gzip(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Gunzip decompresses gzip data.
+func Gunzip(data []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}

@@ -1,0 +1,106 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"visualprint/internal/imaging"
+	"visualprint/internal/sift"
+)
+
+// TestKeypointWireRoundTripProperty: arbitrary keypoint fields survive the
+// wire format (within float32 precision).
+func TestKeypointWireRoundTripProperty(t *testing.T) {
+	f := func(x, y, scale, ori float32, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kp := sift.Keypoint{
+			X: float64(x), Y: float64(y),
+			Scale: float64(scale), Orientation: float64(ori),
+		}
+		for i := range kp.Desc {
+			kp.Desc[i] = byte(rng.Intn(256))
+		}
+		back, err := UnmarshalKeypoints(MarshalKeypoints([]sift.Keypoint{kp}))
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		b := back[0]
+		eq := func(a, bb float64) bool {
+			if math.IsNaN(a) {
+				return math.IsNaN(bb)
+			}
+			if math.IsInf(a, 0) {
+				return a == bb
+			}
+			return float32(a) == float32(bb)
+		}
+		return eq(kp.X, b.X) && eq(kp.Y, b.Y) && eq(kp.Scale, b.Scale) &&
+			eq(kp.Orientation, b.Orientation) && kp.Desc == b.Desc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGzipRoundTripProperty: any payload survives Gzip/Gunzip.
+func TestGzipRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		z, err := Gzip(data)
+		if err != nil {
+			return false
+		}
+		back, err := Gunzip(z)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRawRoundTripProperty: arbitrary small images survive the RAW frame
+// format within 8-bit quantization.
+func TestRawRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(32), 1+rng.Intn(32)
+		img := randImage(rng, w, h)
+		data, err := EncodeFrame(img, EncodingRAW, 0)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeFrame(data, EncodingRAW)
+		if err != nil || back.W != w || back.H != h {
+			return false
+		}
+		for i := range img.Pix {
+			if d := float64(back.Pix[i] - img.Pix[i]); d > 1.0/255+1e-6 || d < -(1.0/255+1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randImage(rng *rand.Rand, w, h int) *imaging.Gray {
+	img := imaging.NewGray(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float32()
+	}
+	return img
+}

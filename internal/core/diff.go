@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Diff serializes the delta between two versions of the same oracle (old
+// must be an earlier snapshot of cur: same parameters, fewer-or-equal
+// inserts) as a gzip-compressed XOR bitmask over every filter. Because
+// counting Bloom filters only gain set bits as insertions accumulate, the
+// XOR is overwhelmingly zeros and compresses far below a full blob — the
+// incremental refresh the paper sketches: "We could reduce data transfer by
+// sending only a compressed bitmask representing the diff between versions
+// (not yet implemented)."
+func Diff(old, cur *Oracle) ([]byte, error) {
+	if old.p != cur.p {
+		return nil, errors.New("core: diff between oracles with different parameters")
+	}
+	if old.inserts > cur.inserts {
+		return nil, errors.New("core: old oracle has more inserts than current")
+	}
+	var payload bytes.Buffer
+	bw := bufio.NewWriter(&payload)
+	if _, err := bw.WriteString(diffMagic); err != nil {
+		return nil, err
+	}
+	for _, v := range []any{old.inserts, cur.inserts} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	for t := range cur.primary {
+		words, err := cur.primary[t].DiffWords(old.primary[t])
+		if err != nil {
+			return nil, err
+		}
+		if err := writeWords(bw, words); err != nil {
+			return nil, err
+		}
+	}
+	if cur.verify != nil {
+		words, err := cur.verify.DiffWords(old.verify)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeWords(bw, words); err != nil {
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	if _, err := zw.Write(payload.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Clone returns a deep copy of the oracle (serialize/deserialize round
+// trip). The server clones the oracle at download time so it can later
+// compute diffs against the exact version a client holds.
+func (o *Oracle) Clone() (*Oracle, error) {
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return Read(&buf)
+}
+
+// ApplyDiff advances o (a client's downloaded snapshot) to the newer
+// version encoded by diff. o must be the exact version the diff was
+// computed against; a mismatch is detected via the recorded insert counts.
+func ApplyDiff(o *Oracle, diff []byte) error {
+	zr, err := gzip.NewReader(bytes.NewReader(diff))
+	if err != nil {
+		return err
+	}
+	defer zr.Close()
+	magic := make([]byte, len(diffMagic))
+	if _, err := io.ReadFull(zr, magic); err != nil {
+		return err
+	}
+	if string(magic) != diffMagic {
+		return fmt.Errorf("core: bad diff magic %q", magic)
+	}
+	var oldInserts, newInserts uint64
+	for _, v := range []any{&oldInserts, &newInserts} {
+		if err := binary.Read(zr, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if oldInserts != o.inserts {
+		return fmt.Errorf("core: diff base has %d inserts, oracle has %d", oldInserts, o.inserts)
+	}
+	for t := range o.primary {
+		words, err := readWords(zr)
+		if err != nil {
+			return err
+		}
+		if err := o.primary[t].ApplyDiffWords(words, newInserts); err != nil {
+			return err
+		}
+	}
+	if o.verify != nil {
+		words, err := readWords(zr)
+		if err != nil {
+			return err
+		}
+		if err := o.verify.ApplyDiffWords(words); err != nil {
+			return err
+		}
+	}
+	o.inserts = newInserts
+	return nil
+}
+
+const diffMagic = "VPDF1\x00"
+
+func writeWords(w io.Writer, words []uint64) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(words))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, words)
+}
+
+func readWords(r io.Reader) ([]uint64, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, errors.New("core: diff word count too large")
+	}
+	words := make([]uint64, n)
+	if err := binary.Read(r, binary.LittleEndian, words); err != nil {
+		return nil, err
+	}
+	return words, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"visualprint/internal/bloom"
+)
+
+func snapshot(t *testing.T, o *Oracle) *Oracle {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDiffApplyMatchesFull(t *testing.T) {
+	o := newTestOracle(t)
+	rng := rand.New(rand.NewSource(20))
+	var v1Descs, v2Descs [][]byte
+	for i := 0; i < 200; i++ {
+		d := siftLikeDesc(rng)
+		v1Descs = append(v1Descs, d)
+		o.Insert(d)
+	}
+	clientCopy := snapshot(t, o) // the client's downloaded v1
+	serverOld := snapshot(t, o)  // the server's retained v1 snapshot
+
+	// Server keeps ingesting.
+	for i := 0; i < 150; i++ {
+		d := siftLikeDesc(rng)
+		v2Descs = append(v2Descs, d)
+		o.Insert(d)
+	}
+
+	diff, err := Diff(serverOld, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyDiff(clientCopy, diff); err != nil {
+		t.Fatal(err)
+	}
+	if clientCopy.Inserts() != o.Inserts() {
+		t.Fatalf("inserts %d != %d", clientCopy.Inserts(), o.Inserts())
+	}
+	// The patched client must agree with the server on every descriptor,
+	// old and new.
+	for _, d := range append(append([][]byte{}, v1Descs...), v2Descs...) {
+		want, _ := o.Uniqueness(d)
+		got, err := clientCopy.Uniqueness(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("patched oracle disagrees: %d vs %d", got, want)
+		}
+	}
+}
+
+func TestDiffSmallerThanFullBlob(t *testing.T) {
+	o := newTestOracle(t)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 2000; i++ {
+		o.Insert(siftLikeDesc(rng))
+	}
+	old := snapshot(t, o)
+	// A small incremental batch.
+	for i := 0; i < 50; i++ {
+		o.Insert(siftLikeDesc(rng))
+	}
+	diff, err := Diff(old, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := bloom.GzipBytes(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) >= len(full)/2 {
+		t.Errorf("diff %d B not clearly below full blob %d B", len(diff), len(full))
+	}
+}
+
+func TestApplyDiffRejectsWrongBase(t *testing.T) {
+	o := newTestOracle(t)
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 100; i++ {
+		o.Insert(siftLikeDesc(rng))
+	}
+	old := snapshot(t, o)
+	o.Insert(siftLikeDesc(rng))
+	diff, err := Diff(old, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A client at a different version must be refused.
+	stale := newTestOracle(t)
+	stale.Insert(siftLikeDesc(rng))
+	if err := ApplyDiff(stale, diff); err == nil {
+		t.Error("diff applied to wrong base version")
+	}
+}
+
+func TestDiffParameterMismatch(t *testing.T) {
+	a, _ := New(TestParams())
+	p := TestParams()
+	p.K = 4
+	b, _ := New(p)
+	if _, err := Diff(a, b); err == nil {
+		t.Error("diff across parameter sets accepted")
+	}
+}
+
+func TestDiffInsertOrderSanity(t *testing.T) {
+	a := newTestOracle(t)
+	b := newTestOracle(t)
+	rng := rand.New(rand.NewSource(23))
+	b.Insert(siftLikeDesc(rng))
+	if _, err := Diff(b, a); err == nil {
+		t.Error("old-with-more-inserts accepted")
+	}
+}
+
+func TestApplyDiffRejectsGarbage(t *testing.T) {
+	o := newTestOracle(t)
+	if err := ApplyDiff(o, []byte("definitely not gzip")); err == nil {
+		t.Error("garbage diff accepted")
+	}
+}

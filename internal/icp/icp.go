@@ -1,0 +1,311 @@
+// Package icp implements iterative closest point alignment of 3D point
+// clouds. VisualPrint post-processes the Tango depth output with "ICP
+// heuristics to merge Tango 3D depth maps (from separate snapshots) into a
+// single coherent point cloud for the entire indoor space", correcting
+// dead-reckoning drift so that truly-unique keypoints are not mistaken for
+// repeated ones (paper section 3).
+//
+// The rigid alignment step uses Horn's closed-form quaternion method: the
+// optimal rotation is the dominant eigenvector of a 4x4 symmetric matrix
+// built from the cross-covariance of the matched points, computed with the
+// Jacobi eigensolver from internal/mathx.
+package icp
+
+import (
+	"errors"
+	"math"
+
+	"visualprint/internal/mathx"
+)
+
+// RigidTransform is a rotation followed by a translation: p' = R*p + T.
+type RigidTransform struct {
+	R mathx.Mat3
+	T mathx.Vec3
+}
+
+// Identity returns the identity transform.
+func Identity() RigidTransform {
+	return RigidTransform{R: mathx.Identity3()}
+}
+
+// Apply transforms a single point.
+func (t RigidTransform) Apply(p mathx.Vec3) mathx.Vec3 {
+	return t.R.MulVec(p).Add(t.T)
+}
+
+// ApplyAll returns a new slice with every point transformed.
+func (t RigidTransform) ApplyAll(pts []mathx.Vec3) []mathx.Vec3 {
+	out := make([]mathx.Vec3, len(pts))
+	for i, p := range pts {
+		out[i] = t.Apply(p)
+	}
+	return out
+}
+
+// Compose returns the transform equivalent to applying t first, then u.
+func (t RigidTransform) Compose(u RigidTransform) RigidTransform {
+	return RigidTransform{
+		R: u.R.Mul(t.R),
+		T: u.R.MulVec(t.T).Add(u.T),
+	}
+}
+
+// AlignHorn computes the rigid transform minimizing sum ||R*src[i]+T -
+// dst[i]||^2 over given correspondences, using Horn's quaternion method. It
+// requires at least three non-degenerate correspondences.
+func AlignHorn(src, dst []mathx.Vec3) (RigidTransform, error) {
+	if len(src) != len(dst) {
+		return Identity(), errors.New("icp: correspondence length mismatch")
+	}
+	if len(src) < 3 {
+		return Identity(), errors.New("icp: need at least 3 correspondences")
+	}
+	var cs, cd mathx.Vec3
+	for i := range src {
+		cs = cs.Add(src[i])
+		cd = cd.Add(dst[i])
+	}
+	inv := 1 / float64(len(src))
+	cs, cd = cs.Scale(inv), cd.Scale(inv)
+
+	// Cross-covariance M = sum (src-cs)(dst-cd)^T.
+	var m [9]float64
+	for i := range src {
+		a := src[i].Sub(cs)
+		b := dst[i].Sub(cd)
+		m[0] += a.X * b.X
+		m[1] += a.X * b.Y
+		m[2] += a.X * b.Z
+		m[3] += a.Y * b.X
+		m[4] += a.Y * b.Y
+		m[5] += a.Y * b.Z
+		m[6] += a.Z * b.X
+		m[7] += a.Z * b.Y
+		m[8] += a.Z * b.Z
+	}
+	sxx, sxy, sxz := m[0], m[1], m[2]
+	syx, syy, syz := m[3], m[4], m[5]
+	szx, szy, szz := m[6], m[7], m[8]
+	// Horn's symmetric 4x4 matrix.
+	n := []float64{
+		sxx + syy + szz, syz - szy, szx - sxz, sxy - syx,
+		syz - szy, sxx - syy - szz, sxy + syx, szx + sxz,
+		szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy,
+		sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz,
+	}
+	vals, vecs, err := mathx.SymEigen(n, 4)
+	if err != nil {
+		return Identity(), err
+	}
+	_ = vals
+	q := vecs[0:4] // dominant eigenvector = optimal unit quaternion
+	r := quatToMat(q[0], q[1], q[2], q[3])
+	t := cd.Sub(r.MulVec(cs))
+	return RigidTransform{R: r, T: t}, nil
+}
+
+// quatToMat converts a unit quaternion (w, x, y, z) to a rotation matrix.
+func quatToMat(w, x, y, z float64) mathx.Mat3 {
+	n := math.Sqrt(w*w + x*x + y*y + z*z)
+	if n == 0 {
+		return mathx.Identity3()
+	}
+	w, x, y, z = w/n, x/n, y/n, z/n
+	return mathx.Mat3{
+		1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y),
+		2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x),
+		2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y),
+	}
+}
+
+// Options tunes the ICP iteration.
+type Options struct {
+	// MaxIterations bounds the outer loop.
+	MaxIterations int
+	// MaxPairDist rejects correspondences farther apart than this
+	// (meters); also the neighbor-grid cell size.
+	MaxPairDist float64
+	// Tolerance stops iterating when the mean residual improves by less
+	// than this fraction.
+	Tolerance float64
+	// MinPairs aborts when fewer correspondences than this survive
+	// gating.
+	MinPairs int
+}
+
+// DefaultOptions returns ICP settings suited to indoor-scale clouds with
+// sub-meter drift.
+func DefaultOptions() Options {
+	return Options{MaxIterations: 30, MaxPairDist: 1.0, Tolerance: 1e-4, MinPairs: 10}
+}
+
+// grid is a uniform hash grid for nearest-neighbor queries.
+type grid struct {
+	cell  float64
+	cells map[[3]int32][]int
+	pts   []mathx.Vec3
+}
+
+func newGrid(pts []mathx.Vec3, cell float64) *grid {
+	g := &grid{cell: cell, cells: make(map[[3]int32][]int, len(pts)), pts: pts}
+	for i, p := range pts {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *grid) key(p mathx.Vec3) [3]int32 {
+	return [3]int32{
+		int32(math.Floor(p.X / g.cell)),
+		int32(math.Floor(p.Y / g.cell)),
+		int32(math.Floor(p.Z / g.cell)),
+	}
+}
+
+// nearest returns the index of the nearest stored point within maxDist, or
+// -1.
+func (g *grid) nearest(p mathx.Vec3, maxDist float64) int {
+	k := g.key(p)
+	best := -1
+	bestD := maxDist * maxDist
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dz := int32(-1); dz <= 1; dz++ {
+				for _, i := range g.cells[[3]int32{k[0] + dx, k[1] + dy, k[2] + dz}] {
+					d := g.pts[i].Sub(p)
+					d2 := d.Dot(d)
+					if d2 < bestD {
+						bestD = d2
+						best = i
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Result reports an ICP run.
+type Result struct {
+	Transform    RigidTransform
+	Iterations   int
+	MeanResidual float64 // mean matched-pair distance after alignment
+	Pairs        int     // correspondences in the final iteration
+}
+
+// Run aligns src onto dst: it returns the transform that, applied to src,
+// best overlays it on dst.
+func Run(src, dst []mathx.Vec3, opt Options) (Result, error) {
+	if opt.MaxIterations <= 0 || opt.MaxPairDist <= 0 {
+		return Result{}, errors.New("icp: MaxIterations and MaxPairDist must be positive")
+	}
+	if len(src) == 0 || len(dst) == 0 {
+		return Result{}, errors.New("icp: empty cloud")
+	}
+	g := newGrid(dst, opt.MaxPairDist)
+	total := Identity()
+	cur := append([]mathx.Vec3(nil), src...)
+	prevResidual := math.Inf(1)
+	res := Result{Transform: total}
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		var a, b []mathx.Vec3
+		var residual float64
+		for _, p := range cur {
+			j := g.nearest(p, opt.MaxPairDist)
+			if j < 0 {
+				continue
+			}
+			a = append(a, p)
+			b = append(b, dst[j])
+			residual += p.Dist(dst[j])
+		}
+		if len(a) < opt.MinPairs || len(a) < 3 {
+			return res, errors.New("icp: too few correspondences within MaxPairDist")
+		}
+		residual /= float64(len(a))
+		step, err := AlignHorn(a, b)
+		if err != nil {
+			return res, err
+		}
+		total = total.Compose(step)
+		for i := range cur {
+			cur[i] = step.Apply(cur[i])
+		}
+		res = Result{Transform: total, Iterations: iter + 1, MeanResidual: residual, Pairs: len(a)}
+		if prevResidual-residual < opt.Tolerance*math.Max(prevResidual, 1e-12) {
+			break
+		}
+		prevResidual = residual
+	}
+	return res, nil
+}
+
+// SequenceOptions tunes CorrectSequence's acceptance gating on top of the
+// per-alignment Options.
+type SequenceOptions struct {
+	ICP Options
+	// MinPairFraction is the fraction of a cloud that must find gated
+	// correspondences for its alignment to be trusted.
+	MinPairFraction float64
+	// MaxResidual rejects alignments whose mean matched-pair distance
+	// stays above this (meters).
+	MaxResidual float64
+}
+
+// DefaultSequenceOptions returns gating suited to indoor wardriving clouds.
+// The gate is deliberately strict: on plane-dominated indoor clouds,
+// wrong-basin alignments reach residuals as low as correct ones, so weakly
+// supported alignments do more harm than good (see EXPERIMENTS.md, "ICP —
+// honest negative result").
+func DefaultSequenceOptions() SequenceOptions {
+	return SequenceOptions{
+		ICP:             DefaultOptions(),
+		MinPairFraction: 0.7,
+		MaxResidual:     0.2,
+	}
+}
+
+// CorrectSequence incrementally stitches a sequence of drifted clouds into
+// one coherent map — the paper's merge of per-snapshot Tango depth maps.
+// Cloud 0 anchors the global frame; each subsequent cloud is ICP-aligned
+// against the accumulated map and its correcting transform recorded.
+//
+// Alignments are accepted only when well-supported (enough gated
+// correspondences, low residual): plane-dominated indoor clouds are prone
+// to wrong-basin convergence under large drift, and a single mis-aligned
+// cloud appended to the map poisons every later alignment. Rejected clouds
+// keep the identity correction and are NOT merged into the map.
+// The returned slice has one transform per input cloud.
+func CorrectSequence(clouds [][]mathx.Vec3, opt Options) ([]RigidTransform, error) {
+	so := DefaultSequenceOptions()
+	so.ICP = opt
+	return CorrectSequenceOpts(clouds, so)
+}
+
+// CorrectSequenceOpts is CorrectSequence with explicit gating options.
+func CorrectSequenceOpts(clouds [][]mathx.Vec3, so SequenceOptions) ([]RigidTransform, error) {
+	if len(clouds) == 0 {
+		return nil, errors.New("icp: no clouds")
+	}
+	tfs := make([]RigidTransform, len(clouds))
+	tfs[0] = Identity()
+	var world []mathx.Vec3
+	world = append(world, clouds[0]...)
+	for i := 1; i < len(clouds); i++ {
+		tfs[i] = Identity()
+		if len(clouds[i]) == 0 {
+			continue
+		}
+		r, err := Run(clouds[i], world, so.ICP)
+		accept := err == nil &&
+			float64(r.Pairs) >= so.MinPairFraction*float64(len(clouds[i])) &&
+			r.MeanResidual <= so.MaxResidual
+		if accept {
+			tfs[i] = r.Transform
+			world = append(world, tfs[i].ApplyAll(clouds[i])...)
+		}
+	}
+	return tfs, nil
+}

@@ -1,0 +1,225 @@
+package icp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"visualprint/internal/mathx"
+)
+
+func randomCloud(rng *rand.Rand, n int, scale float64) []mathx.Vec3 {
+	pts := make([]mathx.Vec3, n)
+	for i := range pts {
+		pts[i] = mathx.Vec3{
+			X: rng.Float64() * scale,
+			Y: rng.Float64() * scale * 0.3,
+			Z: rng.Float64() * scale,
+		}
+	}
+	return pts
+}
+
+func makeTransform(yaw float64, t mathx.Vec3) RigidTransform {
+	return RigidTransform{R: mathx.RotationYPR(yaw, 0, 0), T: t}
+}
+
+func TestTransformApplyCompose(t *testing.T) {
+	a := makeTransform(0.3, mathx.Vec3{X: 1})
+	b := makeTransform(-0.1, mathx.Vec3{Z: 2})
+	p := mathx.Vec3{X: 2, Y: 1, Z: -1}
+	want := b.Apply(a.Apply(p))
+	if got := a.Compose(b).Apply(p); got.Dist(want) > 1e-12 {
+		t.Errorf("Compose: %v, want %v", got, want)
+	}
+	if got := Identity().Apply(p); got != p {
+		t.Errorf("Identity.Apply = %v", got)
+	}
+}
+
+func TestAlignHornExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := randomCloud(rng, 50, 10)
+	truth := makeTransform(0.4, mathx.Vec3{X: 1.5, Y: -0.2, Z: 0.7})
+	dst := truth.ApplyAll(src)
+	got, err := AlignHorn(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src {
+		if got.Apply(p).Dist(dst[i]) > 1e-9 {
+			t.Fatalf("point %d misaligned by %v", i, got.Apply(p).Dist(dst[i]))
+		}
+	}
+	// Rotation must be proper (det +1).
+	if math.Abs(got.R.Det()-1) > 1e-9 {
+		t.Errorf("det(R) = %v", got.R.Det())
+	}
+}
+
+func TestAlignHornNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := randomCloud(rng, 200, 10)
+	truth := makeTransform(-0.25, mathx.Vec3{X: 0.5, Z: -1})
+	dst := truth.ApplyAll(src)
+	for i := range dst {
+		dst[i] = dst[i].Add(mathx.Vec3{
+			X: rng.NormFloat64() * 0.01,
+			Y: rng.NormFloat64() * 0.01,
+			Z: rng.NormFloat64() * 0.01,
+		})
+	}
+	got, err := AlignHorn(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for i, p := range src {
+		mean += got.Apply(p).Dist(dst[i])
+	}
+	mean /= float64(len(src))
+	if mean > 0.05 {
+		t.Errorf("mean residual %v too large under small noise", mean)
+	}
+}
+
+func TestAlignHornErrors(t *testing.T) {
+	if _, err := AlignHorn(make([]mathx.Vec3, 3), make([]mathx.Vec3, 4)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AlignHorn(make([]mathx.Vec3, 2), make([]mathx.Vec3, 2)); err == nil {
+		t.Error("too few correspondences accepted")
+	}
+}
+
+func TestRunRecoversSmallDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dst := randomCloud(rng, 400, 12)
+	// Drifted copy: rotated and shifted by a drift-scale error.
+	drift := makeTransform(0.03, mathx.Vec3{X: 0.3, Z: -0.25})
+	src := drift.ApplyAll(dst)
+	res, err := Run(src, dst, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered transform must invert the drift: src back onto dst.
+	var mean float64
+	for i := range src {
+		mean += res.Transform.Apply(src[i]).Dist(dst[i])
+	}
+	mean /= float64(len(src))
+	if mean > 0.03 {
+		t.Errorf("post-ICP residual %v", mean)
+	}
+	if res.Iterations == 0 || res.Pairs == 0 {
+		t.Errorf("result not populated: %+v", res)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pts := randomCloud(rand.New(rand.NewSource(4)), 10, 5)
+	if _, err := Run(nil, pts, DefaultOptions()); err == nil {
+		t.Error("empty src accepted")
+	}
+	if _, err := Run(pts, nil, DefaultOptions()); err == nil {
+		t.Error("empty dst accepted")
+	}
+	bad := DefaultOptions()
+	bad.MaxIterations = 0
+	if _, err := Run(pts, pts, bad); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestRunTooFarApart(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCloud(rng, 50, 5)
+	b := makeTransform(0, mathx.Vec3{X: 100}).ApplyAll(a)
+	if _, err := Run(a, b, DefaultOptions()); err == nil {
+		t.Error("clouds with no overlap should fail")
+	}
+}
+
+func TestGridNearest(t *testing.T) {
+	pts := []mathx.Vec3{{X: 0}, {X: 1}, {X: 2.5}}
+	g := newGrid(pts, 1.0)
+	if got := g.nearest(mathx.Vec3{X: 1.1}, 1.0); got != 1 {
+		t.Errorf("nearest = %d", got)
+	}
+	if got := g.nearest(mathx.Vec3{X: 50}, 1.0); got != -1 {
+		t.Errorf("far query = %d, want -1", got)
+	}
+}
+
+func TestCorrectSequenceReducesDrift(t *testing.T) {
+	// Build a "hallway" of overlapping window clouds, then drift each
+	// window progressively. CorrectSequence should pull windows back.
+	rng := rand.New(rand.NewSource(6))
+	base := randomCloud(rng, 2000, 40)
+	var clouds, truth [][]mathx.Vec3
+	for k := 0; k < 6; k++ {
+		lo, hi := float64(k)*5, float64(k)*5+12
+		var window []mathx.Vec3
+		for _, p := range base {
+			if p.X >= lo && p.X < hi {
+				window = append(window, p)
+			}
+		}
+		drift := makeTransform(0.01*float64(k), mathx.Vec3{X: 0.08 * float64(k), Z: -0.06 * float64(k)})
+		clouds = append(clouds, drift.ApplyAll(window))
+		truth = append(truth, window)
+	}
+	// These synthetic clouds are well-conditioned (full 3D structure) but
+	// have only ~60% window overlap, so relax the acceptance gate that
+	// protects real plane-dominated wardriving clouds.
+	so := DefaultSequenceOptions()
+	so.MinPairFraction = 0.4
+	so.MaxResidual = 0.5
+	tfs, err := CorrectSequenceOpts(clouds, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tfs) != len(clouds) {
+		t.Fatalf("%d transforms for %d clouds", len(tfs), len(clouds))
+	}
+	var before, after float64
+	n := 0
+	for k := range clouds {
+		for i := range clouds[k] {
+			before += clouds[k][i].Dist(truth[k][i])
+			after += tfs[k].Apply(clouds[k][i]).Dist(truth[k][i])
+			n++
+		}
+	}
+	before /= float64(n)
+	after /= float64(n)
+	if after >= before {
+		t.Errorf("correction did not help: before %.3f, after %.3f", before, after)
+	}
+}
+
+func TestCorrectSequenceEmpty(t *testing.T) {
+	if _, err := CorrectSequence(nil, DefaultOptions()); err == nil {
+		t.Error("no clouds accepted")
+	}
+	// Empty middle clouds keep identity and do not break the chain.
+	rng := rand.New(rand.NewSource(7))
+	c := randomCloud(rng, 100, 10)
+	tfs, err := CorrectSequence([][]mathx.Vec3{c, nil, c}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tfs[1] != Identity() {
+		t.Error("empty cloud should get identity")
+	}
+}
+
+func TestQuatToMatIdentity(t *testing.T) {
+	m := quatToMat(1, 0, 0, 0)
+	if m != mathx.Identity3() {
+		t.Errorf("unit quaternion != identity: %v", m)
+	}
+	if quatToMat(0, 0, 0, 0) != mathx.Identity3() {
+		t.Error("zero quaternion should fall back to identity")
+	}
+}

@@ -1,0 +1,55 @@
+package imaging
+
+// BlurScore returns the variance of the Laplacian of g — the standard
+// cheap sharpness measure. Motion-blurred frames have attenuated high
+// frequencies and score low; sharp, textured frames score high.
+//
+// The VisualPrint client "performs a quick check on each frame to detect
+// blur (often due to quick motion), discarding such frames": blurred
+// frames lack ample visual features and would never match on the server,
+// so processing them only adds latency.
+func BlurScore(g *Gray) float64 {
+	if g.W < 3 || g.H < 3 {
+		return 0
+	}
+	// Laplacian via the 4-neighbor kernel; accumulate mean and variance in
+	// one pass (Welford not needed at this scale; two accumulators are
+	// fine in float64).
+	var sum, sumSq float64
+	n := 0
+	for y := 1; y < g.H-1; y++ {
+		row := g.Pix[y*g.W:]
+		up := g.Pix[(y-1)*g.W:]
+		down := g.Pix[(y+1)*g.W:]
+		for x := 1; x < g.W-1; x++ {
+			lap := float64(up[x] + down[x] + row[x-1] + row[x+1] - 4*row[x])
+			sum += lap
+			sumSq += lap * lap
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	return sumSq/float64(n) - mean*mean
+}
+
+// MotionBlur approximates linear motion blur: a box filter of the given
+// pixel length along the x axis. It is used by tests and the evaluation to
+// synthesize the blurred frames a moving handheld camera produces.
+func MotionBlur(g *Gray, length int) *Gray {
+	if length <= 1 {
+		return g.Clone()
+	}
+	out := NewGray(g.W, g.H)
+	half := length / 2
+	inv := 1 / float32(length)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var acc float32
+			for k := -half; k < length-half; k++ {
+				acc += g.At(x+k, y)
+			}
+			out.Pix[y*g.W+x] = acc * inv
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package imaging
+
+import "testing"
+
+func TestBlurScoreSharpVsBlurred(t *testing.T) {
+	sharp := RenderTexture(NoiseTexture{Seed: 5, Freq: 12, Octaves: 4, Gain: 1}, 120, 90, 2, 1.5)
+	blurred := MotionBlur(sharp, 9)
+	ss := BlurScore(sharp)
+	bs := BlurScore(blurred)
+	if ss <= 0 {
+		t.Fatalf("sharp score = %v", ss)
+	}
+	if bs >= ss/3 {
+		t.Errorf("blurred score %v not well below sharp %v", bs, ss)
+	}
+}
+
+func TestBlurScoreMonotoneInBlurLength(t *testing.T) {
+	img := RenderTexture(NoiseTexture{Seed: 6, Freq: 10, Octaves: 3, Gain: 1}, 100, 80, 2, 1.6)
+	prev := BlurScore(img)
+	for _, l := range []int{3, 7, 13} {
+		s := BlurScore(MotionBlur(img, l))
+		if s >= prev {
+			t.Errorf("score did not drop at blur length %d: %v >= %v", l, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestBlurScoreFlatImage(t *testing.T) {
+	g := NewGray(50, 50)
+	if s := BlurScore(g); s != 0 {
+		t.Errorf("flat image score = %v", s)
+	}
+	if s := BlurScore(NewGray(2, 2)); s != 0 {
+		t.Errorf("tiny image score = %v", s)
+	}
+}
+
+func TestMotionBlurPreservesMean(t *testing.T) {
+	img := RenderTexture(NoiseTexture{Seed: 7, Freq: 8, Octaves: 2, Gain: 1}, 60, 40, 1, 1)
+	blurred := MotionBlur(img, 5)
+	var m0, m1 float64
+	for i := range img.Pix {
+		m0 += float64(img.Pix[i])
+		m1 += float64(blurred.Pix[i])
+	}
+	if d := (m1 - m0) / m0; d > 0.02 || d < -0.02 {
+		t.Errorf("mean drifted %.3f under motion blur", d)
+	}
+}
+
+func TestMotionBlurIdentity(t *testing.T) {
+	img := RenderTexture(NoiseTexture{Seed: 8, Freq: 8, Octaves: 2, Gain: 1}, 30, 20, 1, 1)
+	b := MotionBlur(img, 1)
+	for i := range img.Pix {
+		if b.Pix[i] != img.Pix[i] {
+			t.Fatal("length-1 blur should be identity")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package imaging
+
+import (
+	"math"
+
+	"visualprint/internal/hash"
+)
+
+// Texture is a procedural intensity field sampled in texture coordinates
+// (u, v), both in meters of surface extent. Implementations must be pure
+// functions of (u, v) so that re-rendering the same surface from a different
+// camera pose observes the same physical pattern — the property that makes
+// cross-view keypoint matching meaningful.
+type Texture interface {
+	// Sample returns the intensity in [0, 1] at surface point (u, v).
+	Sample(u, v float64) float64
+}
+
+// valueNoise2 is deterministic 2-D value noise: a seeded hash at integer
+// lattice points, smoothly interpolated between them.
+type valueNoise2 struct {
+	seed uint32
+	freq float64
+}
+
+func (n valueNoise2) lattice(ix, iy int64) float64 {
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(ix >> (8 * i))
+		buf[8+i] = byte(iy >> (8 * i))
+	}
+	return float64(hash.Sum32(buf[:], n.seed)) / float64(math.MaxUint32)
+}
+
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+func (n valueNoise2) at(u, v float64) float64 {
+	x, y := u*n.freq, v*n.freq
+	x0, y0 := math.Floor(x), math.Floor(y)
+	tx, ty := smoothstep(x-x0), smoothstep(y-y0)
+	ix, iy := int64(x0), int64(y0)
+	v00 := n.lattice(ix, iy)
+	v10 := n.lattice(ix+1, iy)
+	v01 := n.lattice(ix, iy+1)
+	v11 := n.lattice(ix+1, iy+1)
+	top := v00 + (v10-v00)*tx
+	bot := v01 + (v11-v01)*tx
+	return top + (bot-top)*ty
+}
+
+// NoiseTexture is multi-octave value noise. With a unique seed per surface
+// it acts like the paper's "one-of-a-kind paintings": visually rich and
+// globally unique, producing high-entropy keypoints.
+type NoiseTexture struct {
+	Seed    uint32
+	Freq    float64 // base spatial frequency (features per meter)
+	Octaves int     // number of noise octaves (>= 1)
+	Gain    float64 // contrast in [0, 1]
+}
+
+// Sample implements Texture.
+func (t NoiseTexture) Sample(u, v float64) float64 {
+	oct := t.Octaves
+	if oct < 1 {
+		oct = 1
+	}
+	total, amp, norm := 0.0, 1.0, 0.0
+	freq := t.Freq
+	for o := 0; o < oct; o++ {
+		n := valueNoise2{seed: t.Seed + uint32(o)*0x9e3779b9, freq: freq}
+		total += n.at(u, v) * amp
+		norm += amp
+		amp *= 0.55
+		freq *= 2.1
+	}
+	x := total / norm
+	gain := t.Gain
+	if gain <= 0 {
+		gain = 1
+	}
+	return 0.5 + (x-0.5)*gain
+}
+
+// TileTexture is a repeating grid pattern with grout lines — the paper's
+// "checkerboard floor or the regular pattern of ceiling tiles". Every tile
+// repeats the same micro-noise (same seed), so its keypoints are locally
+// sharp but globally non-unique.
+type TileTexture struct {
+	Seed     uint32
+	TileSize float64 // edge length of one tile in meters
+	Line     float64 // grout line half-width in meters
+	Contrast float64
+}
+
+// Sample implements Texture.
+func (t TileTexture) Sample(u, v float64) float64 {
+	ts := t.TileSize
+	if ts <= 0 {
+		ts = 0.5
+	}
+	fu := u - ts*math.Floor(u/ts)
+	fv := v - ts*math.Floor(v/ts)
+	// Grout lines near tile boundaries.
+	if fu < t.Line || fu > ts-t.Line || fv < t.Line || fv > ts-t.Line {
+		return 0.15
+	}
+	// Identical micro-pattern inside every tile: sample noise in
+	// *within-tile* coordinates so the pattern repeats exactly.
+	n := NoiseTexture{Seed: t.Seed, Freq: 14 / ts, Octaves: 2, Gain: t.Contrast}
+	return 0.35 + 0.5*n.Sample(fu, fv)
+}
+
+// StampTexture overlays a small, high-contrast "fixture" motif (door knob,
+// light switch) on a plain background. With the same seed reused across
+// rooms it reproduces the paper's "unique in a room, but repeated in every
+// room" keypoints.
+type StampTexture struct {
+	Seed       uint32
+	Background float64 // base wall intensity
+	CenterU    float64 // stamp center in texture coordinates (meters)
+	CenterV    float64
+	Radius     float64 // stamp radius in meters
+}
+
+// Sample implements Texture.
+func (t StampTexture) Sample(u, v float64) float64 {
+	du, dv := u-t.CenterU, v-t.CenterV
+	r := math.Sqrt(du*du + dv*dv)
+	if r > t.Radius {
+		// Faint large-scale shading so walls are not perfectly flat.
+		n := NoiseTexture{Seed: t.Seed ^ 0xabcdef, Freq: 0.8, Octaves: 1, Gain: 0.1}
+		return t.Background + (n.Sample(u, v)-0.5)*0.05
+	}
+	// Inside the stamp: concentric, seeded detail in stamp-local
+	// coordinates so every instance looks identical.
+	n := NoiseTexture{Seed: t.Seed, Freq: 30 / t.Radius / 10, Octaves: 2, Gain: 1}
+	ring := 0.5 + 0.5*math.Cos(r/t.Radius*6*math.Pi)
+	return 0.2 + 0.6*ring*n.Sample(du/t.Radius, dv/t.Radius)
+}
+
+// FlatTexture is a featureless surface ("blank, white walls") that yields
+// almost no keypoints.
+type FlatTexture struct {
+	Intensity float64
+}
+
+// Sample implements Texture.
+func (t FlatTexture) Sample(u, v float64) float64 { return t.Intensity }
+
+// RenderTexture rasterizes tex over a w x h pixel image spanning
+// uSpan x vSpan meters. Used by texture tests and the Figure 3/5 image
+// corpus generator.
+func RenderTexture(tex Texture, w, h int, uSpan, vSpan float64) *Gray {
+	g := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := (float64(x) + 0.5) / float64(w) * uSpan
+			v := (float64(y) + 0.5) / float64(h) * vSpan
+			g.Pix[y*w+x] = float32(tex.Sample(u, v))
+		}
+	}
+	return g
+}

@@ -1,0 +1,121 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleRange(t *testing.T, tex Texture, span float64) (lo, hi float64) {
+	t.Helper()
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			v := tex.Sample(float64(i)/40*span, float64(j)/40*span)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+func TestNoiseTextureDeterministic(t *testing.T) {
+	tex := NoiseTexture{Seed: 9, Freq: 5, Octaves: 3, Gain: 1}
+	if tex.Sample(1.25, 2.5) != tex.Sample(1.25, 2.5) {
+		t.Error("NoiseTexture not deterministic")
+	}
+}
+
+func TestNoiseTextureSeedChangesPattern(t *testing.T) {
+	a := NoiseTexture{Seed: 1, Freq: 5, Octaves: 2, Gain: 1}
+	b := NoiseTexture{Seed: 2, Freq: 5, Octaves: 2, Gain: 1}
+	diff := 0.0
+	for i := 0; i < 100; i++ {
+		u, v := float64(i)*0.13, float64(i)*0.07
+		diff += math.Abs(a.Sample(u, v) - b.Sample(u, v))
+	}
+	if diff < 1 {
+		t.Errorf("seeds 1 and 2 produce nearly identical noise (sum |diff| = %v)", diff)
+	}
+}
+
+func TestNoiseTextureHasContrast(t *testing.T) {
+	lo, hi := sampleRange(t, NoiseTexture{Seed: 4, Freq: 8, Octaves: 3, Gain: 1}, 2)
+	if hi-lo < 0.2 {
+		t.Errorf("noise range [%v, %v] too flat for a painting surrogate", lo, hi)
+	}
+}
+
+func TestTileTextureRepeats(t *testing.T) {
+	tex := TileTexture{Seed: 7, TileSize: 0.5, Line: 0.02, Contrast: 1}
+	// The pattern one tile over must be identical: globally repeated features.
+	for i := 0; i < 50; i++ {
+		u := 0.05 + float64(i)*0.008
+		v := 0.07 + float64(i)*0.006
+		if a, b := tex.Sample(u, v), tex.Sample(u+0.5, v); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("tile not periodic at (%v,%v): %v vs %v", u, v, a, b)
+		}
+		if a, b := tex.Sample(u, v), tex.Sample(u, v+1.0); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("tile not periodic vertically at (%v,%v): %v vs %v", u, v, a, b)
+		}
+	}
+}
+
+func TestTileTextureGroutLines(t *testing.T) {
+	tex := TileTexture{Seed: 7, TileSize: 0.5, Line: 0.02, Contrast: 1}
+	if got := tex.Sample(0.005, 0.25); got != 0.15 {
+		t.Errorf("grout sample = %v, want 0.15", got)
+	}
+}
+
+func TestStampTextureRepeatsAcrossInstances(t *testing.T) {
+	// Two stamps with the same seed at different wall positions must look
+	// identical in stamp-local coordinates (the door-knob effect).
+	a := StampTexture{Seed: 3, Background: 0.8, CenterU: 1, CenterV: 1, Radius: 0.1}
+	b := StampTexture{Seed: 3, Background: 0.8, CenterU: 4, CenterV: 2, Radius: 0.1}
+	for i := 0; i < 30; i++ {
+		du := (float64(i%6) - 2.5) * 0.03
+		dv := (float64(i/6) - 2.0) * 0.03
+		va := a.Sample(1+du, 1+dv)
+		vb := b.Sample(4+du, 2+dv)
+		if math.Abs(va-vb) > 1e-12 {
+			t.Fatalf("stamp instances differ at offset (%v,%v): %v vs %v", du, dv, va, vb)
+		}
+	}
+}
+
+func TestFlatTexture(t *testing.T) {
+	tex := FlatTexture{Intensity: 0.9}
+	lo, hi := sampleRange(t, tex, 3)
+	if lo != 0.9 || hi != 0.9 {
+		t.Errorf("flat texture not flat: [%v, %v]", lo, hi)
+	}
+}
+
+func TestRenderTextureDims(t *testing.T) {
+	g := RenderTexture(FlatTexture{Intensity: 0.5}, 12, 8, 1, 1)
+	if g.W != 12 || g.H != 8 {
+		t.Errorf("dims = %dx%d", g.W, g.H)
+	}
+	if g.At(3, 3) != 0.5 {
+		t.Errorf("value = %v", g.At(3, 3))
+	}
+}
+
+func TestTexturesInUnitRange(t *testing.T) {
+	texs := []Texture{
+		NoiseTexture{Seed: 1, Freq: 6, Octaves: 3, Gain: 1},
+		TileTexture{Seed: 2, TileSize: 0.4, Line: 0.02, Contrast: 1},
+		StampTexture{Seed: 3, Background: 0.8, CenterU: 0.5, CenterV: 0.5, Radius: 0.15},
+		FlatTexture{Intensity: 0.7},
+	}
+	for i, tex := range texs {
+		lo, hi := sampleRange(t, tex, 1.5)
+		if lo < -0.01 || hi > 1.01 {
+			t.Errorf("texture %d out of range: [%v, %v]", i, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package lsh implements E2LSH — Euclidean locality-sensitive hashing based
+// on 2-stable (Gaussian) random projections (Datar et al., SoCG 2004; Andoni
+// & Indyk 2004) — as used twice in VisualPrint: as the server-side
+// approximate nearest-neighbor lookup table mapping keypoints to 3D
+// positions, and as the locality-sensitive front end of the uniqueness
+// oracle's Bloom filters.
+//
+// A descriptor is projected onto L x M random hyperplanes whose coefficients
+// are drawn from a Gaussian (2-stable) distribution, so projected distances
+// preserve the L2 norm in expectation. Each projection is quantized with
+// width W; the M quantized values form the bucket coordinate of one of the L
+// tables.
+package lsh
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"visualprint/internal/hash"
+)
+
+// Params configures an E2LSH family. The paper's empirically tuned values
+// for the uniqueness oracle are L=10, M=7, W=500 (section 3).
+type Params struct {
+	L    int     // number of hash tables (independent bucket families)
+	M    int     // projections (quantized dimensions) per table
+	W    float64 // quantization width
+	Dim  int     // input dimensionality (128 for SIFT)
+	Seed int64   // RNG seed for the projection family
+}
+
+// DefaultParams returns the paper's oracle parameterization for 128-d SIFT
+// descriptors.
+func DefaultParams() Params {
+	return Params{L: 10, M: 7, W: 500, Dim: 128, Seed: 1}
+}
+
+// Validate reports whether p is usable.
+func (p Params) Validate() error {
+	if p.L <= 0 || p.M <= 0 || p.W <= 0 || p.Dim <= 0 {
+		return errors.New("lsh: L, M, W and Dim must be positive")
+	}
+	return nil
+}
+
+// Hasher maps byte-valued descriptors to quantized bucket coordinates. It is
+// deterministic for a given Params (including Seed) and safe for concurrent
+// use once constructed.
+type Hasher struct {
+	p    Params
+	proj [][]float32 // L*M rows of Dim Gaussian coefficients
+	offs []float64   // L*M uniform offsets in [0, W)
+}
+
+// NewHasher builds the random projection family for p.
+func NewHasher(p Params) (*Hasher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := p.L * p.M
+	h := &Hasher{p: p, proj: make([][]float32, n), offs: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		row := make([]float32, p.Dim)
+		for d := range row {
+			row[d] = float32(rng.NormFloat64())
+		}
+		h.proj[i] = row
+		h.offs[i] = rng.Float64() * p.W
+	}
+	return h, nil
+}
+
+// Params returns the parameter set the hasher was built with.
+func (h *Hasher) Params() Params { return h.p }
+
+// Bucket computes the M quantized projection coordinates of desc for the
+// given table (0 <= table < L). The desc length must equal Dim.
+func (h *Hasher) Bucket(desc []byte, table int) []int32 {
+	out := make([]int32, h.p.M)
+	h.BucketInto(desc, table, out)
+	return out
+}
+
+// BucketInto is Bucket without allocation; out must have length M.
+func (h *Hasher) BucketInto(desc []byte, table int, out []int32) {
+	base := table * h.p.M
+	for m := 0; m < h.p.M; m++ {
+		row := h.proj[base+m]
+		var dot float64
+		// Descriptors are bytes; accumulate in float32 blocks for speed.
+		var acc float32
+		for d, v := range desc {
+			acc += row[d] * float32(v)
+		}
+		dot = float64(acc)
+		out[m] = int32(math.Floor((dot + h.offs[base+m]) / h.p.W))
+	}
+}
+
+// Key collapses a bucket coordinate into a 64-bit table key using Murmur3
+// seeded by the table index — the "cryptographic hash g_i from the same
+// family (Murmur-3)" step of Figure 8.
+func (h *Hasher) Key(table int, coords []int32) uint64 {
+	buf := make([]byte, 4*len(coords))
+	for i, c := range coords {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(c))
+	}
+	return hash.Sum64(buf, uint32(table)*0x9e3779b9+1)
+}
+
+// Probes returns the multi-probe set for a bucket coordinate: the exact
+// bucket first, followed by the 2M off-by-one perturbations (each coordinate
+// +-1). This is the paper's borrowing from multi-probe LSH (Lv et al., VLDB
+// 2007) to reduce quantization false negatives.
+func (h *Hasher) Probes(coords []int32) [][]int32 {
+	out := make([][]int32, 0, 2*len(coords)+1)
+	out = append(out, append([]int32(nil), coords...))
+	for i := range coords {
+		for _, d := range []int32{-1, 1} {
+			p := append([]int32(nil), coords...)
+			p[i] += d
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Candidate is a query result from the Index.
+type Candidate struct {
+	ID     int // insertion order identifier
+	DistSq int // squared Euclidean distance to the query
+}
+
+// Index is an LSH-backed approximate nearest-neighbor index over byte
+// descriptors, the structure behind the server's keypoint-to-3D-position
+// lookup table. IDs are assigned in insertion order; the caller keeps its
+// own id -> payload mapping.
+//
+// Index is not safe for concurrent mutation; concurrent Query calls are
+// safe after all inserts complete.
+type Index struct {
+	h      *Hasher
+	tables []map[uint64][]int32
+	descs  [][]byte
+}
+
+// NewIndex creates an empty index with the given parameters.
+func NewIndex(p Params) (*Index, error) {
+	h, err := NewHasher(p)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]map[uint64][]int32, p.L)
+	for i := range tables {
+		tables[i] = make(map[uint64][]int32)
+	}
+	return &Index{h: h, tables: tables}, nil
+}
+
+// Hasher exposes the underlying projection family (shared with the oracle).
+func (ix *Index) Hasher() *Hasher { return ix.h }
+
+// Len returns the number of indexed descriptors.
+func (ix *Index) Len() int { return len(ix.descs) }
+
+// Insert adds a descriptor and returns its id. The slice is retained; the
+// caller must not modify it afterwards.
+func (ix *Index) Insert(desc []byte) (int, error) {
+	if len(desc) != ix.h.p.Dim {
+		return 0, errors.New("lsh: descriptor dimension mismatch")
+	}
+	id := len(ix.descs)
+	ix.descs = append(ix.descs, desc)
+	coords := make([]int32, ix.h.p.M)
+	for t := 0; t < ix.h.p.L; t++ {
+		ix.h.BucketInto(desc, t, coords)
+		k := ix.h.Key(t, coords)
+		ix.tables[t][k] = append(ix.tables[t][k], int32(id))
+	}
+	return id, nil
+}
+
+// QueryOptions tunes a nearest-neighbor query.
+type QueryOptions struct {
+	// MaxCandidates caps returned candidates (0 = no cap).
+	MaxCandidates int
+	// MultiProbe also checks the off-by-one buckets in every table.
+	MultiProbe bool
+}
+
+// Query returns candidate neighbors of desc from all L tables, de-duplicated
+// and sorted by ascending Euclidean distance.
+func (ix *Index) Query(desc []byte, opt QueryOptions) ([]Candidate, error) {
+	if len(desc) != ix.h.p.Dim {
+		return nil, errors.New("lsh: descriptor dimension mismatch")
+	}
+	seen := make(map[int32]struct{})
+	coords := make([]int32, ix.h.p.M)
+	var cands []Candidate
+	for t := 0; t < ix.h.p.L; t++ {
+		ix.h.BucketInto(desc, t, coords)
+		probeSet := [][]int32{coords}
+		if opt.MultiProbe {
+			probeSet = ix.h.Probes(coords)
+		}
+		for _, pc := range probeSet {
+			k := ix.h.Key(t, pc)
+			for _, id := range ix.tables[t][k] {
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				seen[id] = struct{}{}
+				cands = append(cands, Candidate{ID: int(id), DistSq: distSq(desc, ix.descs[id])})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].DistSq < cands[j].DistSq })
+	if opt.MaxCandidates > 0 && len(cands) > opt.MaxCandidates {
+		cands = cands[:opt.MaxCandidates]
+	}
+	return cands, nil
+}
+
+// MemoryBytes estimates the in-memory footprint of the index: the L bucket
+// tables (key + id entries, with map overhead) plus the retained descriptor
+// bytes. This drives the Figure 15 client-footprint comparison, where
+// conventional LSH is shown to cost a large multiple of the raw data due to
+// the L-fold replication.
+func (ix *Index) MemoryBytes() int64 {
+	var total int64
+	for _, t := range ix.tables {
+		// Per bucket: 8-byte key + slice header (24) + map entry overhead
+		// (~16); per entry: 4 bytes id.
+		total += int64(len(t)) * (8 + 24 + 16)
+		for _, ids := range t {
+			total += int64(len(ids)) * 4
+		}
+	}
+	for _, d := range ix.descs {
+		total += int64(len(d)) + 24
+	}
+	return total
+}
+
+func distSq(a, b []byte) int {
+	s := 0
+	for i := range a {
+		d := int(a[i]) - int(b[i])
+		s += d * d
+	}
+	return s
+}

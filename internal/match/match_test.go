@@ -1,0 +1,369 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"visualprint/internal/core"
+	"visualprint/internal/lsh"
+)
+
+// corpus is a synthetic matching workload mirroring the paper's setup:
+// scenes with mostly unique descriptors, distractor images built from a
+// shared pool of repeated descriptors, and query frames that see a scene's
+// descriptors (perturbed) mixed with repeated ones.
+type corpus struct {
+	db      DB
+	queries []struct {
+		scene int
+		descs [][]byte
+	}
+	common [][]byte
+}
+
+func siftLike(rng *rand.Rand) []byte {
+	f := make([]float64, 128)
+	var norm float64
+	for i := range f {
+		if rng.Float64() < 0.4 {
+			f[i] = rng.ExpFloat64()
+			norm += f[i] * f[i]
+		}
+	}
+	d := make([]byte, 128)
+	if norm == 0 {
+		d[rng.Intn(128)] = 255
+		return d
+	}
+	scale := 512 / sqrtf(norm)
+	for i := range d {
+		v := f[i] * scale
+		if v > 255 {
+			v = 255
+		}
+		d[i] = byte(v)
+	}
+	return d
+}
+
+func sqrtf(x float64) float64 {
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func perturb(rng *rand.Rand, d []byte, amp int) []byte {
+	out := append([]byte(nil), d...)
+	for i := range out {
+		v := int(out[i]) + rng.Intn(2*amp+1) - amp
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// buildCorpus creates nScenes scenes + nDistract distractor images.
+func buildCorpus(seed int64, nScenes, nDistract, descsPerImage, queriesPerScene int) *corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &corpus{}
+	// Shared repeated descriptors (ceiling tiles, door knobs).
+	for i := 0; i < 40; i++ {
+		c.common = append(c.common, siftLike(rng))
+	}
+	sceneDescs := make([][][]byte, nScenes)
+	for s := 0; s < nScenes; s++ {
+		for d := 0; d < descsPerImage; d++ {
+			var desc []byte
+			if rng.Float64() < 0.3 {
+				desc = perturb(rng, c.common[rng.Intn(len(c.common))], 2)
+			} else {
+				desc = siftLike(rng)
+			}
+			sceneDescs[s] = append(sceneDescs[s], desc)
+			c.db.Add(desc, s)
+		}
+	}
+	// Distractors: almost entirely repeated content.
+	for i := 0; i < nDistract; i++ {
+		label := nScenes + i
+		for d := 0; d < descsPerImage; d++ {
+			c.db.Add(perturb(rng, c.common[rng.Intn(len(c.common))], 2), label)
+		}
+	}
+	// Queries: perturbed scene descriptors + extra repeated descriptors
+	// (what a different viewing angle of the same scene yields).
+	for s := 0; s < nScenes; s++ {
+		for q := 0; q < queriesPerScene; q++ {
+			var descs [][]byte
+			for _, d := range sceneDescs[s] {
+				if rng.Float64() < 0.7 { // some keypoints lost to the angle change
+					descs = append(descs, perturb(rng, d, 3))
+				}
+			}
+			for i := 0; i < descsPerImage/2; i++ {
+				descs = append(descs, perturb(rng, c.common[rng.Intn(len(c.common))], 3))
+			}
+			c.queries = append(c.queries, struct {
+				scene int
+				descs [][]byte
+			}{s, descs})
+		}
+	}
+	return c
+}
+
+func lshParams() lsh.Params {
+	p := lsh.DefaultParams()
+	p.Seed = 42
+	return p
+}
+
+func trainedOracle(t testing.TB, db *DB) *core.Oracle {
+	t.Helper()
+	o, err := core.New(core.TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range db.Descs {
+		if err := o.Insert(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func evaluate(t testing.TB, m Matcher, c *corpus) []Prediction {
+	t.Helper()
+	var preds []Prediction
+	for _, q := range c.queries {
+		pred, _, err := m.MatchFrame(q.descs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds = append(preds, Prediction{True: q.scene, Pred: pred})
+	}
+	return preds
+}
+
+func meanMetric(prs map[int]PR, f func(PR) float64, onlyScenes int) float64 {
+	var s float64
+	n := 0
+	for k, pr := range prs {
+		if k >= onlyScenes {
+			continue // skip distractor labels
+		}
+		s += f(pr)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+func TestBruteForceSelfMatch(t *testing.T) {
+	c := buildCorpus(1, 5, 5, 30, 0)
+	bf := NewBruteForce(&c.db)
+	// Query a frame made of scene 2's own descriptors.
+	var descs [][]byte
+	for i, d := range c.db.Descs {
+		if c.db.Labels[i] == 2 {
+			descs = append(descs, d)
+		}
+	}
+	pred, votes, err := bf.MatchFrame(descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 2 {
+		t.Errorf("pred = %d, votes = %v", pred, votes)
+	}
+}
+
+func TestBruteForceNearestExact(t *testing.T) {
+	c := buildCorpus(2, 3, 0, 20, 0)
+	bf := NewBruteForce(&c.db)
+	for i := 0; i < 10; i++ {
+		idx, dist := bf.Nearest(c.db.Descs[i])
+		if dist != 0 || c.db.Descs[idx][0] != c.db.Descs[i][0] {
+			t.Fatalf("self NN of %d: idx=%d dist=%d", i, idx, dist)
+		}
+	}
+}
+
+func TestBruteForceEmptyDB(t *testing.T) {
+	bf := NewBruteForce(&DB{})
+	if idx, _ := bf.Nearest(make([]byte, 128)); idx != -1 {
+		t.Errorf("empty DB NN = %d", idx)
+	}
+	pred, _, err := bf.MatchFrame([][]byte{make([]byte, 128)})
+	if err != nil || pred != -1 {
+		t.Errorf("pred=%d err=%v", pred, err)
+	}
+}
+
+func TestLSHMatcherAgreesWithBruteForceOnEasyQueries(t *testing.T) {
+	c := buildCorpus(3, 8, 4, 25, 2)
+	bf := NewBruteForce(&c.db)
+	lm, err := NewLSH(&c.db, lshParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, q := range c.queries {
+		pb, _, _ := bf.MatchFrame(q.descs)
+		pl, _, _ := lm.MatchFrame(q.descs)
+		if pb == pl {
+			agree++
+		}
+	}
+	if agree < len(c.queries)*7/10 {
+		t.Errorf("LSH agrees with BruteForce on only %d/%d queries", agree, len(c.queries))
+	}
+}
+
+func TestSchemesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus evaluation is slow")
+	}
+	c := buildCorpus(4, 12, 10, 40, 3)
+	oracle := trainedOracle(t, &c.db)
+
+	bf := NewBruteForce(&c.db)
+	lm, err := NewLSH(&c.db, lshParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := NewRandom(&c.db, lshParams(), 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := NewVisualPrint(&c.db, lshParams(), oracle, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recall := map[string]float64{}
+	precision := map[string]float64{}
+	for _, m := range []Matcher{bf, lm, rnd, vp} {
+		prs := PrecisionRecall(evaluate(t, m, c))
+		recall[m.Name()] = meanMetric(prs, func(p PR) float64 { return p.Recall }, 12)
+		precision[m.Name()] = meanMetric(prs, func(p PR) float64 { return p.Precision }, 12)
+	}
+
+	// The paper's headline orderings (Figure 13):
+	// VisualPrint beats Random at the same upload budget.
+	if recall["VisualPrint"] < recall["Random"] {
+		t.Errorf("VisualPrint recall %.2f < Random %.2f", recall["VisualPrint"], recall["Random"])
+	}
+	if precision["VisualPrint"] < precision["Random"] {
+		t.Errorf("VisualPrint precision %.2f < Random %.2f", precision["VisualPrint"], precision["Random"])
+	}
+	// Full-keypoint schemes achieve strong recall on this corpus.
+	if recall["BruteForce"] < 0.8 {
+		t.Errorf("BruteForce recall %.2f — corpus too hard or matcher broken", recall["BruteForce"])
+	}
+	// VisualPrint must stay in the same league as LSH despite uploading
+	// a fraction of the keypoints.
+	if recall["VisualPrint"] < recall["LSH"]-0.25 {
+		t.Errorf("VisualPrint recall %.2f far below LSH %.2f", recall["VisualPrint"], recall["LSH"])
+	}
+}
+
+func TestUploadDescriptors(t *testing.T) {
+	c := buildCorpus(5, 3, 0, 10, 0)
+	bf := NewBruteForce(&c.db)
+	if bf.UploadDescriptors(3500) != 3500 {
+		t.Error("BruteForce should upload all")
+	}
+	rnd, _ := NewRandom(&c.db, lshParams(), 500, 1)
+	if rnd.UploadDescriptors(3500) != 500 {
+		t.Error("Random-500 should upload 500")
+	}
+	if rnd.UploadDescriptors(200) != 200 {
+		t.Error("Random-500 with 200 keypoints should upload 200")
+	}
+}
+
+func TestMemoryOrdering(t *testing.T) {
+	// Figure 15's ordering: Random ~ 0 < VisualPrint < LSH; BruteForce =
+	// raw database.
+	c := buildCorpus(6, 10, 5, 40, 0)
+	oracle := trainedOracle(t, &c.db)
+	bf := NewBruteForce(&c.db)
+	lm, _ := NewLSH(&c.db, lshParams())
+	rnd, _ := NewRandom(&c.db, lshParams(), 500, 1)
+	vp, _ := NewVisualPrint(&c.db, lshParams(), oracle, 500)
+	if rnd.MemoryBytes() != 0 {
+		t.Errorf("Random memory = %d", rnd.MemoryBytes())
+	}
+	if vp.MemoryBytes() <= 0 {
+		t.Error("VisualPrint memory should be positive (oracle)")
+	}
+	if lm.MemoryBytes() <= bf.MemoryBytes() {
+		t.Errorf("LSH memory %d should exceed raw DB %d (replication)", lm.MemoryBytes(), bf.MemoryBytes())
+	}
+}
+
+func TestPrecisionRecallDefinitions(t *testing.T) {
+	preds := []Prediction{
+		{True: 0, Pred: 0},  // TP for 0
+		{True: 0, Pred: 1},  // FN for 0, FP for 1
+		{True: 1, Pred: 1},  // TP for 1
+		{True: 1, Pred: -1}, // FN for 1
+	}
+	prs := PrecisionRecall(preds)
+	if pr := prs[0]; pr.TP != 1 || pr.FN != 1 || pr.FP != 0 {
+		t.Errorf("scene 0: %+v", pr)
+	}
+	if pr := prs[0]; pr.Precision != 1 || pr.Recall != 0.5 {
+		t.Errorf("scene 0 P/R: %+v", pr)
+	}
+	if pr := prs[1]; pr.TP != 1 || pr.FP != 1 || pr.FN != 1 {
+		t.Errorf("scene 1: %+v", pr)
+	}
+}
+
+func TestValues(t *testing.T) {
+	prs := map[int]PR{
+		0: {Precision: 0.9},
+		1: {Precision: 0.3},
+		2: {Precision: 0.6},
+	}
+	vs := Values(prs, func(p PR) float64 { return p.Precision })
+	if len(vs) != 3 || vs[0] != 0.3 || vs[2] != 0.9 {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestDimDifferences(t *testing.T) {
+	a := make([]byte, 128)
+	b := make([]byte, 128)
+	a[5] = 100 // squared diff 10000
+	a[9] = 10  // squared diff 100
+	diffs, err := DimDifferences(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs[0] != 10000 || diffs[1] != 100 || diffs[2] != 0 {
+		t.Errorf("diffs head = %v", diffs[:3])
+	}
+	if _, err := DimDifferences(a, make([]byte, 64)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestVoteWinnerTieAndEmpty(t *testing.T) {
+	if voteWinner(map[int]int{}) != -1 {
+		t.Error("empty votes should return -1")
+	}
+	if w := voteWinner(map[int]int{3: 2, 1: 2}); w != 1 {
+		t.Errorf("tie should go to the lower label, got %d", w)
+	}
+}

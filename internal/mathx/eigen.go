@@ -1,0 +1,160 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigenvalues and eigenvectors of a dense symmetric
+// matrix a (given row-major, n*n entries) using the cyclic Jacobi method.
+// Eigenvalues are returned in descending order; eigenvectors are returned as
+// rows of vecs (vecs[i*n:(i+1)*n] corresponds to vals[i]) and are
+// orthonormal.
+//
+// Jacobi is O(n^3) per sweep but unconditionally stable, which is enough for
+// the two places VisualPrint needs eigensystems: the 128x128 descriptor
+// covariance PCA of Figure 6b and the 4x4 quaternion matrix of Horn's
+// rigid-alignment method inside ICP.
+func SymEigen(a []float64, n int) (vals []float64, vecs []float64, err error) {
+	if n <= 0 || len(a) != n*n {
+		return nil, nil, errors.New("mathx: SymEigen requires an n*n matrix")
+	}
+	// Work on a copy; accumulate rotations in v.
+	m := append([]float64(nil), a...)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation to rows/cols p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := m[k*n+p], m[k*n+q]
+					m[k*n+p] = c*akp - s*akq
+					m[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m[p*n+k], m[q*n+k]
+					m[p*n+k] = c*apk - s*aqk
+					m[q*n+k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	// Extract and sort descending.
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{m[i*n+i], i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	vals = make([]float64, n)
+	vecs = make([]float64, n*n)
+	for i, p := range pairs {
+		vals[i] = p.val
+		for k := 0; k < n; k++ {
+			vecs[i*n+k] = v[k*n+p.col]
+		}
+	}
+	return vals, vecs, nil
+}
+
+// Covariance computes the sample covariance matrix (row-major, dim*dim) of
+// the given samples, each of length dim. It returns an error if fewer than
+// two samples are provided or a sample has the wrong length.
+func Covariance(samples [][]float64, dim int) ([]float64, error) {
+	if len(samples) < 2 {
+		return nil, errors.New("mathx: Covariance requires at least two samples")
+	}
+	mean := make([]float64, dim)
+	for _, s := range samples {
+		if len(s) != dim {
+			return nil, errors.New("mathx: sample dimension mismatch")
+		}
+		for i, x := range s {
+			mean[i] += x
+		}
+	}
+	inv := 1 / float64(len(samples))
+	for i := range mean {
+		mean[i] *= inv
+	}
+	cov := make([]float64, dim*dim)
+	for _, s := range samples {
+		for i := 0; i < dim; i++ {
+			di := s[i] - mean[i]
+			row := cov[i*dim : (i+1)*dim]
+			for j := i; j < dim; j++ {
+				row[j] += di * (s[j] - mean[j])
+			}
+		}
+	}
+	norm := 1 / float64(len(samples)-1)
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			c := cov[i*dim+j] * norm
+			cov[i*dim+j] = c
+			cov[j*dim+i] = c
+		}
+	}
+	return cov, nil
+}
+
+// PCA computes the normalized eigenvalue spectrum of the covariance matrix
+// of samples: eigenvalues of the covariance sorted descending and divided by
+// the largest. This is exactly the quantity plotted in the paper's Figure 6b
+// ("normalized eigenvalues of the covariance matrix").
+func PCA(samples [][]float64, dim int) ([]float64, error) {
+	cov, err := Covariance(samples, dim)
+	if err != nil {
+		return nil, err
+	}
+	vals, _, err := SymEigen(cov, dim)
+	if err != nil {
+		return nil, err
+	}
+	if vals[0] > 0 {
+		inv := 1 / vals[0]
+		for i := range vals {
+			vals[i] *= inv
+			if vals[i] < 0 { // numerical noise on tiny eigenvalues
+				vals[i] = 0
+			}
+		}
+	}
+	return vals, nil
+}

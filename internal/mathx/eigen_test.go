@@ -1,0 +1,157 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := []float64{
+		3, 0, 0,
+		0, 1, 0,
+		0, 0, 2,
+	}
+	vals, _, err := SymEigen(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if !almostEq(vals[i], want[i], 1e-10) {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := SymEigen([]float64{2, 1, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Errorf("vals = %v", vals)
+	}
+	// First eigenvector should be proportional to (1,1)/sqrt(2).
+	if !almostEq(math.Abs(vecs[0]), math.Sqrt2/2, 1e-9) {
+		t.Errorf("vecs = %v", vecs)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	// For random symmetric A: A*v_i = lambda_i*v_i and eigvecs orthonormal.
+	rng := rand.New(rand.NewSource(11))
+	n := 8
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := rng.NormFloat64()
+			a[i*n+j] = x
+			a[j*n+i] = x
+		}
+	}
+	vals, vecs, err := SymEigen(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < n; e++ {
+		v := vecs[e*n : (e+1)*n]
+		// Residual ||A v - lambda v||.
+		res := 0.0
+		for i := 0; i < n; i++ {
+			av := 0.0
+			for j := 0; j < n; j++ {
+				av += a[i*n+j] * v[j]
+			}
+			d := av - vals[e]*v[i]
+			res += d * d
+		}
+		if math.Sqrt(res) > 1e-8 {
+			t.Errorf("eigenpair %d residual %g", e, math.Sqrt(res))
+		}
+	}
+	// Orthonormality.
+	for e1 := 0; e1 < n; e1++ {
+		for e2 := e1; e2 < n; e2++ {
+			dot := 0.0
+			for k := 0; k < n; k++ {
+				dot += vecs[e1*n+k] * vecs[e2*n+k]
+			}
+			want := 0.0
+			if e1 == e2 {
+				want = 1
+			}
+			if !almostEq(dot, want, 1e-8) {
+				t.Errorf("vec %d . vec %d = %v, want %v", e1, e2, dot, want)
+			}
+		}
+	}
+	// Eigenvalues descending.
+	for i := 1; i < n; i++ {
+		if vals[i] > vals[i-1] {
+			t.Errorf("eigenvalues not sorted: %v", vals)
+		}
+	}
+}
+
+func TestSymEigenBadInput(t *testing.T) {
+	if _, _, err := SymEigen([]float64{1, 2}, 3); err == nil {
+		t.Error("want error for dimension mismatch")
+	}
+	if _, _, err := SymEigen(nil, 0); err == nil {
+		t.Error("want error for n=0")
+	}
+}
+
+func TestCovarianceIdentityDirections(t *testing.T) {
+	// Samples along the x-axis only: covariance should be nonzero only at (0,0).
+	samples := [][]float64{{-1, 0}, {1, 0}, {-2, 0}, {2, 0}}
+	cov, err := Covariance(samples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov[0] <= 0 || cov[1] != 0 || cov[2] != 0 || cov[3] != 0 {
+		t.Errorf("cov = %v", cov)
+	}
+}
+
+func TestCovarianceErrors(t *testing.T) {
+	if _, err := Covariance([][]float64{{1}}, 1); err == nil {
+		t.Error("want error for single sample")
+	}
+	if _, err := Covariance([][]float64{{1}, {1, 2}}, 1); err == nil {
+		t.Error("want error for dimension mismatch")
+	}
+}
+
+func TestPCADominantDirection(t *testing.T) {
+	// Data with variance 100 along one synthetic direction and ~1 elsewhere
+	// should yield a sharply decaying normalized spectrum, the Figure 6b shape.
+	rng := rand.New(rand.NewSource(3))
+	dim := 10
+	var samples [][]float64
+	for i := 0; i < 400; i++ {
+		s := make([]float64, dim)
+		big := rng.NormFloat64() * 10
+		for j := range s {
+			s[j] = rng.NormFloat64() + big*float64(j%2) // direction (0,1,0,1,...)
+		}
+		samples = append(samples, s)
+	}
+	vals, err := PCA(samples, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 1, 1e-12) {
+		t.Errorf("normalized leading eigenvalue = %v, want 1", vals[0])
+	}
+	if vals[1] > 0.1 {
+		t.Errorf("second eigenvalue %v not dominated; spectrum %v", vals[1], vals)
+	}
+	for _, v := range vals {
+		if v < 0 {
+			t.Errorf("negative normalized eigenvalue %v", v)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It copies xs; the input is not
+// modified. An empty input returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	p = Clamp(p, 0, 100)
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// CDFPoint is one (value, cumulative fraction) sample of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF computes the empirical cumulative distribution of xs: the i-th point
+// has Fraction (i+1)/n at the i-th smallest value. This is the form plotted
+// in the paper's CDF figures (3, 5, 13, 16, 19).
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	n := float64(len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / n}
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF (as returned by CDF) at value x: the
+// fraction of samples <= x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	frac := 0.0
+	for _, p := range cdf {
+		if p.Value <= x {
+			frac = p.Fraction
+		} else {
+			break
+		}
+	}
+	return frac
+}
+
+// Boxplot summarizes a sample in the five-number form used by the paper's
+// Figure 6a (and Figure 20): quartiles plus 1.5*IQR whiskers clamped to the
+// data range.
+type Boxplot struct {
+	Min, Q1, Median, Q3, Max float64
+	WhiskerLow, WhiskerHigh  float64
+	OutlierLow, OutlierHigh  int // counts beyond the whiskers
+}
+
+// NewBoxplot computes the boxplot summary of xs. An empty input returns the
+// zero Boxplot.
+func NewBoxplot(xs []float64) Boxplot {
+	if len(xs) == 0 {
+		return Boxplot{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b := Boxplot{
+		Min:    s[0],
+		Q1:     percentileSorted(s, 25),
+		Median: percentileSorted(s, 50),
+		Q3:     percentileSorted(s, 75),
+		Max:    s[len(s)-1],
+	}
+	iqr := b.Q3 - b.Q1
+	lo, hi := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	b.WhiskerLow, b.WhiskerHigh = b.Max, b.Min
+	for _, v := range s {
+		switch {
+		case v < lo:
+			b.OutlierLow++
+		case v > hi:
+			b.OutlierHigh++
+		default:
+			if v < b.WhiskerLow {
+				b.WhiskerLow = v
+			}
+			if v > b.WhiskerHigh {
+				b.WhiskerHigh = v
+			}
+		}
+	}
+	return b
+}
+
+// Histogram counts xs into nbins equal-width bins over [min(xs), max(xs)].
+// It returns the bin counts and the bin width. Degenerate inputs (empty, or
+// all-equal values) place everything in bin 0.
+func Histogram(xs []float64, nbins int) (counts []int, width float64) {
+	counts = make([]int, nbins)
+	if len(xs) == 0 || nbins <= 0 {
+		return counts, 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		counts[0] = len(xs)
+		return counts, 0
+	}
+	width = (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	return counts, width
+}

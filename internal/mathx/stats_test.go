@@ -1,0 +1,161 @@
+package mathx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := Stddev(xs); got != 2 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Error("empty-input statistics should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return CDF(raw) == nil
+		}
+		cdf := CDF(raw)
+		if len(cdf) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+				return false
+			}
+		}
+		return cdf[len(cdf)-1].Fraction == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 3, 4})
+	if got := CDFAt(cdf, 0); got != 0 {
+		t.Errorf("CDFAt(0) = %v", got)
+	}
+	if got := CDFAt(cdf, 2); got != 0.5 {
+		t.Errorf("CDFAt(2) = %v", got)
+	}
+	if got := CDFAt(cdf, 100); got != 1 {
+		t.Errorf("CDFAt(100) = %v", got)
+	}
+}
+
+func TestBoxplotQuartiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := NewBoxplot(xs)
+	if b.Median != 5 || b.Q1 != 3 || b.Q3 != 7 || b.Min != 1 || b.Max != 9 {
+		t.Errorf("boxplot = %+v", b)
+	}
+	if b.OutlierLow != 0 || b.OutlierHigh != 0 {
+		t.Errorf("unexpected outliers: %+v", b)
+	}
+}
+
+func TestBoxplotOutliers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	b := NewBoxplot(xs)
+	if b.OutlierHigh != 1 {
+		t.Errorf("OutlierHigh = %d, want 1 (%+v)", b.OutlierHigh, b)
+	}
+	if b.WhiskerHigh == 100 {
+		t.Error("whisker should exclude the outlier")
+	}
+}
+
+func TestBoxplotOrderingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		b := NewBoxplot(xs)
+		if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max) {
+			t.Fatalf("quartile ordering violated: %+v", b)
+		}
+		if !(b.WhiskerLow <= b.WhiskerHigh) {
+			t.Fatalf("whisker ordering violated: %+v", b)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	counts, width := Histogram(xs, 5)
+	if width != 1.8 {
+		t.Errorf("width = %v", width)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram loses samples: %v", counts)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	counts, width := Histogram([]float64{5, 5, 5}, 4)
+	if width != 0 || counts[0] != 3 {
+		t.Errorf("degenerate histogram: counts=%v width=%v", counts, width)
+	}
+}
+
+func TestMedianAgainstSort(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := append([]float64(nil), raw...)
+		sort.Float64s(s)
+		m := Median(raw)
+		return m >= s[0] && m <= s[len(s)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package mathx provides the small linear-algebra, statistics and
+// eigen-decomposition substrate used throughout VisualPrint: 3-vectors and
+// 3x3 matrices for camera geometry, descriptive statistics for the
+// evaluation harness, and a Jacobi eigensolver backing both PCA (Figure 6b)
+// and Horn's point-cloud alignment inside the ICP package.
+package mathx
+
+import "math"
+
+// Vec3 is a 3-dimensional vector. It is used for world positions, camera
+// translations, and ray directions.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v . w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Mat3 is a row-major 3x3 matrix.
+type Mat3 [9]float64
+
+// Identity3 returns the 3x3 identity matrix.
+func Identity3() Mat3 {
+	return Mat3{1, 0, 0, 0, 1, 0, 0, 0, 1}
+}
+
+// Mul returns the matrix product m * n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += m[i*3+k] * n[k*3+j]
+			}
+			r[i*3+j] = s
+		}
+	}
+	return r
+}
+
+// MulVec returns the product m * v.
+func (m Mat3) MulVec(v Vec3) Vec3 {
+	return Vec3{
+		m[0]*v.X + m[1]*v.Y + m[2]*v.Z,
+		m[3]*v.X + m[4]*v.Y + m[5]*v.Z,
+		m[6]*v.X + m[7]*v.Y + m[8]*v.Z,
+	}
+}
+
+// Transpose returns the transpose of m. For rotation matrices this is the
+// inverse.
+func (m Mat3) Transpose() Mat3 {
+	return Mat3{
+		m[0], m[3], m[6],
+		m[1], m[4], m[7],
+		m[2], m[5], m[8],
+	}
+}
+
+// Det returns the determinant of m.
+func (m Mat3) Det() float64 {
+	return m[0]*(m[4]*m[8]-m[5]*m[7]) -
+		m[1]*(m[3]*m[8]-m[5]*m[6]) +
+		m[2]*(m[3]*m[7]-m[4]*m[6])
+}
+
+// RotationYPR builds a rotation matrix from yaw (about +Y, the vertical
+// axis), pitch (about +X) and roll (about +Z), applied in that order. This
+// matches the 6-DoF pose convention of the Tango wardriving output in the
+// paper: three translation plus three rotation degrees of freedom.
+func RotationYPR(yaw, pitch, roll float64) Mat3 {
+	cy, sy := math.Cos(yaw), math.Sin(yaw)
+	cp, sp := math.Cos(pitch), math.Sin(pitch)
+	cr, sr := math.Cos(roll), math.Sin(roll)
+	ry := Mat3{cy, 0, sy, 0, 1, 0, -sy, 0, cy}
+	rx := Mat3{1, 0, 0, 0, cp, -sp, 0, sp, cp}
+	rz := Mat3{cr, -sr, 0, sr, cr, 0, 0, 0, 1}
+	return ry.Mul(rx).Mul(rz)
+}
+
+// Clamp limits x to the inclusive range [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

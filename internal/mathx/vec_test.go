@@ -1,0 +1,127 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVec3Basics(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, -5, 6}
+	if got := v.Add(w); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Dist(v); got != 0 {
+		t.Errorf("Dist(self) = %v", got)
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{-2, 1, 5}
+	c := v.Cross(w)
+	if !almostEq(c.Dot(v), 0, 1e-12) || !almostEq(c.Dot(w), 0, 1e-12) {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+}
+
+func TestVec3NormalizeUnitLength(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := Vec3{math.Mod(x, 1e6), math.Mod(y, 1e6), math.Mod(z, 1e6)}
+		n := v.Normalize()
+		if v.Norm() == 0 {
+			return n == v
+		}
+		return almostEq(n.Norm(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3NormalizeZero(t *testing.T) {
+	if got := (Vec3{}).Normalize(); got != (Vec3{}) {
+		t.Errorf("Normalize(zero) = %v", got)
+	}
+}
+
+func TestMat3Identity(t *testing.T) {
+	id := Identity3()
+	v := Vec3{3, -1, 2}
+	if got := id.MulVec(v); got != v {
+		t.Errorf("I*v = %v", got)
+	}
+	m := RotationYPR(0.3, -0.2, 0.1)
+	if got := id.Mul(m); got != m {
+		t.Errorf("I*m != m")
+	}
+}
+
+func TestRotationIsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		m := RotationYPR(rng.Float64()*6-3, rng.Float64()*2-1, rng.Float64()*2-1)
+		if !almostEq(m.Det(), 1, 1e-9) {
+			t.Fatalf("det = %v, want 1", m.Det())
+		}
+		// m * m^T must be identity.
+		p := m.Mul(m.Transpose())
+		id := Identity3()
+		for k := range p {
+			if !almostEq(p[k], id[k], 1e-9) {
+				t.Fatalf("m*m^T not identity: %v", p)
+			}
+		}
+	}
+}
+
+func TestRotationPreservesLength(t *testing.T) {
+	f := func(yaw, pitch, roll, x, y, z float64) bool {
+		m := RotationYPR(math.Mod(yaw, 10), math.Mod(pitch, 10), math.Mod(roll, 10))
+		v := Vec3{math.Mod(x, 100), math.Mod(y, 100), math.Mod(z, 100)}
+		return almostEq(m.MulVec(v).Norm(), v.Norm(), 1e-8*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotationYawDirection(t *testing.T) {
+	// Yaw of +90 degrees about +Y should rotate +Z toward +X.
+	m := RotationYPR(math.Pi/2, 0, 0)
+	got := m.MulVec(Vec3{0, 0, 1})
+	if !vecAlmostEq(got, Vec3{1, 0, 0}, 1e-9) {
+		t.Errorf("yaw(+90)*ez = %v, want +ex", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// VariableLink models the unpredictability the paper's introduction blames
+// for offload latency ("wireless network latencies between the phone and
+// cloud are unpredictable and can not guarantee a consistent user
+// experience"): a two-state Gilbert-Elliott channel that alternates between
+// a Good state (full rate, base RTT) and a Bad state (a fraction of the
+// rate, inflated RTT), with exponentially distributed dwell times.
+//
+// Small payloads ride out a Bad period with modest delay; large payloads
+// straddle state changes and see heavy latency tails — the mechanism that
+// makes fingerprint-sized uploads so much more predictable than frames.
+type VariableLink struct {
+	Good Link
+	// BadRateFraction scales the Good uplink while in the Bad state
+	// (e.g. 0.1 = 10% of nominal).
+	BadRateFraction float64
+	// BadRTT replaces the base RTT while in the Bad state.
+	BadRTT time.Duration
+	// MeanGood and MeanBad are the expected dwell times in each state.
+	MeanGood, MeanBad time.Duration
+	// Seed drives the state process deterministically.
+	Seed int64
+}
+
+// Validate reports whether the model is usable.
+func (v VariableLink) Validate() error {
+	if err := v.Good.Validate(); err != nil {
+		return err
+	}
+	if v.BadRateFraction <= 0 || v.BadRateFraction > 1 {
+		return errors.New("netsim: BadRateFraction must be in (0, 1]")
+	}
+	if v.MeanGood <= 0 || v.MeanBad <= 0 {
+		return errors.New("netsim: dwell times must be positive")
+	}
+	return nil
+}
+
+// linkState is a point in the channel's state timeline.
+type linkState struct {
+	at   time.Duration
+	good bool
+}
+
+// Timeline pre-generates the channel state process for a session of the
+// given duration.
+func (v VariableLink) Timeline(duration time.Duration) ([]linkState, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(v.Seed))
+	var states []linkState
+	t := time.Duration(0)
+	good := true
+	for t < duration {
+		states = append(states, linkState{at: t, good: good})
+		mean := v.MeanGood
+		if !good {
+			mean = v.MeanBad
+		}
+		dwell := time.Duration(rng.ExpFloat64() * float64(mean))
+		if dwell < time.Millisecond {
+			dwell = time.Millisecond
+		}
+		t += dwell
+		good = !good
+	}
+	return states, nil
+}
+
+// TransferTimes simulates uploading one payload of the given size starting
+// at each state-process sample point, returning the distribution of
+// completion times. The transfer progresses at the state-dependent rate,
+// crossing state boundaries as needed.
+func (v VariableLink) TransferTimes(payloadBytes int64, duration time.Duration, samples int) ([]time.Duration, error) {
+	states, err := v.Timeline(duration)
+	if err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		return nil, errors.New("netsim: samples must be positive")
+	}
+	stateAt := func(t time.Duration) (good bool, until time.Duration) {
+		good, until = true, duration
+		for i, s := range states {
+			if s.at > t {
+				until = s.at
+				break
+			}
+			good = s.good
+			if i+1 < len(states) {
+				until = states[i+1].at
+			} else {
+				until = duration * 2
+			}
+		}
+		return good, until
+	}
+	out := make([]time.Duration, 0, samples)
+	step := duration / time.Duration(samples)
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	for i := 0; i < samples; i++ {
+		start := time.Duration(i) * step
+		bits := float64(payloadBytes * 8)
+		t := start
+		for bits > 1e-9 {
+			good, until := stateAt(t)
+			rate := v.Good.UplinkMbps * 1e6 // bits/s
+			if !good {
+				rate *= v.BadRateFraction
+			}
+			window := until - t
+			if window <= 0 {
+				window = time.Millisecond
+			}
+			capBits := rate * window.Seconds()
+			if capBits >= bits {
+				t += time.Duration(float64(window) * bits / capBits)
+				bits = 0
+			} else {
+				bits -= capBits
+				t = until
+			}
+		}
+		rtt := v.Good.RTT
+		if good, _ := stateAt(t); !good {
+			rtt = v.BadRTT
+		}
+		out = append(out, t-start+rtt)
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+func testVariableLink() VariableLink {
+	return VariableLink{
+		Good:            Link{UplinkMbps: 6, RTT: 40 * time.Millisecond},
+		BadRateFraction: 0.08,
+		BadRTT:          400 * time.Millisecond,
+		MeanGood:        4 * time.Second,
+		MeanBad:         1 * time.Second,
+		Seed:            7,
+	}
+}
+
+func TestVariableLinkValidate(t *testing.T) {
+	if err := testVariableLink().Validate(); err != nil {
+		t.Errorf("valid link rejected: %v", err)
+	}
+	bad := testVariableLink()
+	bad.BadRateFraction = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero BadRateFraction accepted")
+	}
+	bad = testVariableLink()
+	bad.MeanGood = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero dwell accepted")
+	}
+	bad = testVariableLink()
+	bad.Good.UplinkMbps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid base link accepted")
+	}
+}
+
+func TestTimelineAlternatesAndCovers(t *testing.T) {
+	states, err := testVariableLink().Timeline(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) < 3 {
+		t.Fatalf("only %d state changes in 30 s", len(states))
+	}
+	if !states[0].good || states[0].at != 0 {
+		t.Error("timeline must start Good at t=0")
+	}
+	for i := 1; i < len(states); i++ {
+		if states[i].at <= states[i-1].at {
+			t.Fatal("timeline not monotone")
+		}
+		if states[i].good == states[i-1].good {
+			t.Fatal("states must alternate")
+		}
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	a, _ := testVariableLink().Timeline(10 * time.Second)
+	b, _ := testVariableLink().Timeline(10 * time.Second)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic timeline")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic timeline entry")
+		}
+	}
+}
+
+func TestTransferTimesSmallVsLargeTail(t *testing.T) {
+	// The paper's motivating asymmetry: fingerprint-sized uploads have a
+	// far tighter latency tail than frame-sized uploads on the same
+	// unpredictable channel.
+	v := testVariableLink()
+	const dur = 120 * time.Second
+	small, err := v.TransferTimes(29_000, dur, 400) // ~fingerprint
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := v.TransferTimes(900_000, dur, 400) // ~1080p PNG frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	p95 := func(ds []time.Duration) time.Duration {
+		s := append([]time.Duration(nil), ds...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)*95/100]
+	}
+	if p95(large) < 3*p95(small) {
+		t.Errorf("frame-upload p95 %v not far above fingerprint p95 %v", p95(large), p95(small))
+	}
+	// Small uploads complete within a second even at p95.
+	if p95(small) > 1500*time.Millisecond {
+		t.Errorf("fingerprint p95 = %v, want sub-1.5s", p95(small))
+	}
+}
+
+func TestTransferTimesAllPositive(t *testing.T) {
+	ts, err := testVariableLink().TransferTimes(10_000, 20*time.Second, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 100 {
+		t.Fatalf("got %d samples", len(ts))
+	}
+	for _, d := range ts {
+		if d <= 0 {
+			t.Fatal("non-positive transfer time")
+		}
+	}
+}
+
+func TestTransferTimesValidation(t *testing.T) {
+	if _, err := testVariableLink().TransferTimes(1000, time.Second, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	bad := testVariableLink()
+	bad.BadRateFraction = 2
+	if _, err := bad.TransferTimes(1000, time.Second, 10); err == nil {
+		t.Error("invalid link accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Package netsim models the wireless uplink between the VisualPrint client
+// and the cloud: bandwidth-limited transfer times, the sustainable
+// frames-per-second computation of Figure 2, and the cumulative upload
+// traces of Figure 14. The model is deliberately simple — a rate limit plus
+// a base round-trip latency with optional jitter — because the paper's
+// bandwidth results depend only on payload sizes against link capacity.
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Link models an uplink with fixed capacity and base latency.
+type Link struct {
+	// UplinkMbps is the sustained uplink capacity in megabits per second.
+	UplinkMbps float64
+	// RTT is the base round-trip time.
+	RTT time.Duration
+	// Jitter, if positive, adds a uniform random [0, Jitter) to each
+	// transfer ("unpredictable end-to-end network latency").
+	Jitter time.Duration
+	// Rng seeds jitter; nil means deterministic (no jitter even if Jitter
+	// is set).
+	Rng *rand.Rand
+}
+
+// Validate reports whether the link is usable.
+func (l Link) Validate() error {
+	if l.UplinkMbps <= 0 {
+		return errors.New("netsim: UplinkMbps must be positive")
+	}
+	if l.RTT < 0 || l.Jitter < 0 {
+		return errors.New("netsim: RTT and Jitter must be non-negative")
+	}
+	return nil
+}
+
+// TransferTime returns the time to upload the given payload and receive a
+// (size-negligible) response: serialization delay plus RTT plus jitter.
+func (l Link) TransferTime(payloadBytes int64) time.Duration {
+	ser := time.Duration(float64(payloadBytes*8) / (l.UplinkMbps * 1e6) * float64(time.Second))
+	d := ser + l.RTT
+	if l.Jitter > 0 && l.Rng != nil {
+		d += time.Duration(l.Rng.Int63n(int64(l.Jitter)))
+	}
+	return d
+}
+
+// SustainableFPS returns the maximum steady frame rate for frames of the
+// given encoded size: capacity divided by per-frame bits. This is the
+// quantity on Figure 2's vertical axis.
+func (l Link) SustainableFPS(frameBytes int64) float64 {
+	if frameBytes <= 0 {
+		return 0
+	}
+	return l.UplinkMbps * 1e6 / float64(frameBytes*8)
+}
+
+// UploadEvent is one completed upload in a Trace.
+type UploadEvent struct {
+	At         time.Duration // completion time since trace start
+	Bytes      int64         // payload size
+	Cumulative int64         // total bytes uploaded including this one
+}
+
+// Trace simulates a client continuously uploading payloads over a link for
+// a fixed duration, as in Figure 14's 70-second capture session. sizes is
+// called per upload (frame index as argument) so callers can model varying
+// payloads; interval is the capture period (e.g. 100ms for a 10 FPS
+// pipeline) — uploads queue behind the link if they take longer.
+func Trace(l Link, duration, interval time.Duration, sizes func(i int) int64) ([]UploadEvent, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		return nil, errors.New("netsim: interval must be positive")
+	}
+	var events []UploadEvent
+	var cumulative int64
+	linkFree := time.Duration(0)
+	for i := 0; ; i++ {
+		capture := time.Duration(i) * interval
+		if capture >= duration {
+			break
+		}
+		start := capture
+		if linkFree > start {
+			start = linkFree // frame waits for the link
+		}
+		size := sizes(i)
+		done := start + l.TransferTime(size)
+		linkFree = done
+		if done > duration {
+			break
+		}
+		cumulative += size
+		events = append(events, UploadEvent{At: done, Bytes: size, Cumulative: cumulative})
+	}
+	return events, nil
+}
+
+// CumulativeAt returns the cumulative bytes uploaded at time t in a trace.
+func CumulativeAt(events []UploadEvent, t time.Duration) int64 {
+	var c int64
+	for _, e := range events {
+		if e.At <= t {
+			c = e.Cumulative
+		} else {
+			break
+		}
+	}
+	return c
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLinkValidate(t *testing.T) {
+	if err := (Link{UplinkMbps: 8}).Validate(); err != nil {
+		t.Errorf("valid link rejected: %v", err)
+	}
+	bad := []Link{
+		{UplinkMbps: 0},
+		{UplinkMbps: -1},
+		{UplinkMbps: 8, RTT: -time.Second},
+		{UplinkMbps: 8, Jitter: -time.Second},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	l := Link{UplinkMbps: 8, RTT: 50 * time.Millisecond}
+	// 1 MB over 8 Mbps = 1 second, plus RTT.
+	got := l.TransferTime(1_000_000)
+	want := time.Second + 50*time.Millisecond
+	if math.Abs(float64(got-want)) > float64(time.Millisecond) {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+}
+
+func TestTransferTimeJitterDeterministicWithoutRng(t *testing.T) {
+	l := Link{UplinkMbps: 8, Jitter: time.Second}
+	if l.TransferTime(1000) != l.TransferTime(1000) {
+		t.Error("jitter applied without an Rng")
+	}
+	l.Rng = rand.New(rand.NewSource(1))
+	base := Link{UplinkMbps: 8}.TransferTime(1000)
+	seen := false
+	for i := 0; i < 10; i++ {
+		if l.TransferTime(1000) > base {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("jitter never materialized with an Rng")
+	}
+}
+
+func TestSustainableFPS(t *testing.T) {
+	l := Link{UplinkMbps: 2}
+	// 25 KB frames over 2 Mbps: 2e6 / (25000*8) = 10 FPS — the paper's
+	// H264 operating point.
+	if fps := l.SustainableFPS(25_000); math.Abs(fps-10) > 1e-9 {
+		t.Errorf("FPS = %v, want 10", fps)
+	}
+	if (Link{UplinkMbps: 2}).SustainableFPS(0) != 0 {
+		t.Error("zero-size frame should give 0 FPS")
+	}
+}
+
+func TestSustainableFPSScalesWithUplink(t *testing.T) {
+	// Figure 2 is linear on log-log: doubling the uplink doubles FPS.
+	frame := int64(500_000)
+	f1 := Link{UplinkMbps: 1}.SustainableFPS(frame)
+	f2 := Link{UplinkMbps: 2}.SustainableFPS(frame)
+	if math.Abs(f2/f1-2) > 1e-9 {
+		t.Errorf("FPS ratio = %v, want 2", f2/f1)
+	}
+}
+
+func TestTraceBandwidthBound(t *testing.T) {
+	// A saturating stream cannot exceed link capacity.
+	l := Link{UplinkMbps: 4}
+	dur := 10 * time.Second
+	events, err := Trace(l, dur, 33*time.Millisecond, func(int) int64 { return 500_000 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no uploads completed")
+	}
+	last := events[len(events)-1]
+	maxBytes := int64(4e6 / 8 * 10) // 4 Mbps for 10 s
+	if last.Cumulative > maxBytes {
+		t.Errorf("uploaded %d bytes > link capacity %d", last.Cumulative, maxBytes)
+	}
+	// And it should be near capacity (within 20%) since the stream saturates.
+	if float64(last.Cumulative) < 0.8*float64(maxBytes) {
+		t.Errorf("uploaded %d bytes, expected near capacity %d", last.Cumulative, maxBytes)
+	}
+}
+
+func TestTraceSmallPayloadsKeepUp(t *testing.T) {
+	// Small fingerprints (~51 KB) at 1 Hz over 8 Mbps never queue: events
+	// land at capture boundaries plus transfer time.
+	l := Link{UplinkMbps: 8, RTT: 20 * time.Millisecond}
+	events, err := Trace(l, 5*time.Second, time.Second, func(int) int64 { return 51_200 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5", len(events))
+	}
+	per := l.TransferTime(51_200)
+	for i, e := range events {
+		want := time.Duration(i)*time.Second + per
+		if d := e.At - want; d < -time.Millisecond || d > time.Millisecond {
+			t.Errorf("event %d at %v, want %v", i, e.At, want)
+		}
+	}
+}
+
+func TestTraceCumulativeMonotone(t *testing.T) {
+	l := Link{UplinkMbps: 2}
+	events, _ := Trace(l, 8*time.Second, 100*time.Millisecond, func(i int) int64 { return int64(1000 * (i%7 + 1)) })
+	var prev int64
+	for _, e := range events {
+		if e.Cumulative < prev || e.Cumulative != prev+e.Bytes {
+			t.Fatalf("cumulative bookkeeping broken at %+v", e)
+		}
+		prev = e.Cumulative
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := Trace(Link{}, time.Second, time.Millisecond, func(int) int64 { return 1 }); err == nil {
+		t.Error("invalid link accepted")
+	}
+	if _, err := Trace(Link{UplinkMbps: 1}, time.Second, 0, func(int) int64 { return 1 }); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestCumulativeAt(t *testing.T) {
+	events := []UploadEvent{
+		{At: time.Second, Bytes: 10, Cumulative: 10},
+		{At: 2 * time.Second, Bytes: 20, Cumulative: 30},
+	}
+	if got := CumulativeAt(events, 500*time.Millisecond); got != 0 {
+		t.Errorf("at 0.5s = %d", got)
+	}
+	if got := CumulativeAt(events, time.Second); got != 10 {
+		t.Errorf("at 1s = %d", got)
+	}
+	if got := CumulativeAt(events, time.Minute); got != 30 {
+		t.Errorf("at 1m = %d", got)
+	}
+}

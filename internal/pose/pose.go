@@ -1,0 +1,271 @@
+// Package pose estimates the client's 3D camera position from 2D-3D
+// keypoint correspondences, implementing the nonlinear optimization of the
+// paper's Figure 12 over the angular geometry of Figure 11.
+//
+// For each pair of matched keypoints (i, j), the angle between them as seen
+// from the camera is known from their pixel coordinates and the camera's
+// field of view (gamma in Figure 11). For a hypothesized camera position
+// (x, y, z), the same angle is implied by the law of cosines against the
+// known 3D positions of the two keypoints. The optimizer searches for the
+// position that minimizes the summed angular residuals E over all pairs,
+// separately on the X/Z and Y/Z planes as the paper formulates it.
+//
+// As in the paper ("we solve the localization optimization using a
+// time-bounded differential evolution"), the solver is a bounded
+// differential-evolution search over the venue's bounding box with an
+// evaluation/time budget.
+package pose
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"visualprint/internal/mathx"
+)
+
+// Intrinsics describes the query camera: image size and horizontal/vertical
+// fields of view.
+type Intrinsics struct {
+	W, H       int
+	FovX, FovY float64
+}
+
+// Correspondence pairs an observed pixel with the known 3D position
+// retrieved from the server's lookup table.
+type Correspondence struct {
+	Px, Py float64
+	P      mathx.Vec3
+}
+
+// gamma implements Figure 12's gamma(p, C, F, S) with sign retained: the
+// angle from the optical axis to the keypoint's projection on one image
+// axis.
+func gamma(p, c, fov float64, s float64) float64 {
+	return math.Atan((p - c) * math.Tan(fov/2) / (s / 2))
+}
+
+// pairGeometry precomputes, for one keypoint pair, the observed angles and
+// the 3D coordinates entering the law-of-cosines constraint.
+//
+// The paper's Figure 12 splits the constraint into X/Z- and Y/Z-plane
+// angles. The X/Z (azimuthal) split is exact for an upright camera — the
+// azimuth difference between two keypoints does not depend on the unknown
+// yaw. The Y/Z split, however, is only yaw-invariant when the camera faces
+// +Z; used verbatim it conditions the solve poorly. We therefore keep the
+// paper's azimuthal term and replace the vertical term with the full 3D
+// pairwise angle (the angle between the two pixel rays), which is invariant
+// to the entire unknown rotation and subsumes the vertical constraint.
+type pairGeometry struct {
+	gx     float64 // observed azimuthal separation (absolute, radians)
+	g3     float64 // observed full 3D angle between the two rays
+	pi, pj mathx.Vec3
+}
+
+// dsq2 is Figure 12's d(): squared Euclidean distance in a 2D plane.
+func dsq2(a1, a2, b1, b2 float64) float64 {
+	d1, d2 := a1-b1, a2-b2
+	return d1*d1 + d2*d2
+}
+
+// residualCap truncates per-pair angular errors so a few wrong
+// correspondences (post-clustering residue) cannot dominate the objective.
+const residualCap = 0.5
+
+// residual returns the truncated angular error for a hypothesized camera
+// position: full-3D-angle term plus the paper's azimuthal (X/Z plane) term.
+func (pg *pairGeometry) residual(x, y, z float64) float64 {
+	// Full 3D angle via the law of cosines on the two point ranges.
+	dix, diy, diz := pg.pi.X-x, pg.pi.Y-y, pg.pi.Z-z
+	djx, djy, djz := pg.pj.X-x, pg.pj.Y-y, pg.pj.Z-z
+	di := dix*dix + diy*diy + diz*diz
+	dj := djx*djx + djy*djy + djz*djz
+	e3 := math.Pi // worst case when degenerate
+	if di > 1e-12 && dj > 1e-12 {
+		dot := dix*djx + diy*djy + diz*djz
+		cosv := mathx.Clamp(dot/math.Sqrt(di*dj), -1, 1)
+		e3 = math.Abs(math.Acos(cosv) - pg.g3)
+	}
+	// Azimuthal (X/Z plane) term, as in Figure 12.
+	ai := dsq2(x, z, pg.pi.X, pg.pi.Z)
+	aj := dsq2(x, z, pg.pj.X, pg.pj.Z)
+	aij := dsq2(pg.pi.X, pg.pi.Z, pg.pj.X, pg.pj.Z)
+	ex := math.Pi
+	if ai > 1e-12 && aj > 1e-12 {
+		cosv := mathx.Clamp((ai+aj-aij)/(2*math.Sqrt(ai)*math.Sqrt(aj)), -1, 1)
+		ex = math.Abs(math.Acos(cosv) - pg.gx)
+	}
+	e := e3 + 0.5*ex
+	if e > residualCap {
+		e = residualCap
+	}
+	return e
+}
+
+// Options tunes the differential-evolution solver.
+type Options struct {
+	// PopSize is the DE population size.
+	PopSize int
+	// MaxIterations bounds DE generations.
+	MaxIterations int
+	// Deadline, if positive, stops the search after this wall-clock
+	// budget (the paper's "time-bounded" solve).
+	Deadline time.Duration
+	// F and CR are the DE differential weight and crossover rate.
+	F, CR float64
+	// MaxPairs caps the number of keypoint pairs entering the objective
+	// (pairs grow quadratically; a subsample suffices). 0 means all.
+	MaxPairs int
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+// DefaultOptions returns solver settings tuned for indoor venues.
+func DefaultOptions() Options {
+	return Options{
+		PopSize:       48,
+		MaxIterations: 150,
+		Deadline:      150 * time.Millisecond,
+		F:             0.7,
+		CR:            0.9,
+		MaxPairs:      300,
+		Seed:          1,
+	}
+}
+
+// Result reports a localization solve.
+type Result struct {
+	Position mathx.Vec3
+	Residual float64 // mean angular residual (radians per pair)
+	Evals    int
+	Yaw      float64 // estimated heading (radians)
+}
+
+// Localize estimates the camera position from correspondences within the
+// axis-aligned search box [lo, hi].
+func Localize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Options) (Result, error) {
+	if len(corr) < 3 {
+		return Result{}, errors.New("pose: need at least 3 correspondences")
+	}
+	if intr.W <= 0 || intr.H <= 0 || intr.FovX <= 0 || intr.FovY <= 0 {
+		return Result{}, errors.New("pose: invalid intrinsics")
+	}
+	if opt.PopSize < 8 {
+		opt.PopSize = 8
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 100
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Precompute pair geometry. Pixel rays in the camera frame: square
+	// pixels are assumed, so one focal length serves both axes.
+	cx, cy := float64(intr.W)/2, float64(intr.H)/2
+	focal := cx / math.Tan(intr.FovX/2)
+	ray := func(px, py float64) mathx.Vec3 {
+		return mathx.Vec3{X: (px - cx) / focal, Y: -(py - cy) / focal, Z: 1}.Normalize()
+	}
+	var pairs []pairGeometry
+	for i := 0; i < len(corr); i++ {
+		ri := ray(corr[i].Px, corr[i].Py)
+		gi := gamma(corr[i].Px, cx, intr.FovX, float64(intr.W))
+		for j := i + 1; j < len(corr); j++ {
+			rj := ray(corr[j].Px, corr[j].Py)
+			gj := gamma(corr[j].Px, cx, intr.FovX, float64(intr.W))
+			pairs = append(pairs, pairGeometry{
+				gx: math.Abs(gi - gj),
+				g3: math.Acos(mathx.Clamp(ri.Dot(rj), -1, 1)),
+				pi: corr[i].P,
+				pj: corr[j].P,
+			})
+		}
+	}
+	if opt.MaxPairs > 0 && len(pairs) > opt.MaxPairs {
+		rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+		pairs = pairs[:opt.MaxPairs]
+	}
+
+	evals := 0
+	objective := func(v [3]float64) float64 {
+		evals++
+		var s float64
+		for k := range pairs {
+			s += pairs[k].residual(v[0], v[1], v[2])
+		}
+		return s
+	}
+
+	span := [3]float64{hi.X - lo.X, hi.Y - lo.Y, hi.Z - lo.Z}
+	lov := [3]float64{lo.X, lo.Y, lo.Z}
+	sample := func() [3]float64 {
+		return [3]float64{
+			lov[0] + rng.Float64()*span[0],
+			lov[1] + rng.Float64()*span[1],
+			lov[2] + rng.Float64()*span[2],
+		}
+	}
+
+	// Differential evolution (rand/1/bin).
+	pop := make([][3]float64, opt.PopSize)
+	cost := make([]float64, opt.PopSize)
+	for i := range pop {
+		pop[i] = sample()
+		cost[i] = objective(pop[i])
+	}
+	start := time.Now()
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		if opt.Deadline > 0 && time.Since(start) > opt.Deadline {
+			break
+		}
+		for i := range pop {
+			a, b, c := rng.Intn(opt.PopSize), rng.Intn(opt.PopSize), rng.Intn(opt.PopSize)
+			var trial [3]float64
+			jrand := rng.Intn(3)
+			for d := 0; d < 3; d++ {
+				if d == jrand || rng.Float64() < opt.CR {
+					trial[d] = pop[a][d] + opt.F*(pop[b][d]-pop[c][d])
+				} else {
+					trial[d] = pop[i][d]
+				}
+				trial[d] = mathx.Clamp(trial[d], lov[d], lov[d]+span[d])
+			}
+			if tc := objective(trial); tc < cost[i] {
+				pop[i], cost[i] = trial, tc
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < opt.PopSize; i++ {
+		if cost[i] < cost[best] {
+			best = i
+		}
+	}
+	pos := mathx.Vec3{X: pop[best][0], Y: pop[best][1], Z: pop[best][2]}
+	res := Result{
+		Position: pos,
+		Residual: cost[best] / float64(len(pairs)),
+		Evals:    evals,
+		Yaw:      EstimateYaw(corr, intr, pos),
+	}
+	return res, nil
+}
+
+// EstimateYaw recovers the camera heading given its position: for each
+// correspondence, the world bearing to the 3D point minus the in-image
+// bearing of its pixel gives one yaw estimate; the circular mean is
+// returned. Together with Localize's (x, y, z) this provides the
+// "positioning fidelity similar to Google Tango, but with only a standard,
+// 2D, RGB camera".
+func EstimateYaw(corr []Correspondence, intr Intrinsics, pos mathx.Vec3) float64 {
+	cx := float64(intr.W) / 2
+	var sumSin, sumCos float64
+	for _, c := range corr {
+		worldBearing := math.Atan2(c.P.X-pos.X, c.P.Z-pos.Z)
+		imageBearing := gamma(c.Px, cx, intr.FovX, float64(intr.W))
+		yaw := worldBearing - imageBearing
+		sumSin += math.Sin(yaw)
+		sumCos += math.Cos(yaw)
+	}
+	return math.Atan2(sumSin, sumCos)
+}

@@ -1,0 +1,90 @@
+package pose
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"visualprint/internal/mathx"
+)
+
+// TestResidualZeroAtTruePosition: with exact correspondences, the pairwise
+// angular residual evaluated at the true camera position must vanish.
+func TestResidualZeroAtTruePosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 50; trial++ {
+		cam := mathx.Vec3{
+			X: rng.Float64()*20 - 10,
+			Y: rng.Float64() * 3,
+			Z: rng.Float64()*20 - 10,
+		}
+		// Two visible points and their exact observed angles.
+		pi := cam.Add(mathx.Vec3{X: rng.NormFloat64() * 3, Y: rng.NormFloat64(), Z: 4 + rng.Float64()*4})
+		pj := cam.Add(mathx.Vec3{X: rng.NormFloat64() * 3, Y: rng.NormFloat64(), Z: 4 + rng.Float64()*4})
+		ri := pi.Sub(cam).Normalize()
+		rj := pj.Sub(cam).Normalize()
+		g3 := math.Acos(mathx.Clamp(ri.Dot(rj), -1, 1))
+		// Azimuths about the vertical axis.
+		ai := math.Atan2(pi.X-cam.X, pi.Z-cam.Z)
+		aj := math.Atan2(pj.X-cam.X, pj.Z-cam.Z)
+		gx := math.Abs(math.Mod(ai-aj+3*math.Pi, 2*math.Pi) - math.Pi)
+		pg := pairGeometry{gx: gx, g3: g3, pi: pi, pj: pj}
+		if r := pg.residual(cam.X, cam.Y, cam.Z); r > 1e-9 {
+			t.Fatalf("trial %d: residual %g at the true position", trial, r)
+		}
+	}
+}
+
+// TestResidualPositiveElsewhere: the residual grows away from the true
+// position (no spurious global zero for a generic pair).
+func TestResidualNonNegativeAndCapped(t *testing.T) {
+	pg := pairGeometry{
+		gx: 0.2, g3: 0.3,
+		pi: mathx.Vec3{X: 1, Y: 1, Z: 5},
+		pj: mathx.Vec3{X: -2, Y: 1.5, Z: 6},
+	}
+	f := func(x, y, z float64) bool {
+		r := pg.residual(math.Mod(x, 50), math.Mod(y, 5), math.Mod(z, 50))
+		return r >= 0 && r <= residualCap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGammaAntisymmetric: gamma is odd around the image center.
+func TestGammaAntisymmetric(t *testing.T) {
+	f := func(off float64) bool {
+		off = math.Mod(off, 50)
+		fov := 1.2
+		a := gamma(100+off, 100, fov, 200)
+		b := gamma(100-off, 100, fov, 200)
+		return math.Abs(a+b) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEstimateYawInvariantToPointPermutation: the circular-mean yaw must
+// not depend on correspondence order.
+func TestEstimateYawInvariantToPointPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	intr := Intrinsics{W: 200, H: 150, FovX: 1.1, FovY: 0.9}
+	pos := mathx.Vec3{X: 3, Y: 1.5, Z: 2}
+	var corr []Correspondence
+	for i := 0; i < 10; i++ {
+		corr = append(corr, Correspondence{
+			Px: rng.Float64() * 200,
+			Py: rng.Float64() * 150,
+			P:  mathx.Vec3{X: rng.Float64() * 10, Y: rng.Float64() * 3, Z: 5 + rng.Float64()*5},
+		})
+	}
+	a := EstimateYaw(corr, intr, pos)
+	rng.Shuffle(len(corr), func(i, j int) { corr[i], corr[j] = corr[j], corr[i] })
+	b := EstimateYaw(corr, intr, pos)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("yaw depends on order: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,129 @@
+// Package power models the client's energy consumption for the paper's
+// Figure 18. The paper measured a Galaxy S5 with a Monsoon power monitor;
+// we substitute a component model — display, camera, CPU compute, radio —
+// whose constants are calibrated to the figure's steady-state levels:
+//
+//	Display only                ≈ 1.1 W
+//	Display + camera            ≈ 2.4 W
+//	VisualPrint compute only    ≈ 5.6 W   (SIFT dominates)
+//	VisualPrint upload only     ≈ 3.3 W
+//	VisualPrint compute+upload  ≈ 6.5 W
+//	Whole-frame offload         ≈ 4.9 W   (reported in the figure caption)
+//
+// Average power is additive over active components weighted by duty cycle,
+// the standard first-order smartphone energy model.
+package power
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Model holds component power draws in watts.
+type Model struct {
+	Display float64 // screen at AR brightness
+	Camera  float64 // imaging pipeline
+	Compute float64 // CPU fully busy (SIFT extraction + Bloom lookups)
+	Radio   float64 // radio actively transmitting
+}
+
+// Default returns the calibrated Galaxy-S5-class model.
+func Default() Model {
+	return Model{Display: 1.1, Camera: 1.3, Compute: 3.2, Radio: 1.6}
+}
+
+// Workload describes a client configuration's duty cycles.
+type Workload struct {
+	UseDisplay  bool
+	UseCamera   bool
+	ComputeDuty float64 // fraction of time the CPU is busy, [0, 1]
+	UploadDuty  float64 // fraction of time the radio transmits, [0, 1]
+}
+
+// Validate reports whether the workload is well-formed.
+func (w Workload) Validate() error {
+	if w.ComputeDuty < 0 || w.ComputeDuty > 1 || w.UploadDuty < 0 || w.UploadDuty > 1 {
+		return errors.New("power: duty cycles must lie in [0, 1]")
+	}
+	return nil
+}
+
+// Figure 18's five traces plus the whole-frame-offload comparison point.
+func DisplayOnly() Workload   { return Workload{UseDisplay: true} }
+func CameraPreview() Workload { return Workload{UseDisplay: true, UseCamera: true} }
+
+// VisualPrintComputeOnly: SIFT + oracle lookups saturate a core; nothing
+// uploaded.
+func VisualPrintComputeOnly() Workload {
+	return Workload{UseDisplay: true, UseCamera: true, ComputeDuty: 1}
+}
+
+// VisualPrintUploadOnly: fingerprints uploaded but no local extraction
+// (precomputed features), radio duty from the ~51 KB/query stream.
+func VisualPrintUploadOnly() Workload {
+	return Workload{UseDisplay: true, UseCamera: true, UploadDuty: 0.56}
+}
+
+// VisualPrintFull is the complete pipeline: continuous extraction plus
+// fingerprint upload.
+func VisualPrintFull() Workload {
+	return Workload{UseDisplay: true, UseCamera: true, ComputeDuty: 1, UploadDuty: 0.56}
+}
+
+// FrameOffload is conventional whole-frame cloud offload: light local
+// compute (encode only) but a saturated radio (~523 KB/query).
+func FrameOffload() Workload {
+	return Workload{UseDisplay: true, UseCamera: true, ComputeDuty: 0.28, UploadDuty: 1}
+}
+
+// Average returns the steady-state average power in watts.
+func (m Model) Average(w Workload) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	p := 0.0
+	if w.UseDisplay {
+		p += m.Display
+	}
+	if w.UseCamera {
+		p += m.Camera
+	}
+	p += m.Compute * w.ComputeDuty
+	p += m.Radio * w.UploadDuty
+	return p, nil
+}
+
+// Energy returns the energy in joules consumed over the given duration.
+func (m Model) Energy(w Workload, d time.Duration) (float64, error) {
+	avg, err := m.Average(w)
+	if err != nil {
+		return 0, err
+	}
+	return avg * d.Seconds(), nil
+}
+
+// Series produces a power-versus-time trace sampled every step, with a
+// small deterministic ripple (burst structure of per-frame compute and
+// upload) so the series resembles a measured trace rather than a flat
+// line. The mean of the series equals Average to within the ripple.
+func (m Model) Series(w Workload, duration, step time.Duration) ([]float64, error) {
+	avg, err := m.Average(w)
+	if err != nil {
+		return nil, err
+	}
+	if step <= 0 || duration <= 0 {
+		return nil, errors.New("power: duration and step must be positive")
+	}
+	n := int(duration / step)
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) * step.Seconds()
+		// Per-frame compute bursts (~3 Hz) and upload bursts (~1 Hz),
+		// each amplitude-bounded to 5% of the mean.
+		ripple := 0.05*avg*math.Sin(2*math.Pi*3*t)*w.ComputeDuty +
+			0.05*avg*math.Sin(2*math.Pi*1*t+1)*w.UploadDuty
+		out[i] = avg + ripple
+	}
+	return out, nil
+}

@@ -1,0 +1,324 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"visualprint/internal/imaging"
+	"visualprint/internal/mathx"
+)
+
+// VenueSpec parameterizes a procedural indoor venue. The three evaluation
+// venues of the paper (office 50x20 m, cafeteria 50x15 m, grocery 80x50 m)
+// are provided as presets; Build accepts arbitrary specs.
+type VenueSpec struct {
+	Name          string
+	Width, Depth  float64 // floor plan in meters (X by Z)
+	Height        float64 // ceiling height in meters
+	Aisles        int     // interior double-sided walls (shelving, cubicles)
+	PanelWidth    float64 // wall panel width in meters
+	UniqueFrac    float64 // fraction of wall panels carrying unique art
+	RepeatedFrac  float64 // fraction carrying the repeated fixture stamp
+	Seed          uint32
+	TileSize      float64 // floor/ceiling tile edge
+	AisleSpacing  float64 // gap between interior aisles
+	AisleUnique   float64 // unique-panel fraction on aisle faces
+	AisleRepeated float64 // repeated-panel fraction on aisle faces
+	// Clutter places this many furniture boxes (tables, displays,
+	// pedestals) on the floor. Besides realism, clutter provides the 3D
+	// corner structure that makes ICP drift correction well-posed — flat
+	// walls and floors alone leave in-plane drift unobservable.
+	Clutter int
+}
+
+// OfficeSpec returns the paper's office venue: cubicles, kitchen, lounge —
+// moderate uniqueness, many repeated fixtures.
+func OfficeSpec(seed uint32) VenueSpec {
+	return VenueSpec{
+		Name: "office", Width: 50, Depth: 20, Height: 3,
+		Aisles: 2, PanelWidth: 2.5,
+		UniqueFrac: 0.40, RepeatedFrac: 0.30,
+		Seed: seed, TileSize: 0.6, AisleSpacing: 6,
+		AisleUnique: 0.35, AisleRepeated: 0.40,
+		Clutter: 14,
+	}
+}
+
+// CafeteriaSpec returns the cafeteria venue: identical chairs and tables
+// (repeated), menu boards (unique).
+func CafeteriaSpec(seed uint32) VenueSpec {
+	return VenueSpec{
+		Name: "cafeteria", Width: 50, Depth: 15, Height: 3,
+		Aisles: 1, PanelWidth: 2.5,
+		UniqueFrac: 0.35, RepeatedFrac: 0.40,
+		Seed: seed + 101, TileSize: 0.45, AisleSpacing: 7,
+		AisleUnique: 0.25, AisleRepeated: 0.55,
+		Clutter: 18,
+	}
+}
+
+// GrocerySpec returns the grocery venue: aisle-based layout, shelving with
+// repeated product patterns plus unique signage.
+func GrocerySpec(seed uint32) VenueSpec {
+	return VenueSpec{
+		Name: "grocery", Width: 80, Depth: 50, Height: 4,
+		Aisles: 6, PanelWidth: 3,
+		UniqueFrac: 0.30, RepeatedFrac: 0.45,
+		Seed: seed + 202, TileSize: 0.5, AisleSpacing: 7,
+		AisleUnique: 0.20, AisleRepeated: 0.60,
+		Clutter: 20,
+	}
+}
+
+// GallerySpec returns an art-gallery venue: almost every wall panel is a
+// unique painting over a checkerboard floor — the paper's introductory
+// example.
+func GallerySpec(seed uint32) VenueSpec {
+	return VenueSpec{
+		Name: "gallery", Width: 30, Depth: 20, Height: 4,
+		Aisles: 1, PanelWidth: 2,
+		UniqueFrac: 0.80, RepeatedFrac: 0.05,
+		Seed: seed + 303, TileSize: 0.8, AisleSpacing: 8,
+		AisleUnique: 0.7, AisleRepeated: 0.1,
+		Clutter: 8,
+	}
+}
+
+// BuildOffice, BuildCafeteria, BuildGrocery and BuildGallery construct the
+// preset venues.
+func BuildOffice(seed uint32) *World    { return Build(OfficeSpec(seed)) }
+func BuildCafeteria(seed uint32) *World { return Build(CafeteriaSpec(seed)) }
+func BuildGrocery(seed uint32) *World   { return Build(GrocerySpec(seed)) }
+func BuildGallery(seed uint32) *World   { return Build(GallerySpec(seed)) }
+
+// Build constructs a closed venue from spec: tiled floor and ceiling,
+// panelled outer walls, and interior aisle walls. Panel content is assigned
+// pseudo-randomly (unique art / repeated fixture / flat) from spec.Seed, so
+// the same spec always yields the same world.
+func Build(spec VenueSpec) *World {
+	if spec.Height <= 0 {
+		spec.Height = 3
+	}
+	if spec.PanelWidth <= 0 {
+		spec.PanelWidth = 2.5
+	}
+	w := &World{
+		Name: spec.Name,
+		Min:  mathx.Vec3{X: 0, Y: 0, Z: 0},
+		Max:  mathx.Vec3{X: spec.Width, Y: spec.Height, Z: spec.Depth},
+	}
+	rng := rand.New(rand.NewSource(int64(spec.Seed)*7919 + 17))
+
+	// Floor (+Y normal) and ceiling (-Y normal): identical repeating tiles.
+	floorTex := imaging.TileTexture{Seed: spec.Seed ^ 0xf100f, TileSize: spec.TileSize, Line: 0.02, Contrast: 0.9}
+	ceilTex := imaging.TileTexture{Seed: spec.Seed ^ 0xce11, TileSize: spec.TileSize * 1.2, Line: 0.03, Contrast: 0.5}
+	w.AddSurface(Surface{
+		Origin: mathx.Vec3{}, U: mathx.Vec3{Z: spec.Depth}, V: mathx.Vec3{X: spec.Width},
+		Tex: floorTex, Label: "floor",
+	})
+	w.AddSurface(Surface{
+		Origin: mathx.Vec3{Y: spec.Height}, U: mathx.Vec3{X: spec.Width}, V: mathx.Vec3{Z: spec.Depth},
+		Tex: ceilTex, Label: "ceiling",
+	})
+	// Floor/ceiling POIs (plain/repeated content) for distractor views.
+	for i := 0; i < 8; i++ {
+		w.POIs = append(w.POIs, POI{
+			Center: mathx.Vec3{X: (0.15 + 0.7*rng.Float64()) * spec.Width, Y: 0, Z: (0.15 + 0.7*rng.Float64()) * spec.Depth},
+			Normal: mathx.Vec3{Y: 1},
+			Kind:   POIPlain,
+			Label:  fmt.Sprintf("%s/floor-%d", spec.Name, i),
+		})
+		w.POIs = append(w.POIs, POI{
+			Center: mathx.Vec3{X: (0.15 + 0.7*rng.Float64()) * spec.Width, Y: spec.Height, Z: (0.15 + 0.7*rng.Float64()) * spec.Depth},
+			Normal: mathx.Vec3{Y: -1},
+			Kind:   POIPlain,
+			Label:  fmt.Sprintf("%s/ceiling-%d", spec.Name, i),
+		})
+	}
+
+	b := &panelBuilder{world: w, spec: spec, rng: rng}
+	// Outer walls (normals point into the room).
+	b.wall(mathx.Vec3{}, mathx.Vec3{X: 1}, mathx.Vec3{Y: 1}, spec.Width, "south", spec.UniqueFrac, spec.RepeatedFrac)
+	b.wall(mathx.Vec3{X: spec.Width, Z: spec.Depth}, mathx.Vec3{X: -1}, mathx.Vec3{Y: 1}, spec.Width, "north", spec.UniqueFrac, spec.RepeatedFrac)
+	b.wall(mathx.Vec3{Z: spec.Depth}, mathx.Vec3{Z: -1}, mathx.Vec3{Y: 1}, spec.Depth, "west", spec.UniqueFrac, spec.RepeatedFrac)
+	b.wall(mathx.Vec3{X: spec.Width}, mathx.Vec3{Z: 1}, mathx.Vec3{Y: 1}, spec.Depth, "east", spec.UniqueFrac, spec.RepeatedFrac)
+
+	// Interior aisles: double-sided walls running along X, shortened at
+	// both ends to leave walking corridors.
+	spacing := spec.AisleSpacing
+	if spacing <= 0 {
+		spacing = spec.Depth / float64(spec.Aisles+1)
+	}
+	for a := 1; a <= spec.Aisles; a++ {
+		z := float64(a) * spec.Depth / float64(spec.Aisles+1)
+		margin := spec.Width * 0.12
+		length := spec.Width - 2*margin
+		height := spec.Height * 0.65
+		// Face toward -Z.
+		b.wallAt(mathx.Vec3{X: margin, Z: z}, mathx.Vec3{X: 1}, mathx.Vec3{Y: 1},
+			length, height, fmt.Sprintf("aisle%d-a", a), spec.AisleUnique, spec.AisleRepeated)
+		// Face toward +Z.
+		b.wallAt(mathx.Vec3{X: margin + length, Z: z}, mathx.Vec3{X: -1}, mathx.Vec3{Y: 1},
+			length, height, fmt.Sprintf("aisle%d-b", a), spec.AisleUnique, spec.AisleRepeated)
+	}
+
+	// Furniture clutter: low boxes (below eye height) scattered over the
+	// floor. Their corners anchor ICP; their faces carry a mix of unique
+	// and repeated detail, like real tables and displays.
+	for cIdx := 0; cIdx < spec.Clutter; cIdx++ {
+		cx := (0.15 + 0.7*rng.Float64()) * spec.Width
+		cz := (0.15 + 0.7*rng.Float64()) * spec.Depth
+		sx := 0.7 + rng.Float64()*0.9
+		sz := 0.7 + rng.Float64()*0.9
+		sy := 0.5 + rng.Float64()*0.6
+		var tex imaging.Texture
+		kind := POIRepeated
+		if rng.Float64() < 0.5 {
+			b.artSeq++
+			tex = imaging.NoiseTexture{
+				Seed: spec.Seed*131071 + b.artSeq*2654435761 + 7,
+				Freq: 6, Octaves: 3, Gain: 1,
+			}
+			kind = POIUnique
+		} else {
+			// Standard-issue furniture finish, identical everywhere.
+			tex = imaging.TileTexture{Seed: 0xfab1e, TileSize: 0.3, Line: 0.015, Contrast: 0.8}
+		}
+		addBox(w, mathx.Vec3{X: cx, Y: 0, Z: cz}, sx, sy, sz, tex,
+			fmt.Sprintf("%s/clutter%d", spec.Name, cIdx))
+		w.POIs = append(w.POIs, POI{
+			Center: mathx.Vec3{X: cx, Y: sy / 2, Z: cz + sz/2},
+			Normal: mathx.Vec3{Z: 1},
+			Kind:   kind,
+			Label:  fmt.Sprintf("%s/clutter%d", spec.Name, cIdx),
+		})
+	}
+	return w
+}
+
+// addBox adds the top and four side faces of an axis-aligned box resting on
+// the floor, centered at (center.X, center.Z) with footprint sx x sz and
+// height sy.
+func addBox(w *World, center mathx.Vec3, sx, sy, sz float64, tex imaging.Texture, label string) {
+	x0, x1 := center.X-sx/2, center.X+sx/2
+	z0, z1 := center.Z-sz/2, center.Z+sz/2
+	// Top (+Y normal).
+	w.AddSurface(Surface{
+		Origin: mathx.Vec3{X: x0, Y: sy, Z: z0},
+		U:      mathx.Vec3{Z: sz}, V: mathx.Vec3{X: sx},
+		Tex: tex, Label: label + "/top",
+	})
+	// Sides, normals outward.
+	w.AddSurface(Surface{ // -Z face
+		Origin: mathx.Vec3{X: x1, Y: 0, Z: z0},
+		U:      mathx.Vec3{X: -sx}, V: mathx.Vec3{Y: sy},
+		Tex: tex, Label: label + "/south",
+	})
+	w.AddSurface(Surface{ // +Z face
+		Origin: mathx.Vec3{X: x0, Y: 0, Z: z1},
+		U:      mathx.Vec3{X: sx}, V: mathx.Vec3{Y: sy},
+		Tex: tex, Label: label + "/north",
+	})
+	w.AddSurface(Surface{ // -X face
+		Origin: mathx.Vec3{X: x0, Y: 0, Z: z0},
+		U:      mathx.Vec3{Z: sz}, V: mathx.Vec3{Y: sy},
+		Tex: tex, Label: label + "/west",
+	})
+	w.AddSurface(Surface{ // +X face
+		Origin: mathx.Vec3{X: x1, Y: 0, Z: z1},
+		U:      mathx.Vec3{Z: -sz}, V: mathx.Vec3{Y: sy},
+		Tex: tex, Label: label + "/east",
+	})
+}
+
+// panelBuilder slices a wall into panels with seeded content assignment.
+type panelBuilder struct {
+	world    *World
+	spec     VenueSpec
+	rng      *rand.Rand
+	artSeq   uint32 // unique-painting counter (each gets a fresh seed)
+	stampSeq int
+}
+
+func (b *panelBuilder) wall(origin, along, up mathx.Vec3, length float64, label string, uniqueFrac, repeatedFrac float64) {
+	b.wallAt(origin, along, up, length, b.spec.Height, label, uniqueFrac, repeatedFrac)
+}
+
+func (b *panelBuilder) wallAt(origin, along, up mathx.Vec3, length, height float64, label string, uniqueFrac, repeatedFrac float64) {
+	n := int(math.Max(1, math.Round(length/b.spec.PanelWidth)))
+	pw := length / float64(n)
+	for i := 0; i < n; i++ {
+		po := origin.Add(along.Scale(float64(i) * pw))
+		s := Surface{
+			Origin: po,
+			U:      along.Scale(pw),
+			V:      up.Scale(height),
+			Label:  fmt.Sprintf("%s/%s-panel%d", b.spec.Name, label, i),
+		}
+		r := b.rng.Float64()
+		center := po.Add(along.Scale(pw / 2)).Add(up.Scale(height / 2))
+		normal := along.Cross(up).Normalize()
+		switch {
+		case r < uniqueFrac:
+			// One-of-a-kind painting: unique seed.
+			b.artSeq++
+			s.Tex = imaging.NoiseTexture{
+				Seed: b.spec.Seed*131071 + b.artSeq*2654435761,
+				Freq: 3.5, Octaves: 4, Gain: 1,
+			}
+			b.world.POIs = append(b.world.POIs, POI{
+				Center: center, Normal: normal, Kind: POIUnique, Label: s.Label,
+			})
+		case r < uniqueFrac+repeatedFrac:
+			// Fixture repeated identically across the whole venue
+			// family: the SAME seed everywhere, sampled in panel-local
+			// coordinates by construction of StampTexture.
+			b.stampSeq++
+			s.Tex = imaging.StampTexture{
+				Seed:       0xd00d, // shared across all venues: a standard-issue fixture
+				Background: 0.82,
+				CenterU:    pw / 2,
+				CenterV:    height * 0.45,
+				Radius:     0.35,
+			}
+			b.world.POIs = append(b.world.POIs, POI{
+				Center: center, Normal: normal, Kind: POIRepeated, Label: s.Label,
+			})
+		default:
+			s.Tex = imaging.FlatTexture{Intensity: 0.85}
+			b.world.POIs = append(b.world.POIs, POI{
+				Center: center, Normal: normal, Kind: POIPlain, Label: s.Label,
+			})
+		}
+		b.world.AddSurface(s)
+	}
+}
+
+// POIsOfKind returns the world's points of interest of one kind.
+func (w *World) POIsOfKind(kind POIKind) []POI {
+	var out []POI
+	for _, p := range w.POIs {
+		if p.Kind == kind {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CameraFacing places a camera dist meters in front of poi (along its
+// normal), looking at the POI center, then applies yaw/pitch offsets about
+// the POI — the "substantially different angles" of the paper's query set.
+// The camera height is clamped into the world's vertical bounds.
+func CameraFacing(w *World, poi POI, dist, yawOff, pitchOff float64, imgW, imgH int) Camera {
+	// Rotate the offset position around the POI center.
+	rot := mathx.RotationYPR(yawOff, pitchOff, 0)
+	offset := rot.MulVec(poi.Normal.Scale(dist))
+	pos := poi.Center.Add(offset)
+	pos.Y = mathx.Clamp(pos.Y, w.Min.Y+0.5, w.Max.Y-0.5)
+	pos.X = mathx.Clamp(pos.X, w.Min.X+0.3, w.Max.X-0.3)
+	pos.Z = mathx.Clamp(pos.Z, w.Min.Z+0.3, w.Max.Z-0.3)
+	cam := DefaultCamera(imgW, imgH)
+	cam.Pos = pos
+	return cam.LookAt(poi.Center)
+}

@@ -1,0 +1,125 @@
+package scene
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"visualprint/internal/mathx"
+)
+
+// bruteIntersect is the reference implementation the BVH must match.
+func bruteIntersect(surfs []*Surface, o, d mathx.Vec3) (*Surface, float64, float64, float64) {
+	bestT := math.Inf(1)
+	var best *Surface
+	var bu, bv float64
+	for _, s := range surfs {
+		if t, u, v, ok := s.intersect(o, d); ok && t < bestT {
+			best, bestT, bu, bv = s, t, u, v
+		}
+	}
+	return best, bestT, bu, bv
+}
+
+func TestBVHMatchesBruteForce(t *testing.T) {
+	// Differential test over a real venue with clutter: every random ray
+	// must hit the same surface at the same distance via both paths.
+	w := BuildOffice(13)
+	b := buildBVH(w.Surfaces)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3000; trial++ {
+		o := mathx.Vec3{
+			X: rng.Float64()*w.Max.X*1.2 - 0.1*w.Max.X,
+			Y: rng.Float64() * w.Max.Y,
+			Z: rng.Float64()*w.Max.Z*1.2 - 0.1*w.Max.Z,
+		}
+		d := mathx.Vec3{
+			X: rng.NormFloat64(),
+			Y: rng.NormFloat64(),
+			Z: rng.NormFloat64(),
+		}.Normalize()
+		if d.Norm() == 0 {
+			continue
+		}
+		bs, bt, _, _ := b.intersect(o, d)
+		rs, rt, _, _ := bruteIntersect(w.Surfaces, o, d)
+		if (bs == nil) != (rs == nil) {
+			t.Fatalf("trial %d: hit disagreement (bvh=%v brute=%v)", trial, bs != nil, rs != nil)
+		}
+		if bs == nil {
+			continue
+		}
+		if math.Abs(bt-rt) > 1e-9 {
+			t.Fatalf("trial %d: distance %v vs %v", trial, bt, rt)
+		}
+	}
+}
+
+func TestBVHAxisAlignedRays(t *testing.T) {
+	// Axis-aligned rays exercise the division-by-zero slab paths.
+	w := BuildGallery(3)
+	b := buildBVH(w.Surfaces)
+	center := mathx.Vec3{X: w.Max.X / 2, Y: 1.5, Z: w.Max.Z / 2}
+	for _, d := range []mathx.Vec3{
+		{X: 1}, {X: -1}, {Y: 1}, {Y: -1}, {Z: 1}, {Z: -1},
+	} {
+		bs, bt, _, _ := b.intersect(center, d)
+		rs, rt, _, _ := bruteIntersect(w.Surfaces, center, d)
+		if bs == nil || rs == nil {
+			t.Fatalf("axis ray %v escaped a closed venue", d)
+		}
+		if math.Abs(bt-rt) > 1e-9 {
+			t.Fatalf("axis ray %v: %v vs %v", d, bt, rt)
+		}
+	}
+}
+
+func TestBVHEmptyWorld(t *testing.T) {
+	b := buildBVH(nil)
+	if s, _, _, _ := b.intersect(mathx.Vec3{}, mathx.Vec3{Z: 1}); s != nil {
+		t.Error("empty BVH reported a hit")
+	}
+}
+
+func TestWorldIntersectInvalidatedByAddSurface(t *testing.T) {
+	w := boxWorld()
+	// Build the BVH via a first query.
+	if _, _, _, _, ok := w.Intersect(mathx.Vec3{X: 5, Y: 1.5, Z: 2}, mathx.Vec3{Z: 1}); !ok {
+		t.Fatal("expected a hit")
+	}
+	// Add an occluder in front; the cached BVH must be rebuilt.
+	w.AddSurface(Surface{
+		Origin: mathx.Vec3{X: 4, Y: 0, Z: 5},
+		U:      mathx.Vec3{X: 2}, V: mathx.Vec3{Y: 3},
+		Tex: w.Surfaces[0].Tex, Label: "occluder",
+	})
+	_, tt, _, _, ok := w.Intersect(mathx.Vec3{X: 5, Y: 1.5, Z: 2}, mathx.Vec3{Z: 1})
+	if !ok || math.Abs(tt-3) > 1e-9 {
+		t.Errorf("occluder missed after AddSurface: t=%v ok=%v", tt, ok)
+	}
+}
+
+func BenchmarkBVHIntersect(b *testing.B) {
+	w := BuildGrocery(1)
+	bv := buildBVH(w.Surfaces)
+	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := mathx.Vec3{X: rng.Float64() * 80, Y: rng.Float64() * 4, Z: rng.Float64() * 50}
+		d := mathx.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Normalize()
+		bv.intersect(o, d)
+	}
+}
+
+func BenchmarkBruteIntersect(b *testing.B) {
+	w := BuildGrocery(1)
+	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := mathx.Vec3{X: rng.Float64() * 80, Y: rng.Float64() * 4, Z: rng.Float64() * 50}
+		d := mathx.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Normalize()
+		bruteIntersect(w.Surfaces, o, d)
+	}
+}

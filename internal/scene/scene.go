@@ -1,0 +1,275 @@
+// Package scene provides the synthetic indoor environments that substitute
+// for the paper's real-world photo datasets and Google Tango hardware. A
+// World is a set of textured rectangular surfaces (walls, floors, ceilings,
+// paintings, fixtures); a pinhole Camera renders grayscale frames and
+// per-pixel depth maps from any 6-DoF pose — the same two modalities the
+// Tango wardriving rig captured (RGB sensor + IR depth sensor).
+//
+// The texture mix is chosen to reproduce the keypoint statistics the paper
+// relies on: unique-seeded noise "paintings" (high-entropy, globally unique
+// features), repeated tile floors/ceilings and fixture stamps (locally
+// sharp, globally common features), and flat wall segments (no features).
+package scene
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"visualprint/internal/imaging"
+	"visualprint/internal/mathx"
+)
+
+// POIKind classifies a point of interest by the global uniqueness of the
+// features around it.
+type POIKind int
+
+// POI kinds.
+const (
+	POIUnique   POIKind = iota // one-of-a-kind painting
+	POIRepeated                // fixture repeated in every room
+	POIPlain                   // featureless or tiled area
+)
+
+// POI is a point of interest on a surface: where a scene-defining object
+// (painting, fixture, tile patch) is located, with its outward normal.
+// World builders record POIs so the evaluation can aim cameras at scenes
+// (unique content) and distractors (repeated/plain content).
+type POI struct {
+	Center mathx.Vec3
+	Normal mathx.Vec3
+	Kind   POIKind
+	Label  string
+}
+
+// Surface is a textured rectangle: Origin plus the span vectors U and V
+// (which must be orthogonal). Texture coordinates are measured in meters
+// along U and V.
+type Surface struct {
+	Origin mathx.Vec3
+	U, V   mathx.Vec3
+	Tex    imaging.Texture
+	Label  string
+
+	// cached by prepare()
+	normal   mathx.Vec3
+	uLen2    float64
+	vLen2    float64
+	prepared bool
+}
+
+func (s *Surface) prepare() {
+	s.normal = s.U.Cross(s.V).Normalize()
+	s.uLen2 = s.U.Dot(s.U)
+	s.vLen2 = s.V.Dot(s.V)
+	s.prepared = true
+}
+
+// Normal returns the surface normal (U x V, unit length).
+func (s *Surface) Normal() mathx.Vec3 {
+	if !s.prepared {
+		s.prepare()
+	}
+	return s.normal
+}
+
+// intersect returns the ray parameter t and texture coordinates of the hit,
+// or ok=false if the ray misses the rectangle.
+func (s *Surface) intersect(o, d mathx.Vec3) (t, u, v float64, ok bool) {
+	denom := d.Dot(s.normal)
+	if math.Abs(denom) < 1e-12 {
+		return 0, 0, 0, false
+	}
+	t = s.Origin.Sub(o).Dot(s.normal) / denom
+	if t <= 1e-9 {
+		return 0, 0, 0, false
+	}
+	p := o.Add(d.Scale(t)).Sub(s.Origin)
+	a := p.Dot(s.U) / s.uLen2
+	if a < 0 || a > 1 {
+		return 0, 0, 0, false
+	}
+	b := p.Dot(s.V) / s.vLen2
+	if b < 0 || b > 1 {
+		return 0, 0, 0, false
+	}
+	return t, a * math.Sqrt(s.uLen2), b * math.Sqrt(s.vLen2), true
+}
+
+// World is a closed indoor environment.
+type World struct {
+	Name     string
+	Surfaces []*Surface
+	POIs     []POI
+	// Min and Max bound the walkable space (used by the localization
+	// optimizer's search box and the wardriving trajectory).
+	Min, Max mathx.Vec3
+
+	// accel is the lazily built ray-intersection BVH; AddSurface
+	// invalidates it. accelMu guards the lazy build so concurrent
+	// renderers of one world are safe.
+	accelMu sync.Mutex
+	accel   *bvh
+}
+
+// ensureAccel builds the BVH once (thread-safe).
+func (w *World) ensureAccel() *bvh {
+	w.accelMu.Lock()
+	defer w.accelMu.Unlock()
+	if w.accel == nil {
+		w.accel = buildBVH(w.Surfaces)
+	}
+	return w.accel
+}
+
+// AddSurface appends a surface (preparing its cached geometry) and returns
+// it.
+func (w *World) AddSurface(s Surface) *Surface {
+	sp := &s
+	sp.prepare()
+	w.Surfaces = append(w.Surfaces, sp)
+	w.accelMu.Lock()
+	w.accel = nil
+	w.accelMu.Unlock()
+	return sp
+}
+
+// Intersect returns the nearest surface hit along a ray, its distance, and
+// the texture coordinates at the hit; ok is false when the ray escapes the
+// world. Rays are accelerated by a BVH built on first use.
+func (w *World) Intersect(o, d mathx.Vec3) (s *Surface, t, u, v float64, ok bool) {
+	s, t, u, v = w.ensureAccel().intersect(o, d)
+	return s, t, u, v, s != nil
+}
+
+// Camera is a pinhole camera with a 6-DoF pose. Yaw rotates about the
+// vertical (+Y) axis; at zero yaw the camera looks along +Z.
+type Camera struct {
+	Pos              mathx.Vec3
+	Yaw, Pitch, Roll float64
+	FovX             float64 // horizontal field of view, radians
+	W, H             int     // image size in pixels
+}
+
+// DefaultCamera returns a camera with the field of view of a typical
+// smartphone (about 66 degrees horizontal).
+func DefaultCamera(w, h int) Camera {
+	return Camera{FovX: 66 * math.Pi / 180, W: w, H: h}
+}
+
+// FovY returns the vertical field of view implied by FovX and the aspect
+// ratio.
+func (c Camera) FovY() float64 {
+	f := c.focal()
+	return 2 * math.Atan(float64(c.H)/2/f)
+}
+
+// focal returns the focal length in pixels.
+func (c Camera) focal() float64 {
+	return float64(c.W) / 2 / math.Tan(c.FovX/2)
+}
+
+// Rotation returns the camera-to-world rotation matrix.
+func (c Camera) Rotation() mathx.Mat3 {
+	return mathx.RotationYPR(c.Yaw, c.Pitch, c.Roll)
+}
+
+// Ray returns the world-space origin and unit direction of the ray through
+// pixel (px, py) (pixel centers at integer+0.5).
+func (c Camera) Ray(px, py float64) (origin, dir mathx.Vec3) {
+	f := c.focal()
+	d := mathx.Vec3{
+		X: (px - float64(c.W)/2) / f,
+		Y: -(py - float64(c.H)/2) / f, // +Y is up in world, down in image
+		Z: 1,
+	}
+	return c.Pos, c.Rotation().MulVec(d).Normalize()
+}
+
+// PointAt reconstructs the world point seen at pixel (px, py) given its
+// depth (Euclidean distance from the camera center) — the backprojection
+// the wardriving app performs with the Tango depth map.
+func (c Camera) PointAt(px, py, depth float64) mathx.Vec3 {
+	o, d := c.Ray(px, py)
+	return o.Add(d.Scale(depth))
+}
+
+// Forward returns the camera's viewing direction.
+func (c Camera) Forward() mathx.Vec3 {
+	return c.Rotation().MulVec(mathx.Vec3{Z: 1})
+}
+
+// Project maps a world point to pixel coordinates. ok is false when the
+// point is behind the camera or outside the image. This is the exact
+// inverse of Ray/PointAt.
+func (c Camera) Project(p mathx.Vec3) (px, py float64, ok bool) {
+	d := c.Rotation().Transpose().MulVec(p.Sub(c.Pos))
+	if d.Z <= 1e-9 {
+		return 0, 0, false
+	}
+	f := c.focal()
+	px = float64(c.W)/2 + d.X/d.Z*f
+	py = float64(c.H)/2 - d.Y/d.Z*f
+	if px < 0 || py < 0 || px > float64(c.W) || py > float64(c.H) {
+		return px, py, false
+	}
+	return px, py, true
+}
+
+// LookAt orients the camera (yaw and pitch, zero roll) so that target is at
+// the image center.
+func (c Camera) LookAt(target mathx.Vec3) Camera {
+	dir := target.Sub(c.Pos).Normalize()
+	c.Yaw = math.Atan2(dir.X, dir.Z)
+	c.Pitch = -math.Asin(mathx.Clamp(dir.Y, -1, 1))
+	c.Roll = 0
+	return c
+}
+
+// Frame is a rendered view: the grayscale image and the per-pixel depth map
+// (Euclidean distance, 0 where no surface was hit).
+type Frame struct {
+	Image *imaging.Gray
+	Depth []float32
+	Cam   Camera
+}
+
+// DepthAt returns the depth at pixel (x, y), 0 out of bounds.
+func (f *Frame) DepthAt(x, y int) float64 {
+	if x < 0 || y < 0 || x >= f.Cam.W || y >= f.Cam.H {
+		return 0
+	}
+	return float64(f.Depth[y*f.Cam.W+x])
+}
+
+// Render draws the world from cam, returning image and depth.
+func Render(w *World, cam Camera) (*Frame, error) {
+	if cam.W <= 0 || cam.H <= 0 || cam.FovX <= 0 {
+		return nil, errors.New("scene: camera needs positive W, H and FovX")
+	}
+	img := imaging.NewGray(cam.W, cam.H)
+	depth := make([]float32, cam.W*cam.H)
+	rot := cam.Rotation()
+	f := cam.focal()
+	accel := w.ensureAccel()
+	for y := 0; y < cam.H; y++ {
+		for x := 0; x < cam.W; x++ {
+			d := mathx.Vec3{
+				X: (float64(x) + 0.5 - float64(cam.W)/2) / f,
+				Y: -(float64(y) + 0.5 - float64(cam.H)/2) / f,
+				Z: 1,
+			}
+			dir := rot.MulVec(d).Normalize()
+			bestS, bestT, bu, bv := accel.intersect(cam.Pos, dir)
+			if bestS == nil {
+				continue
+			}
+			// Mild distance attenuation gives depth cues without
+			// destroying texture contrast.
+			atten := 1 / (1 + 0.015*bestT)
+			img.Pix[y*cam.W+x] = float32(mathx.Clamp(bestS.Tex.Sample(bu, bv)*atten, 0, 1))
+			depth[y*cam.W+x] = float32(bestT)
+		}
+	}
+	return &Frame{Image: img, Depth: depth, Cam: cam}, nil
+}

@@ -1,0 +1,364 @@
+package scene
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"visualprint/internal/imaging"
+	"visualprint/internal/mathx"
+)
+
+func boxWorld() *World {
+	// A simple 10x3x10 room with distinct wall intensities.
+	w := &World{Name: "box", Max: mathx.Vec3{X: 10, Y: 3, Z: 10}}
+	w.AddSurface(Surface{ // floor, +Y normal
+		Origin: mathx.Vec3{}, U: mathx.Vec3{Z: 10}, V: mathx.Vec3{X: 10},
+		Tex: imaging.FlatTexture{Intensity: 0.2}, Label: "floor",
+	})
+	w.AddSurface(Surface{ // ceiling
+		Origin: mathx.Vec3{Y: 3}, U: mathx.Vec3{X: 10}, V: mathx.Vec3{Z: 10},
+		Tex: imaging.FlatTexture{Intensity: 0.9}, Label: "ceiling",
+	})
+	w.AddSurface(Surface{ // wall at z=10 (faces -Z)
+		Origin: mathx.Vec3{Z: 10}, U: mathx.Vec3{X: 10}, V: mathx.Vec3{Y: 3},
+		Tex: imaging.FlatTexture{Intensity: 0.5}, Label: "front",
+	})
+	return w
+}
+
+func TestSurfaceIntersect(t *testing.T) {
+	s := Surface{
+		Origin: mathx.Vec3{Z: 5},
+		U:      mathx.Vec3{X: 2},
+		V:      mathx.Vec3{Y: 2},
+	}
+	s.prepare()
+	// Ray straight down +Z through the middle of the rectangle.
+	tt, u, v, ok := s.intersect(mathx.Vec3{X: 1, Y: 1}, mathx.Vec3{Z: 1})
+	if !ok {
+		t.Fatal("ray should hit")
+	}
+	if math.Abs(tt-5) > 1e-9 || math.Abs(u-1) > 1e-9 || math.Abs(v-1) > 1e-9 {
+		t.Errorf("t=%v u=%v v=%v", tt, u, v)
+	}
+	// Miss: outside the rectangle.
+	if _, _, _, ok := s.intersect(mathx.Vec3{X: 5, Y: 1}, mathx.Vec3{Z: 1}); ok {
+		t.Error("ray outside rectangle reported hit")
+	}
+	// Miss: behind the ray.
+	if _, _, _, ok := s.intersect(mathx.Vec3{X: 1, Y: 1, Z: 9}, mathx.Vec3{Z: 1}); ok {
+		t.Error("surface behind origin reported hit")
+	}
+	// Parallel ray.
+	if _, _, _, ok := s.intersect(mathx.Vec3{X: 1, Y: 1}, mathx.Vec3{X: 1}); ok {
+		t.Error("parallel ray reported hit")
+	}
+}
+
+func TestCameraRayCenter(t *testing.T) {
+	cam := DefaultCamera(100, 80)
+	cam.Pos = mathx.Vec3{X: 1, Y: 2, Z: 3}
+	o, d := cam.Ray(50, 40)
+	if o != cam.Pos {
+		t.Errorf("origin = %v", o)
+	}
+	// Center ray looks along +Z at zero yaw/pitch.
+	if math.Abs(d.X) > 1e-9 || math.Abs(d.Y) > 1e-9 || d.Z < 0.999 {
+		t.Errorf("center dir = %v", d)
+	}
+}
+
+func TestCameraRayEdgeMatchesFov(t *testing.T) {
+	cam := DefaultCamera(200, 100)
+	_, d := cam.Ray(200, 50) // right edge, vertical center
+	angle := math.Atan2(d.X, d.Z)
+	if math.Abs(angle-cam.FovX/2) > 0.01 {
+		t.Errorf("edge ray angle %v, want %v", angle, cam.FovX/2)
+	}
+}
+
+func TestCameraLookAt(t *testing.T) {
+	cam := DefaultCamera(64, 48)
+	cam.Pos = mathx.Vec3{X: 5, Y: 1.5, Z: 5}
+	target := mathx.Vec3{X: 5, Y: 1.5, Z: 9}
+	cam = cam.LookAt(target)
+	fwd := cam.Forward()
+	want := target.Sub(cam.Pos).Normalize()
+	if fwd.Dist(want) > 1e-9 {
+		t.Errorf("forward = %v, want %v", fwd, want)
+	}
+	// And an elevated target pitches the camera up.
+	cam = cam.LookAt(mathx.Vec3{X: 5, Y: 3, Z: 9})
+	if cam.Pitch >= 0 {
+		t.Errorf("pitch = %v, want negative (looking up)", cam.Pitch)
+	}
+}
+
+func TestCameraPointAtInvertsRay(t *testing.T) {
+	cam := DefaultCamera(120, 90)
+	cam.Pos = mathx.Vec3{X: 2, Y: 1, Z: 2}
+	cam.Yaw, cam.Pitch = 0.4, -0.1
+	o, d := cam.Ray(30, 60)
+	p := o.Add(d.Scale(4.2))
+	back := cam.PointAt(30, 60, 4.2)
+	if p.Dist(back) > 1e-9 {
+		t.Errorf("PointAt = %v, want %v", back, p)
+	}
+}
+
+func TestProjectInvertsPointAt(t *testing.T) {
+	cam := DefaultCamera(160, 120)
+	cam.Pos = mathx.Vec3{X: 3, Y: 1.2, Z: 1}
+	cam.Yaw, cam.Pitch, cam.Roll = 0.7, -0.15, 0.02
+	for _, px := range []float64{10.5, 80.5, 150.5} {
+		for _, py := range []float64{5.5, 60.5, 115.5} {
+			p := cam.PointAt(px, py, 6.5)
+			gx, gy, ok := cam.Project(p)
+			if !ok {
+				t.Fatalf("point from pixel (%v,%v) projects outside", px, py)
+			}
+			if math.Abs(gx-px) > 1e-6 || math.Abs(gy-py) > 1e-6 {
+				t.Fatalf("Project(PointAt(%v,%v)) = (%v,%v)", px, py, gx, gy)
+			}
+		}
+	}
+}
+
+func TestProjectBehindCamera(t *testing.T) {
+	cam := DefaultCamera(100, 100)
+	if _, _, ok := cam.Project(mathx.Vec3{Z: -5}); ok {
+		t.Error("point behind camera projected")
+	}
+}
+
+func TestRenderBoxRoom(t *testing.T) {
+	w := boxWorld()
+	cam := DefaultCamera(64, 48)
+	cam.Pos = mathx.Vec3{X: 5, Y: 1.5, Z: 2}
+	cam = cam.LookAt(mathx.Vec3{X: 5, Y: 1.5, Z: 10})
+	fr, err := Render(w, cam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center pixel sees the front wall (intensity 0.5 with attenuation) at
+	// depth 8.
+	cd := fr.DepthAt(32, 24)
+	if math.Abs(cd-8) > 0.1 {
+		t.Errorf("center depth = %v, want 8", cd)
+	}
+	cv := float64(fr.Image.At(32, 24))
+	if cv < 0.3 || cv > 0.55 {
+		t.Errorf("center intensity = %v", cv)
+	}
+	// Bottom rows see the darker floor closer than the wall.
+	bd := fr.DepthAt(32, 47)
+	if bd >= cd {
+		t.Errorf("floor depth %v should be < wall depth %v", bd, cd)
+	}
+	bv := float64(fr.Image.At(32, 47))
+	if bv > cv {
+		t.Errorf("floor %v should be darker than wall %v", bv, cv)
+	}
+}
+
+func TestRenderDepthConsistentWithPointAt(t *testing.T) {
+	// Backprojecting a pixel with its rendered depth must land on a world
+	// surface (here: a known wall plane).
+	w := boxWorld()
+	cam := DefaultCamera(64, 48)
+	cam.Pos = mathx.Vec3{X: 5, Y: 1.5, Z: 3}
+	cam = cam.LookAt(mathx.Vec3{X: 5, Y: 1.5, Z: 10})
+	fr, _ := Render(w, cam)
+	p := cam.PointAt(32.5, 24.5, fr.DepthAt(32, 24))
+	if math.Abs(p.Z-10) > 0.05 {
+		t.Errorf("backprojected wall point %v, want z=10", p)
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	w := boxWorld()
+	if _, err := Render(w, Camera{}); err == nil {
+		t.Error("zero camera accepted")
+	}
+}
+
+func TestBuildVenuesClosed(t *testing.T) {
+	// Every preset venue must be closed: all rays from inside hit something.
+	venues := []*World{BuildOffice(1), BuildCafeteria(1), BuildGrocery(1), BuildGallery(1)}
+	for _, w := range venues {
+		cam := DefaultCamera(32, 24)
+		cam.Pos = mathx.Vec3{
+			X: (w.Min.X + w.Max.X) / 2,
+			Y: 1.6,
+			Z: (w.Min.Z + w.Max.Z) / 2,
+		}
+		for _, yaw := range []float64{0, 1.5, 3.1, 4.6} {
+			cam.Yaw = yaw
+			fr, err := Render(w, cam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, d := range fr.Depth {
+				if d == 0 {
+					t.Fatalf("%s: pixel %d escaped the venue at yaw %v", w.Name, i, yaw)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := BuildOffice(7)
+	b := BuildOffice(7)
+	if len(a.Surfaces) != len(b.Surfaces) || len(a.POIs) != len(b.POIs) {
+		t.Fatal("same seed produced different worlds")
+	}
+	for i := range a.POIs {
+		if a.POIs[i].Center != b.POIs[i].Center || a.POIs[i].Kind != b.POIs[i].Kind {
+			t.Fatalf("POI %d differs", i)
+		}
+	}
+	c := BuildOffice(8)
+	if len(c.POIs) == len(a.POIs) {
+		same := true
+		for i := range c.POIs {
+			if c.POIs[i].Kind != a.POIs[i].Kind {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical POI layouts")
+		}
+	}
+}
+
+func TestBuildHasAllPOIKinds(t *testing.T) {
+	w := BuildOffice(3)
+	if len(w.POIsOfKind(POIUnique)) < 10 {
+		t.Errorf("only %d unique POIs", len(w.POIsOfKind(POIUnique)))
+	}
+	if len(w.POIsOfKind(POIRepeated)) < 5 {
+		t.Errorf("only %d repeated POIs", len(w.POIsOfKind(POIRepeated)))
+	}
+	if len(w.POIsOfKind(POIPlain)) < 5 {
+		t.Errorf("only %d plain POIs", len(w.POIsOfKind(POIPlain)))
+	}
+}
+
+func TestCameraFacingSeesPOI(t *testing.T) {
+	w := BuildGallery(2)
+	pois := w.POIsOfKind(POIUnique)
+	if len(pois) == 0 {
+		t.Fatal("no unique POIs")
+	}
+	poi := pois[0]
+	cam := CameraFacing(w, poi, 2.5, 0, 0, 64, 48)
+	fr, err := Render(w, cam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The POI should be at the image center: backproject and compare.
+	d := fr.DepthAt(32, 24)
+	if d == 0 {
+		t.Fatal("center pixel hit nothing")
+	}
+	p := cam.PointAt(32.5, 24.5, d)
+	if p.Dist(poi.Center) > 0.5 {
+		t.Errorf("center backprojection %v is %.2fm from POI %v", p, p.Dist(poi.Center), poi.Center)
+	}
+}
+
+func TestCameraFacingStaysInBounds(t *testing.T) {
+	w := BuildOffice(4)
+	for _, poi := range w.POIs {
+		cam := CameraFacing(w, poi, 3, 0.5, -0.2, 32, 24)
+		if cam.Pos.X < w.Min.X || cam.Pos.X > w.Max.X ||
+			cam.Pos.Y < w.Min.Y || cam.Pos.Y > w.Max.Y ||
+			cam.Pos.Z < w.Min.Z || cam.Pos.Z > w.Max.Z {
+			t.Fatalf("camera %v escapes world bounds", cam.Pos)
+		}
+	}
+}
+
+func TestBuildIncludesClutter(t *testing.T) {
+	spec := OfficeSpec(5)
+	spec.Clutter = 6
+	w := Build(spec)
+	boxes := 0
+	for _, s := range w.Surfaces {
+		if strings.Contains(s.Label, "clutter") {
+			boxes++
+		}
+	}
+	if boxes != 6*5 {
+		t.Errorf("clutter surfaces = %d, want %d (5 faces per box)", boxes, 6*5)
+	}
+	// Zero clutter venues stay clutter-free.
+	spec.Clutter = 0
+	w = Build(spec)
+	for _, s := range w.Surfaces {
+		if strings.Contains(s.Label, "clutter") {
+			t.Fatal("clutter present despite Clutter=0")
+		}
+	}
+}
+
+func TestClutterOccludesFloor(t *testing.T) {
+	// A ray cast straight down over a clutter box must hit the box top
+	// (depth < eye height), not the floor.
+	spec := VenueSpec{
+		Name: "occlusion", Width: 12, Depth: 10, Height: 3,
+		UniqueFrac: 0.2, RepeatedFrac: 0.2, Seed: 3, TileSize: 0.5,
+		Clutter: 5, PanelWidth: 2,
+	}
+	w := Build(spec)
+	var boxTop *Surface
+	for _, s := range w.Surfaces {
+		if strings.HasSuffix(s.Label, "clutter0/top") {
+			boxTop = s
+			break
+		}
+	}
+	if boxTop == nil {
+		t.Fatal("no clutter box found")
+	}
+	center := boxTop.Origin.Add(boxTop.U.Scale(0.5)).Add(boxTop.V.Scale(0.5))
+	cam := DefaultCamera(8, 8)
+	cam.Pos = mathx.Vec3{X: center.X, Y: 2.5, Z: center.Z}
+	cam.Pitch = math.Pi / 2 // looking straight down
+	fr, err := Render(w, cam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fr.DepthAt(4, 4)
+	wantMax := 2.5 - center.Y + 0.15
+	if d <= 0 || d > wantMax {
+		t.Errorf("depth over box = %v, want <= %v (box occludes floor)", d, wantMax)
+	}
+}
+
+func TestFovY(t *testing.T) {
+	cam := DefaultCamera(200, 200)
+	// Square image: FovY == FovX.
+	if math.Abs(cam.FovY()-cam.FovX) > 1e-9 {
+		t.Errorf("square FovY = %v, want %v", cam.FovY(), cam.FovX)
+	}
+	wide := DefaultCamera(400, 200)
+	if wide.FovY() >= wide.FovX {
+		t.Error("wide image should have FovY < FovX")
+	}
+}
+
+func BenchmarkRenderOffice160x120(b *testing.B) {
+	w := BuildOffice(1)
+	cam := DefaultCamera(160, 120)
+	cam.Pos = mathx.Vec3{X: 25, Y: 1.6, Z: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Render(w, cam); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"net"
+	"sync"
+
+	"visualprint/internal/codec"
+	"visualprint/internal/core"
+	"visualprint/internal/pose"
+	"visualprint/internal/sift"
+)
+
+// decodeKeypoints parses the shared keypoint wire format.
+func decodeKeypoints(data []byte) ([]sift.Keypoint, error) {
+	return codec.UnmarshalKeypoints(data)
+}
+
+// Client is a VisualPrint protocol client. It is safe for concurrent use;
+// requests are serialized over the single connection. The byte counters
+// feed the Figure 14 bandwidth accounting.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+
+	sent, received int64
+}
+
+// NewClient wraps an established connection (TCP or net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn}
+}
+
+// Dial connects to a VisualPrint server over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// BytesSent returns the total payload bytes uploaded (including framing).
+func (c *Client) BytesSent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+// BytesReceived returns the total payload bytes downloaded.
+func (c *Client) BytesReceived() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.received
+}
+
+// roundTrip sends one request frame and reads one response frame.
+func (c *Client) roundTrip(typ byte, payload []byte, wantType byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, typ, payload); err != nil {
+		return nil, err
+	}
+	c.sent += int64(len(payload)) + 5
+	rt, resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	c.received += int64(len(resp)) + 5
+	if rt == msgError {
+		return nil, errRemote{msg: string(resp)}
+	}
+	if rt != wantType {
+		return nil, errRemote{msg: "unexpected response type"}
+	}
+	return resp, nil
+}
+
+// FetchOracle downloads the current uniqueness oracle. blobSize is the
+// compressed transfer size in bytes (the paper's ~10 MB download).
+func (c *Client) FetchOracle() (o *core.Oracle, blobSize int64, err error) {
+	resp, err := c.roundTrip(msgGetOracle, nil, msgOracleBlob)
+	if err != nil {
+		return nil, 0, err
+	}
+	raw, err := codec.Gunzip(resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	o, err = core.Read(bytes.NewReader(raw))
+	if err != nil {
+		return nil, 0, err
+	}
+	return o, int64(len(resp)), nil
+}
+
+// RefreshOracle brings a previously downloaded oracle up to date. When the
+// server still retains the client's version it ships a compressed diff
+// (typically a small fraction of the full blob); otherwise the oracle is
+// replaced wholesale. The returned oracle is o itself after an incremental
+// patch, or a fresh instance after a full refresh.
+func (c *Client) RefreshOracle(o *core.Oracle) (updated *core.Oracle, transferBytes int64, incremental bool, err error) {
+	var req [8]byte
+	v := o.Inserts()
+	for i := 0; i < 8; i++ {
+		req[i] = byte(v >> (8 * i))
+	}
+	c.mu.Lock()
+	if err := writeFrame(c.conn, msgGetDiff, req[:]); err != nil {
+		c.mu.Unlock()
+		return nil, 0, false, err
+	}
+	c.sent += int64(len(req)) + 5
+	rt, resp, err := readFrame(c.conn)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, 0, false, err
+	}
+	c.received += int64(len(resp)) + 5
+	c.mu.Unlock()
+	switch rt {
+	case msgDiffBlob:
+		if err := core.ApplyDiff(o, resp); err != nil {
+			return nil, 0, false, err
+		}
+		return o, int64(len(resp)), true, nil
+	case msgOracleBlob:
+		raw, err := codec.Gunzip(resp)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		fresh, err := core.Read(bytes.NewReader(raw))
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return fresh, int64(len(resp)), false, nil
+	case msgError:
+		return nil, 0, false, errRemote{msg: string(resp)}
+	default:
+		return nil, 0, false, errRemote{msg: "unexpected response type"}
+	}
+}
+
+// Ingest uploads wardriven keypoint-to-3D mappings; it returns the server's
+// total mapping count after the batch.
+func (c *Client) Ingest(ms []Mapping) (total int, err error) {
+	resp, err := c.roundTrip(msgIngest, encodeMappings(ms), msgIngestAck)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 4 {
+		return 0, errRemote{msg: "bad ingest ack"}
+	}
+	return int(resp[0]) | int(resp[1])<<8 | int(resp[2])<<16 | int(resp[3])<<24, nil
+}
+
+// Query uploads selected keypoints (with their 2D pixel coordinates) and
+// returns the server's 3D localization.
+func (c *Client) Query(kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
+	payload := encodeQuery(intr, codec.MarshalKeypoints(kps))
+	resp, err := c.roundTrip(msgQuery, payload, msgQueryResult)
+	if err != nil {
+		return LocateResult{}, err
+	}
+	return decodeLocateResult(resp)
+}
+
+// Stats returns the server's mapping count.
+func (c *Client) Stats() (mappings uint64, err error) {
+	resp, err := c.roundTrip(msgStats, nil, msgStatsResult)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errRemote{msg: "bad stats response"}
+	}
+	for i := 0; i < 8; i++ {
+		mappings |= uint64(resp[i]) << (8 * i)
+	}
+	return mappings, nil
+}
+
+// QueryUploadBytes returns the wire size of a query with the given number
+// of keypoints — the per-query upload the paper reports as 51.2 KB for
+// VisualPrint-ish fingerprints versus 523 KB whole frames.
+func QueryUploadBytes(nKeypoints int) int64 {
+	return 5 + queryHeaderSize + 10 + int64(nKeypoints)*codec.KeypointWireSize
+}

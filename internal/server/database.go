@@ -1,0 +1,288 @@
+// Package server implements the VisualPrint cloud service and its client
+// library. The service holds the two server-side structures of the paper's
+// section 3: the LSH-indexed keypoint-to-3D-position lookup table and the
+// locality-sensitive Bloom filter uniqueness oracle (which clients download
+// and query locally). The wire protocol is a minimal length-prefixed binary
+// framing over TCP; an in-process transport (net.Pipe) serves tests.
+package server
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"visualprint/internal/bloom"
+	"visualprint/internal/cluster"
+	"visualprint/internal/core"
+	"visualprint/internal/lsh"
+	"visualprint/internal/mathx"
+	"visualprint/internal/pose"
+	"visualprint/internal/scene"
+	"visualprint/internal/sift"
+)
+
+// DatabaseConfig configures the server-side structures.
+type DatabaseConfig struct {
+	LSH    lsh.Params
+	Oracle core.Params
+	// NeighborsPerKeypoint is n in the paper's |K|*n candidate retrieval.
+	NeighborsPerKeypoint int
+	// MaxMatchDistSq rejects LSH candidates farther (squared Euclidean)
+	// than this from the query descriptor; 0 accepts everything. Gating
+	// matters: ungated far matches scatter 3D candidates across the venue
+	// and poison the clustering step.
+	MaxMatchDistSq int
+	Cluster        cluster.Params
+	Pose           pose.Options
+}
+
+// DefaultDatabaseConfig returns a configuration scaled for the simulated
+// venues (TestParams-sized oracle; swap in core.DefaultParams for the
+// paper's 2.5M-descriptor scale).
+func DefaultDatabaseConfig() DatabaseConfig {
+	return DatabaseConfig{
+		LSH:                  lsh.DefaultParams(),
+		Oracle:               core.TestParams(),
+		NeighborsPerKeypoint: 2,
+		MaxMatchDistSq:       60000,
+		Cluster:              cluster.DefaultParams(),
+		Pose:                 pose.DefaultOptions(),
+	}
+}
+
+// Database is the cloud service state. All methods are safe for concurrent
+// use.
+type Database struct {
+	cfg DatabaseConfig
+
+	mu        sync.RWMutex
+	index     *lsh.Index
+	positions []mathx.Vec3
+	oracle    *core.Oracle
+	lo, hi    mathx.Vec3
+	hasBounds bool
+	// snapshots retains clones of the oracle at versions clients have
+	// downloaded (keyed by insert count), so later refreshes can be served
+	// as compressed diffs instead of full blobs. Bounded to the most
+	// recent few versions.
+	snapshots map[uint64]*core.Oracle
+	snapOrder []uint64
+}
+
+// maxOracleSnapshots bounds retained download versions. Each snapshot is a
+// full filter clone (megabytes at simulated scale, ~190 MB at the paper's
+// 2.5M-descriptor sizing), so the window stays small; clients older than
+// the window transparently fall back to a full download.
+const maxOracleSnapshots = 4
+
+// NewDatabase creates an empty database.
+func NewDatabase(cfg DatabaseConfig) (*Database, error) {
+	if cfg.NeighborsPerKeypoint <= 0 {
+		cfg.NeighborsPerKeypoint = 2
+	}
+	ix, err := lsh.NewIndex(cfg.LSH)
+	if err != nil {
+		return nil, err
+	}
+	o, err := core.New(cfg.Oracle)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{cfg: cfg, index: ix, oracle: o, snapshots: map[uint64]*core.Oracle{}}, nil
+}
+
+// Mapping is one wardriven keypoint-to-3D-position record.
+type Mapping struct {
+	Desc [sift.DescriptorSize]byte
+	Pos  mathx.Vec3
+}
+
+// Ingest incorporates wardriven mappings: each descriptor is added to the
+// lookup table and the uniqueness oracle — "in constant time and memory"
+// per record.
+func (db *Database) Ingest(ms []Mapping) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i := range ms {
+		desc := make([]byte, sift.DescriptorSize)
+		copy(desc, ms[i].Desc[:])
+		if _, err := db.index.Insert(desc); err != nil {
+			return err
+		}
+		if err := db.oracle.Insert(desc); err != nil {
+			return err
+		}
+		db.positions = append(db.positions, ms[i].Pos)
+		p := ms[i].Pos
+		if !db.hasBounds {
+			db.lo, db.hi = p, p
+			db.hasBounds = true
+			continue
+		}
+		db.lo.X = math.Min(db.lo.X, p.X)
+		db.lo.Y = math.Min(db.lo.Y, p.Y)
+		db.lo.Z = math.Min(db.lo.Z, p.Z)
+		db.hi.X = math.Max(db.hi.X, p.X)
+		db.hi.Y = math.Max(db.hi.Y, p.Y)
+		db.hi.Z = math.Max(db.hi.Z, p.Z)
+	}
+	return nil
+}
+
+// Len returns the number of ingested mappings.
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.positions)
+}
+
+// Bounds returns the axis-aligned bounding box of ingested positions.
+func (db *Database) Bounds() (lo, hi mathx.Vec3, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lo, db.hi, db.hasBounds
+}
+
+// OracleBlob serializes the current uniqueness oracle, gzip-compressed —
+// the payload a client downloads on first start ("approximately 10MB" in
+// the paper's testing). The served version is snapshotted so subsequent
+// refreshes from this client can be answered with OracleDiff.
+func (db *Database) OracleBlob() ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.snapshotLocked(); err != nil {
+		return nil, err
+	}
+	return bloom.GzipBytes(db.oracle)
+}
+
+// snapshotLocked records a clone of the oracle at its current version.
+func (db *Database) snapshotLocked() error {
+	v := db.oracle.Inserts()
+	if _, ok := db.snapshots[v]; ok {
+		return nil
+	}
+	clone, err := db.oracle.Clone()
+	if err != nil {
+		return err
+	}
+	db.snapshots[v] = clone
+	db.snapOrder = append(db.snapOrder, v)
+	for len(db.snapOrder) > maxOracleSnapshots {
+		delete(db.snapshots, db.snapOrder[0])
+		db.snapOrder = db.snapOrder[1:]
+	}
+	return nil
+}
+
+// OracleDiff returns a compressed delta from the client's version
+// (identified by its insert count) to the current oracle — the incremental
+// refresh the paper proposes instead of re-downloading the filters. ok is
+// false when the server no longer retains that version; the caller should
+// fall back to OracleBlob.
+func (db *Database) OracleDiff(sinceInserts uint64) (diff []byte, ok bool, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	old, found := db.snapshots[sinceInserts]
+	if !found {
+		return nil, false, nil
+	}
+	d, err := core.Diff(old, db.oracle)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := db.snapshotLocked(); err != nil { // the patched version is now live
+		return nil, false, err
+	}
+	return d, true, nil
+}
+
+// Oracle exposes the live oracle for in-process use (benchmarks and the
+// public API's single-process mode).
+func (db *Database) Oracle() *core.Oracle {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.oracle
+}
+
+// LocateResult is the server's answer to a localization query.
+type LocateResult struct {
+	Position mathx.Vec3
+	Yaw      float64
+	Residual float64
+	// Matched counts the keypoints whose matches survived clustering.
+	Matched int
+}
+
+// Locate runs the paper's server-side query pipeline: LSH candidate
+// retrieval for each uploaded keypoint, spatial clustering of the candidate
+// 3D points, largest-cluster filtering, and the Figure 12 optimization over
+// the surviving correspondences.
+func (db *Database) Locate(kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if len(db.positions) == 0 {
+		return LocateResult{}, errors.New("server: database is empty")
+	}
+	// |K| * n candidate 3D points.
+	type cand struct {
+		px, py float64
+		p      mathx.Vec3
+	}
+	var cands []cand
+	for i := range kps {
+		res, err := db.index.Query(kps[i].Desc[:], lsh.QueryOptions{
+			MaxCandidates: db.cfg.NeighborsPerKeypoint,
+			MultiProbe:    true,
+		})
+		if err != nil {
+			return LocateResult{}, err
+		}
+		for _, c := range res {
+			if db.cfg.MaxMatchDistSq > 0 && c.DistSq > db.cfg.MaxMatchDistSq {
+				continue
+			}
+			cands = append(cands, cand{px: kps[i].X, py: kps[i].Y, p: db.positions[c.ID]})
+		}
+	}
+	if len(cands) < 3 {
+		return LocateResult{}, errors.New("server: too few keypoint matches")
+	}
+	// Largest spatial cluster filters out scattered false matches.
+	pts := make([]mathx.Vec3, len(cands))
+	for i, c := range cands {
+		pts[i] = c.p
+	}
+	largest, ok, err := cluster.Largest(pts, db.cfg.Cluster)
+	if err != nil {
+		return LocateResult{}, err
+	}
+	if !ok || len(largest.Indices) < 3 {
+		return LocateResult{}, errors.New("server: no spatial consensus among matches")
+	}
+	corr := make([]pose.Correspondence, 0, len(largest.Indices))
+	for _, i := range largest.Indices {
+		corr = append(corr, pose.Correspondence{Px: cands[i].px, Py: cands[i].py, P: cands[i].p})
+	}
+	// Search box: the ingested bounds with a small pad. Keeping the box
+	// tight matters: keypoints concentrated on one wall admit a mirrored
+	// camera position through the wall plane, which a box clipped to the
+	// venue interior excludes.
+	pad := mathx.Vec3{X: 0.3, Y: 0.3, Z: 0.3}
+	res, err := pose.Localize(corr, intr, db.lo.Sub(pad), db.hi.Add(pad), db.cfg.Pose)
+	if err != nil {
+		return LocateResult{}, err
+	}
+	return LocateResult{
+		Position: res.Position,
+		Yaw:      res.Yaw,
+		Residual: res.Residual,
+		Matched:  len(largest.Indices),
+	}, nil
+}
+
+// IntrinsicsForTest builds pose intrinsics from a scene camera (diagnostic
+// helper).
+func IntrinsicsForTest(cam scene.Camera) pose.Intrinsics {
+	return pose.Intrinsics{W: cam.W, H: cam.H, FovX: cam.FovX, FovY: cam.FovY()}
+}

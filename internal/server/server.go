@@ -1,0 +1,191 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+)
+
+// Server accepts VisualPrint protocol connections and serves a Database.
+type Server struct {
+	db *Database
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	// Logf receives connection-level errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Serve starts accepting connections on ln. It returns immediately; Close
+// stops the accept loop and all connections.
+func Serve(ln net.Listener, db *Database) *Server {
+	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// ListenAndServe listens on addr (TCP) and serves db.
+func ListenAndServe(addr string, db *Database) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, db), nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server and closes every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ServeConn handles one protocol connection until EOF or error. It is
+// exported so tests and single-process deployments can drive the protocol
+// over net.Pipe.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		if err := s.dispatch(conn, typ, payload); err != nil {
+			if s.Logf != nil {
+				s.Logf("visualprint server: %v", err)
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, typ byte, payload []byte) error {
+	switch typ {
+	case msgGetOracle:
+		blob, err := s.db.OracleBlob()
+		if err != nil {
+			return writeError(conn, err)
+		}
+		return writeFrame(conn, msgOracleBlob, blob)
+	case msgIngest:
+		ms, err := decodeMappings(payload)
+		if err != nil {
+			return writeError(conn, err)
+		}
+		if err := s.db.Ingest(ms); err != nil {
+			return writeError(conn, err)
+		}
+		ack := make([]byte, 4)
+		n := s.db.Len()
+		ack[0] = byte(n)
+		ack[1] = byte(n >> 8)
+		ack[2] = byte(n >> 16)
+		ack[3] = byte(n >> 24)
+		return writeFrame(conn, msgIngestAck, ack)
+	case msgQuery:
+		intr, kpData, err := decodeQueryHeader(payload)
+		if err != nil {
+			return writeError(conn, err)
+		}
+		kps, err := decodeKeypoints(kpData)
+		if err != nil {
+			return writeError(conn, err)
+		}
+		res, err := s.db.Locate(kps, intr)
+		if err != nil {
+			return writeError(conn, err)
+		}
+		return writeFrame(conn, msgQueryResult, encodeLocateResult(res))
+	case msgGetDiff:
+		if len(payload) != 8 {
+			return writeError(conn, errors.New("bad diff request"))
+		}
+		var since uint64
+		for i := 0; i < 8; i++ {
+			since |= uint64(payload[i]) << (8 * i)
+		}
+		diff, ok, err := s.db.OracleDiff(since)
+		if err != nil {
+			return writeError(conn, err)
+		}
+		if ok {
+			return writeFrame(conn, msgDiffBlob, diff)
+		}
+		// Version no longer retained: fall back to the full blob.
+		blob, err := s.db.OracleBlob()
+		if err != nil {
+			return writeError(conn, err)
+		}
+		return writeFrame(conn, msgOracleBlob, blob)
+	case msgStats:
+		buf := make([]byte, 8)
+		n := uint64(s.db.Len())
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(n >> (8 * i))
+		}
+		return writeFrame(conn, msgStatsResult, buf)
+	default:
+		return writeError(conn, fmt.Errorf("unknown message type %d", typ))
+	}
+}
+
+func writeError(conn net.Conn, err error) error {
+	return writeFrame(conn, msgError, []byte(err.Error()))
+}
+
+// errRemote wraps a server-reported error.
+type errRemote struct{ msg string }
+
+func (e errRemote) Error() string { return "visualprint server: " + e.msg }
+
+// IsRemote reports whether err was returned by the server (as opposed to a
+// transport failure).
+func IsRemote(err error) bool {
+	var r errRemote
+	return errors.As(err, &r)
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"visualprint/internal/mathx"
+	"visualprint/internal/pose"
+	"visualprint/internal/sift"
+)
+
+// Message types of the VisualPrint wire protocol. Every frame is
+// [uint32 length][uint8 type][payload]; length covers type+payload.
+const (
+	msgGetOracle   byte = 1 // -> gzip oracle blob
+	msgIngest      byte = 2 // mappings -> uint32 total count
+	msgQuery       byte = 3 // intrinsics + keypoints -> locate result
+	msgStats       byte = 4 // -> uint64 mapping count
+	msgOracleBlob  byte = 5
+	msgIngestAck   byte = 6
+	msgQueryResult byte = 7
+	msgStatsResult byte = 8
+	msgGetDiff     byte = 9  // client's oracle version -> diff or full blob
+	msgDiffBlob    byte = 10 // incremental oracle update
+	msgError       byte = 0x7f
+)
+
+// maxFrameSize bounds a single protocol frame (oracle blobs dominate).
+const maxFrameSize = 1 << 30
+
+// writeFrame writes one protocol frame as a single Write call: header and
+// payload combined. A single write avoids interleaving hazards and,
+// critically, never issues a zero-length Write — net.Pipe (used by the
+// in-process transport) treats a 0-byte write as a rendezvous that blocks
+// until a reader arrives, which would deadlock empty-payload requests.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrameSize {
+		return errors.New("server: frame too large")
+	}
+	buf := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)+1))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one protocol frame.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameSize {
+		return 0, nil, fmt.Errorf("server: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+const mappingWireSize = sift.DescriptorSize + 3*8
+
+// encodeMappings serializes an ingest payload.
+func encodeMappings(ms []Mapping) []byte {
+	buf := make([]byte, 4+len(ms)*mappingWireSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(ms)))
+	off := 4
+	for i := range ms {
+		copy(buf[off:], ms[i].Desc[:])
+		off += sift.DescriptorSize
+		for _, f := range []float64{ms[i].Pos.X, ms[i].Pos.Y, ms[i].Pos.Z} {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(f))
+			off += 8
+		}
+	}
+	return buf
+}
+
+// decodeMappings parses an ingest payload.
+func decodeMappings(data []byte) ([]Mapping, error) {
+	if len(data) < 4 {
+		return nil, errors.New("server: short ingest payload")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != n*mappingWireSize {
+		return nil, fmt.Errorf("server: ingest payload %d bytes, want %d", len(data), n*mappingWireSize)
+	}
+	ms := make([]Mapping, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		copy(ms[i].Desc[:], data[off:off+sift.DescriptorSize])
+		off += sift.DescriptorSize
+		ms[i].Pos.X = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		ms[i].Pos.Y = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		ms[i].Pos.Z = math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:]))
+		off += 24
+	}
+	return ms, nil
+}
+
+const queryHeaderSize = 4 + 4 + 8 + 8
+
+// encodeQuery serializes a localization query: intrinsics header followed
+// by the keypoint wire format shared with internal/codec (which includes
+// the 2D pixel coordinate of each keypoint — the "keypoint-plus-2D
+// coordinate pairs" of the paper).
+func encodeQuery(intr pose.Intrinsics, kpPayload []byte) []byte {
+	buf := make([]byte, queryHeaderSize, queryHeaderSize+len(kpPayload))
+	binary.LittleEndian.PutUint32(buf, uint32(intr.W))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(intr.H))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(intr.FovX))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(intr.FovY))
+	return append(buf, kpPayload...)
+}
+
+// decodeQueryHeader parses the intrinsics header, returning the keypoint
+// payload remainder.
+func decodeQueryHeader(data []byte) (pose.Intrinsics, []byte, error) {
+	if len(data) < queryHeaderSize {
+		return pose.Intrinsics{}, nil, errors.New("server: short query payload")
+	}
+	intr := pose.Intrinsics{
+		W:    int(binary.LittleEndian.Uint32(data)),
+		H:    int(binary.LittleEndian.Uint32(data[4:])),
+		FovX: math.Float64frombits(binary.LittleEndian.Uint64(data[8:])),
+		FovY: math.Float64frombits(binary.LittleEndian.Uint64(data[16:])),
+	}
+	return intr, data[queryHeaderSize:], nil
+}
+
+// encodeLocateResult serializes a query response.
+func encodeLocateResult(r LocateResult) []byte {
+	buf := make([]byte, 5*8+4)
+	off := 0
+	for _, f := range []float64{r.Position.X, r.Position.Y, r.Position.Z, r.Yaw, r.Residual} {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(f))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(buf[off:], uint32(r.Matched))
+	return buf
+}
+
+// decodeLocateResult parses a query response.
+func decodeLocateResult(data []byte) (LocateResult, error) {
+	if len(data) != 5*8+4 {
+		return LocateResult{}, errors.New("server: bad locate result size")
+	}
+	var r LocateResult
+	fs := make([]float64, 5)
+	for i := range fs {
+		fs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	r.Position = mathx.Vec3{X: fs[0], Y: fs[1], Z: fs[2]}
+	r.Yaw, r.Residual = fs[3], fs[4]
+	r.Matched = int(binary.LittleEndian.Uint32(data[40:]))
+	return r, nil
+}

@@ -1,0 +1,149 @@
+// Package session simulates the VisualPrint client app's continuous
+// capture loop (paper section 3, "Client Android App"): the camera produces
+// frames at a fixed rate; each frame passes a quick blur check; frames that
+// arrive while the processor is still busy are dropped ("it also rejects
+// frames when processing falls behind the realtime stream... the app only
+// processes extremely recent frames"); surviving frames go through SIFT
+// extraction, oracle filtering, and upload over a modeled link.
+//
+// The simulator is deterministic and time-virtualized: processing costs are
+// supplied by a cost model rather than wall-clock measurement, so the same
+// session replays identically and the Figure 14/18 accounting can be
+// derived from it.
+package session
+
+import (
+	"errors"
+	"time"
+
+	"visualprint/internal/netsim"
+)
+
+// FrameClass describes what the capture loop did with one camera frame.
+type FrameClass int
+
+// Frame outcomes.
+const (
+	FrameProcessed FrameClass = iota // extracted, filtered, uploaded
+	FrameBlurred                     // rejected by the blur check
+	FrameStale                       // dropped: processor busy when it arrived
+)
+
+// String returns the outcome name.
+func (c FrameClass) String() string {
+	switch c {
+	case FrameProcessed:
+		return "processed"
+	case FrameBlurred:
+		return "blurred"
+	case FrameStale:
+		return "stale"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes the simulated capture session.
+type Config struct {
+	// FPS is the camera frame rate.
+	FPS float64
+	// Duration of the session.
+	Duration time.Duration
+	// ExtractTime is the per-frame SIFT cost; FilterTime the oracle
+	// lookup+sort cost (the two Figure 16 latencies).
+	ExtractTime, FilterTime time.Duration
+	// UploadBytes per processed frame (the fingerprint size).
+	UploadBytes int64
+	// Link carries the uploads; uploads overlap with processing (the
+	// radio and CPU pipeline independently) but serialize on the link.
+	Link netsim.Link
+	// BlurredFrame reports whether frame i is motion-blurred (the quick
+	// client-side check rejects it before any processing). Nil means no
+	// frames are blurred.
+	BlurredFrame func(i int) bool
+}
+
+// Validate reports whether the config is usable.
+func (c Config) Validate() error {
+	if c.FPS <= 0 || c.Duration <= 0 {
+		return errors.New("session: FPS and Duration must be positive")
+	}
+	if c.ExtractTime < 0 || c.FilterTime < 0 || c.UploadBytes < 0 {
+		return errors.New("session: negative costs")
+	}
+	return c.Link.Validate()
+}
+
+// FrameEvent records one camera frame's fate.
+type FrameEvent struct {
+	Index    int
+	At       time.Duration // capture timestamp
+	Class    FrameClass
+	DoneAt   time.Duration // processing completion (processed frames only)
+	Uploaded time.Duration // upload completion (processed frames only)
+}
+
+// Result summarizes a session.
+type Result struct {
+	Frames    []FrameEvent
+	Processed int
+	Blurred   int
+	Stale     int
+	BytesSent int64
+	// EffectiveQPS is the achieved processed-query rate.
+	EffectiveQPS float64
+	// MeanFreshness is the mean age of a frame at upload completion —
+	// the "perceivable latency on the screen" the paper's design keeps
+	// low by always processing the newest frame.
+	MeanFreshness time.Duration
+}
+
+// Run simulates the capture loop.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	period := time.Duration(float64(time.Second) / cfg.FPS)
+	res := &Result{}
+	var cpuFree, linkFree time.Duration
+	var freshnessSum time.Duration
+	perFrame := cfg.ExtractTime + cfg.FilterTime
+	for i := 0; ; i++ {
+		at := time.Duration(i) * period
+		if at >= cfg.Duration {
+			break
+		}
+		ev := FrameEvent{Index: i, At: at}
+		switch {
+		case cfg.BlurredFrame != nil && cfg.BlurredFrame(i):
+			ev.Class = FrameBlurred
+			res.Blurred++
+		case at < cpuFree || linkFree > at+perFrame:
+			// The processor is mid-frame, or the radio is still draining
+			// a previous upload: this frame would be stale before its
+			// result could leave the phone, so the loop drops it and will
+			// pick the newest frame available when the pipeline frees up.
+			ev.Class = FrameStale
+			res.Stale++
+		default:
+			ev.Class = FrameProcessed
+			ev.DoneAt = at + perFrame
+			cpuFree = ev.DoneAt
+			start := ev.DoneAt
+			if linkFree > start {
+				start = linkFree
+			}
+			ev.Uploaded = start + cfg.Link.TransferTime(cfg.UploadBytes)
+			linkFree = ev.Uploaded
+			res.Processed++
+			res.BytesSent += cfg.UploadBytes
+			freshnessSum += ev.Uploaded - at
+		}
+		res.Frames = append(res.Frames, ev)
+	}
+	if res.Processed > 0 {
+		res.EffectiveQPS = float64(res.Processed) / cfg.Duration.Seconds()
+		res.MeanFreshness = freshnessSum / time.Duration(res.Processed)
+	}
+	return res, nil
+}

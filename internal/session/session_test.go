@@ -1,0 +1,158 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"visualprint/internal/netsim"
+)
+
+func baseConfig() Config {
+	return Config{
+		FPS:         30,
+		Duration:    10 * time.Second,
+		ExtractTime: 80 * time.Millisecond,
+		FilterTime:  5 * time.Millisecond,
+		UploadBytes: 29_000,
+		Link:        netsim.Link{UplinkMbps: 6, RTT: 30 * time.Millisecond},
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := baseConfig()
+	bad.FPS = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero FPS accepted")
+	}
+	bad = baseConfig()
+	bad.Link.UplinkMbps = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid link accepted")
+	}
+	bad = baseConfig()
+	bad.ExtractTime = -time.Second
+	if _, err := Run(bad); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestRunDropsStaleFrames(t *testing.T) {
+	// 30 FPS camera, 85 ms processing: the CPU can sustain ~11.7 QPS, so
+	// roughly 2 of every 3 frames must be dropped as stale.
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale == 0 {
+		t.Fatal("no stale frames despite an oversubscribed CPU")
+	}
+	if res.Processed == 0 {
+		t.Fatal("nothing processed")
+	}
+	if qps := res.EffectiveQPS; qps < 10 || qps > 12.5 {
+		t.Errorf("effective QPS = %.1f, want ~11.7", qps)
+	}
+	// Every frame is accounted exactly once.
+	if res.Processed+res.Blurred+res.Stale != len(res.Frames) {
+		t.Error("frame accounting leaks")
+	}
+}
+
+func TestRunKeepsUpWhenCheap(t *testing.T) {
+	cfg := baseConfig()
+	cfg.FPS = 5
+	cfg.ExtractTime = 50 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale != 0 {
+		t.Errorf("%d stale frames on an underloaded CPU", res.Stale)
+	}
+	if res.Processed != 50 {
+		t.Errorf("processed %d of 50 frames", res.Processed)
+	}
+}
+
+func TestRunBlurGate(t *testing.T) {
+	cfg := baseConfig()
+	cfg.FPS = 5
+	cfg.ExtractTime = 10 * time.Millisecond
+	// Every third frame blurred (handheld motion bursts).
+	cfg.BlurredFrame = func(i int) bool { return i%3 == 0 }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blurred == 0 {
+		t.Fatal("blur gate never fired")
+	}
+	// Blurred frames cost nothing: no upload bytes attributed to them.
+	if res.BytesSent != int64(res.Processed)*cfg.UploadBytes {
+		t.Error("blurred frames counted toward upload")
+	}
+	for _, ev := range res.Frames {
+		if ev.Class == FrameBlurred && (ev.DoneAt != 0 || ev.Uploaded != 0) {
+			t.Fatal("blurred frame has processing timestamps")
+		}
+	}
+}
+
+func TestRunFreshnessBounded(t *testing.T) {
+	// The always-newest-frame policy keeps mean freshness near the
+	// per-frame cost plus transfer, not growing with the backlog.
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFrame := 85*time.Millisecond + // processing
+		baseConfig().Link.TransferTime(29_000)
+	if res.MeanFreshness > 2*perFrame {
+		t.Errorf("mean freshness %v far above per-frame cost %v", res.MeanFreshness, perFrame)
+	}
+}
+
+func TestRunUploadSerializesOnLink(t *testing.T) {
+	cfg := baseConfig()
+	cfg.FPS = 10
+	cfg.ExtractTime = time.Millisecond // CPU never the bottleneck
+	cfg.UploadBytes = 2_000_000        // whole-frame offload: link-bound
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Duration
+	for _, ev := range res.Frames {
+		if ev.Class != FrameProcessed {
+			continue
+		}
+		if ev.Uploaded < prev {
+			t.Fatal("uploads overlap on the serial link")
+		}
+		prev = ev.Uploaded
+	}
+	// Link capacity bound: 6 Mbps for 10 s = 7.5 MB.
+	if res.BytesSent > 8_000_000 {
+		t.Errorf("sent %d bytes over a 6 Mbps link in 10 s", res.BytesSent)
+	}
+}
+
+func TestFrameClassString(t *testing.T) {
+	if FrameProcessed.String() != "processed" ||
+		FrameBlurred.String() != "blurred" ||
+		FrameStale.String() != "stale" ||
+		FrameClass(99).String() != "unknown" {
+		t.Error("FrameClass.String broken")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(baseConfig())
+	if a.Processed != b.Processed || a.BytesSent != b.BytesSent || a.MeanFreshness != b.MeanFreshness {
+		t.Error("session not deterministic")
+	}
+}

@@ -1,0 +1,91 @@
+package sift
+
+import (
+	"math"
+	"math/rand"
+
+	"visualprint/internal/imaging"
+)
+
+// The paper's section 5 notes that VisualPrint is not SIFT-specific:
+// "Keypoint detection and description are two separate stages... One can
+// use any keypoint detection algorithm with another integer keypoint
+// description algorithm without modification in the system pipeline."
+// BriefDescriptor demonstrates that: a BRIEF-style binary descriptor
+// (Calonder et al., ECCV 2010) computed at SIFT-detected keypoints,
+// packed into 32 bytes. Fed to the LSH/Bloom pipeline with Dim=32 it
+// works unmodified — Euclidean distance over packed bytes correlates with
+// Hamming distance on this encoding.
+
+// BriefSize is the packed BRIEF descriptor size in bytes (256 bits).
+const BriefSize = 32
+
+// BriefDescriptor is a 256-bit binary descriptor packed as bytes.
+type BriefDescriptor [BriefSize]byte
+
+// Hamming returns the number of differing bits between two descriptors.
+func (d *BriefDescriptor) Hamming(e *BriefDescriptor) int {
+	n := 0
+	for i := 0; i < BriefSize; i++ {
+		x := d[i] ^ e[i]
+		for x != 0 {
+			x &= x - 1
+			n++
+		}
+	}
+	return n
+}
+
+// briefPattern is the fixed sampling pattern: 256 point pairs within a
+// patch, drawn once from an isotropic Gaussian (the standard BRIEF
+// construction) with a fixed seed so every descriptor uses the same
+// pattern.
+var briefPattern = func() [256][4]float64 {
+	rng := rand.New(rand.NewSource(0x9e3779b9))
+	var p [256][4]float64
+	for i := range p {
+		for j := 0; j < 4; j++ {
+			v := rng.NormFloat64() * 0.2
+			p[i][j] = math.Max(-0.5, math.Min(0.5, v))
+		}
+	}
+	return p
+}()
+
+// DescribeBRIEF computes the oriented BRIEF descriptor of a keypoint
+// directly from the image: intensity comparisons over a patch scaled by
+// the keypoint's scale and rotated to its orientation (steered BRIEF, so
+// the descriptor shares SIFT's rotation invariance).
+func DescribeBRIEF(img *imaging.Gray, kp *Keypoint) BriefDescriptor {
+	var out BriefDescriptor
+	patch := 24 * kp.Scale / 1.6 // patch radius tracks detection scale
+	cosT, sinT := math.Cos(kp.Orientation), math.Sin(kp.Orientation)
+	sample := func(u, v float64) float32 {
+		// Rotate the normalized offset into the keypoint frame.
+		x := kp.X + patch*(cosT*u-sinT*v)
+		y := kp.Y + patch*(sinT*u+cosT*v)
+		return img.Bilinear(x, y)
+	}
+	for i, pr := range briefPattern {
+		a := sample(pr[0], pr[1])
+		b := sample(pr[2], pr[3])
+		if a > b {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// DetectBRIEF runs the SIFT detector but describes keypoints with BRIEF,
+// returning parallel slices of keypoints and their binary descriptors. The
+// SIFT Desc fields of the returned keypoints are zeroed: this is the
+// "another integer keypoint description algorithm" swap of section 5.
+func DetectBRIEF(img *imaging.Gray, cfg Config) ([]Keypoint, []BriefDescriptor) {
+	kps := Detect(img, cfg)
+	descs := make([]BriefDescriptor, len(kps))
+	for i := range kps {
+		descs[i] = DescribeBRIEF(img, &kps[i])
+		kps[i].Desc = Descriptor{}
+	}
+	return kps, descs
+}

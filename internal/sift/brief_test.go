@@ -1,0 +1,119 @@
+package sift
+
+import (
+	"testing"
+
+	"visualprint/internal/imaging"
+	"visualprint/internal/lsh"
+)
+
+func TestBriefHamming(t *testing.T) {
+	var a, b BriefDescriptor
+	if a.Hamming(&b) != 0 {
+		t.Error("identical descriptors should be 0 apart")
+	}
+	b[0] = 0xff
+	b[31] = 0x01
+	if got := a.Hamming(&b); got != 9 {
+		t.Errorf("Hamming = %d, want 9", got)
+	}
+}
+
+func TestBriefDeterministic(t *testing.T) {
+	img := noiseImage(128, 96, 12)
+	kps, d1 := DetectBRIEF(img, DefaultConfig())
+	_, d2 := DetectBRIEF(img, DefaultConfig())
+	if len(kps) == 0 {
+		t.Fatal("no keypoints")
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("BRIEF not deterministic")
+		}
+	}
+	// SIFT descriptors are zeroed in the BRIEF pipeline.
+	for i := range kps {
+		if kps[i].Desc != (Descriptor{}) {
+			t.Fatal("SIFT descriptor not cleared")
+		}
+	}
+}
+
+func TestBriefDiscriminative(t *testing.T) {
+	// Same physical pattern shifted: corresponding keypoints should be
+	// closer in Hamming distance than random pairs.
+	tex := imaging.NoiseTexture{Seed: 77, Freq: 8, Octaves: 3, Gain: 1}
+	w, h := 128, 128
+	a := imaging.NewGray(w, h)
+	b := imaging.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a.Set(x, y, float32(tex.Sample(float64(x)/40, float64(y)/40)))
+			b.Set(x, y, float32(tex.Sample(float64(x+6)/40, float64(y)/40)))
+		}
+	}
+	ka, da := DetectBRIEF(a, DefaultConfig())
+	kb, db := DetectBRIEF(b, DefaultConfig())
+	if len(ka) < 5 || len(kb) < 5 {
+		t.Fatalf("too few keypoints: %d, %d", len(ka), len(kb))
+	}
+	matched, tight := 0, 0
+	for i := range ka {
+		best, bestD := -1, 3.0
+		for j := range kb {
+			dx, dy := kb[j].X-(ka[i].X-6), kb[j].Y-ka[i].Y
+			if d := dx*dx + dy*dy; d < bestD {
+				bestD, best = d, j
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		matched++
+		corr := da[i].Hamming(&db[best])
+		other := da[i].Hamming(&db[(best+3)%len(db)])
+		if corr < other {
+			tight++
+		}
+	}
+	if matched < 3 {
+		t.Fatalf("only %d correspondences", matched)
+	}
+	if float64(tight) < 0.6*float64(matched) {
+		t.Errorf("BRIEF not discriminative: %d/%d", tight, matched)
+	}
+}
+
+func TestBriefFeedsLSHPipeline(t *testing.T) {
+	// Section 5's claim: the byte-packed binary descriptor drops into the
+	// E2LSH pipeline with Dim=32, unmodified.
+	img := noiseImage(160, 120, 13)
+	_, descs := DetectBRIEF(img, DefaultConfig())
+	if len(descs) < 10 {
+		t.Fatalf("only %d descriptors", len(descs))
+	}
+	params := lsh.Params{L: 8, M: 5, W: 60, Dim: BriefSize, Seed: 3}
+	ix, err := lsh.NewIndex(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range descs {
+		if _, err := ix.Insert(append([]byte(nil), descs[i][:]...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Self-query: each indexed descriptor finds itself at distance 0.
+	hits := 0
+	for i := range descs {
+		cands, err := ix.Query(descs[i][:], lsh.QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) > 0 && cands[0].DistSq == 0 {
+			hits++
+		}
+	}
+	if hits < len(descs)*9/10 {
+		t.Errorf("self-query hit only %d/%d via LSH over BRIEF bytes", hits, len(descs))
+	}
+}

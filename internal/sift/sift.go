@@ -1,0 +1,459 @@
+// Package sift implements the Scale-Invariant Feature Transform keypoint
+// detector and descriptor (Lowe, ICCV 1999) used by VisualPrint as its
+// visual feature. The implementation follows the classical pipeline:
+//
+//  1. Gaussian scale-space pyramid, difference-of-Gaussian (DoG) images.
+//  2. Scale-space extrema detection with contrast and edge rejection.
+//  3. Orientation assignment from a 36-bin gradient histogram.
+//  4. A 4x4x8 = 128-bin gradient descriptor, normalized, clamped at 0.2,
+//     renormalized, and quantized to one byte per dimension — the integer
+//     descriptor format the paper's LSH/Bloom pipeline requires ("each
+//     dimension being a one-byte integer value").
+//
+// The descriptor statistics (a few dimensions carrying most of the nearest-
+// neighbor distance, Figure 6) emerge from this construction.
+package sift
+
+import (
+	"math"
+	"sort"
+
+	"visualprint/internal/imaging"
+)
+
+// DescriptorSize is the dimensionality of a SIFT descriptor.
+const DescriptorSize = 128
+
+// Descriptor is a quantized 128-dimensional SIFT feature vector.
+type Descriptor [DescriptorSize]byte
+
+// Float returns the descriptor as a float64 slice, for distance and PCA
+// computations.
+func (d *Descriptor) Float() []float64 {
+	out := make([]float64, DescriptorSize)
+	for i, v := range d {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// DistSq returns the squared Euclidean distance between two descriptors.
+func (d *Descriptor) DistSq(e *Descriptor) int {
+	s := 0
+	for i := 0; i < DescriptorSize; i++ {
+		diff := int(d[i]) - int(e[i])
+		s += diff * diff
+	}
+	return s
+}
+
+// Keypoint is a detected, described interest point. X and Y are pixel
+// coordinates in the original image; Scale is the detection scale (the
+// radius drawn in the paper's Figure 4); Orientation is the dominant
+// gradient direction in radians.
+type Keypoint struct {
+	X, Y        float64
+	Scale       float64
+	Orientation float64
+	Response    float64 // |DoG| value at the extremum; larger is stronger
+	Desc        Descriptor
+}
+
+// Config holds detector parameters. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// ScalesPerOctave is the number of scales at which extrema are
+	// detected per octave (s in Lowe's paper); s+3 Gaussian images are
+	// built per octave.
+	ScalesPerOctave int
+	// Sigma is the base blur of the first pyramid level.
+	Sigma float64
+	// ContrastThreshold rejects low-contrast extrema (applied to |DoG|
+	// with image intensities in [0, 1]).
+	ContrastThreshold float64
+	// EdgeThreshold is the principal-curvature ratio r; extrema with
+	// trace^2/det > (r+1)^2/r are rejected as edge responses.
+	EdgeThreshold float64
+	// MaxKeypoints caps the output, keeping the strongest responses.
+	// Zero means no cap.
+	MaxKeypoints int
+}
+
+// DefaultConfig returns the standard SIFT parameterization.
+func DefaultConfig() Config {
+	return Config{
+		ScalesPerOctave:   3,
+		Sigma:             1.6,
+		ContrastThreshold: 0.03,
+		EdgeThreshold:     10,
+		MaxKeypoints:      0,
+	}
+}
+
+// Detect runs the full SIFT pipeline on img and returns described
+// keypoints, strongest first.
+func Detect(img *imaging.Gray, cfg Config) []Keypoint {
+	if cfg.ScalesPerOctave <= 0 {
+		cfg = DefaultConfig()
+	}
+	pyr := buildPyramid(img, cfg)
+	kps := detectExtrema(pyr, cfg)
+	out := make([]Keypoint, 0, len(kps))
+	for _, c := range kps {
+		for _, ori := range orientations(pyr, c) {
+			kp := Keypoint{
+				X:           c.x * c.octScale,
+				Y:           c.y * c.octScale,
+				Scale:       c.sigma * c.octScale,
+				Orientation: ori,
+				Response:    c.response,
+			}
+			describe(pyr, c, ori, &kp.Desc)
+			out = append(out, kp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Response > out[j].Response })
+	if cfg.MaxKeypoints > 0 && len(out) > cfg.MaxKeypoints {
+		out = out[:cfg.MaxKeypoints]
+	}
+	return out
+}
+
+// pyramid holds per-octave Gaussian and DoG stacks.
+type pyramid struct {
+	octaves [][]*imaging.Gray // gaussians[octave][level], len s+3
+	dogs    [][]*imaging.Gray // dogs[octave][level], len s+2
+	cfg     Config
+}
+
+func buildPyramid(img *imaging.Gray, cfg Config) *pyramid {
+	s := cfg.ScalesPerOctave
+	k := math.Pow(2, 1/float64(s))
+	nOct := 1
+	for w, h := img.W, img.H; w >= 16 && h >= 16; w, h = w/2, h/2 {
+		nOct++
+	}
+	nOct-- // last usable octave
+	if nOct < 1 {
+		nOct = 1
+	}
+
+	p := &pyramid{cfg: cfg}
+	base := imaging.GaussianBlur(img, cfg.Sigma) // assume nominal input blur 0
+	for o := 0; o < nOct; o++ {
+		levels := make([]*imaging.Gray, s+3)
+		levels[0] = base
+		sigmaPrev := cfg.Sigma
+		for l := 1; l < s+3; l++ {
+			sigmaTotal := cfg.Sigma * math.Pow(k, float64(l))
+			sigmaDelta := math.Sqrt(sigmaTotal*sigmaTotal - sigmaPrev*sigmaPrev)
+			levels[l] = imaging.GaussianBlur(levels[l-1], sigmaDelta)
+			sigmaPrev = sigmaTotal
+		}
+		dogs := make([]*imaging.Gray, s+2)
+		for l := 0; l < s+2; l++ {
+			d, _ := imaging.Subtract(levels[l+1], levels[l])
+			dogs[l] = d
+		}
+		p.octaves = append(p.octaves, levels)
+		p.dogs = append(p.dogs, dogs)
+		// Next octave starts from the level with 2x the base sigma.
+		base = imaging.Downsample(levels[s])
+		if base.W < 8 || base.H < 8 {
+			break
+		}
+	}
+	return p
+}
+
+// candidate is an extremum located in pyramid coordinates.
+type candidate struct {
+	octave   int
+	level    int     // DoG level of the extremum
+	x, y     float64 // coordinates within the octave
+	sigma    float64 // scale within the octave
+	octScale float64 // 2^octave: multiplier back to image coordinates
+	response float64
+}
+
+func detectExtrema(p *pyramid, cfg Config) []candidate {
+	var out []candidate
+	s := cfg.ScalesPerOctave
+	k := math.Pow(2, 1/float64(s))
+	edgeLimit := (cfg.EdgeThreshold + 1) * (cfg.EdgeThreshold + 1) / cfg.EdgeThreshold
+	for o, dogs := range p.dogs {
+		octScale := math.Pow(2, float64(o))
+		for l := 1; l <= len(dogs)-2; l++ {
+			d0, d1, d2 := dogs[l-1], dogs[l], dogs[l+1]
+			for y := 1; y < d1.H-1; y++ {
+				for x := 1; x < d1.W-1; x++ {
+					v := d1.Pix[y*d1.W+x]
+					av := math.Abs(float64(v))
+					if av < cfg.ContrastThreshold {
+						continue
+					}
+					if !isExtremum(d0, d1, d2, x, y, v) {
+						continue
+					}
+					// Edge rejection: 2x2 Hessian of the DoG.
+					dxx := float64(d1.At(x+1, y) + d1.At(x-1, y) - 2*v)
+					dyy := float64(d1.At(x, y+1) + d1.At(x, y-1) - 2*v)
+					dxy := float64(d1.At(x+1, y+1)-d1.At(x-1, y+1)-d1.At(x+1, y-1)+d1.At(x-1, y-1)) / 4
+					tr := dxx + dyy
+					det := dxx*dyy - dxy*dxy
+					if det <= 0 || tr*tr/det > edgeLimit {
+						continue
+					}
+					// Subpixel refinement in x and y via 1-D quadratic fits.
+					ox := quadOffset(float64(d1.At(x-1, y)), float64(v), float64(d1.At(x+1, y)))
+					oy := quadOffset(float64(d1.At(x, y-1)), float64(v), float64(d1.At(x, y+1)))
+					out = append(out, candidate{
+						octave:   o,
+						level:    l,
+						x:        float64(x) + ox,
+						y:        float64(y) + oy,
+						sigma:    cfg.Sigma * math.Pow(k, float64(l)),
+						octScale: octScale,
+						response: av,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// quadOffset returns the sub-sample offset of the vertex of the parabola
+// through (-1, a), (0, b), (1, c), clamped to [-0.5, 0.5].
+func quadOffset(a, b, c float64) float64 {
+	den := a - 2*b + c
+	if den == 0 {
+		return 0
+	}
+	off := 0.5 * (a - c) / den
+	if off > 0.5 {
+		off = 0.5
+	} else if off < -0.5 {
+		off = -0.5
+	}
+	return off
+}
+
+func isExtremum(d0, d1, d2 *imaging.Gray, x, y int, v float32) bool {
+	if v > 0 {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if d0.At(x+dx, y+dy) >= v || d2.At(x+dx, y+dy) >= v {
+					return false
+				}
+				if (dx != 0 || dy != 0) && d1.At(x+dx, y+dy) >= v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if d0.At(x+dx, y+dy) <= v || d2.At(x+dx, y+dy) <= v {
+				return false
+			}
+			if (dx != 0 || dy != 0) && d1.At(x+dx, y+dy) <= v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gaussianImage returns the Gaussian level nearest the candidate's scale.
+func (p *pyramid) gaussianImage(c candidate) *imaging.Gray {
+	levels := p.octaves[c.octave]
+	l := c.level + 1 // DoG level l sits between Gaussian levels l and l+1
+	if l >= len(levels) {
+		l = len(levels) - 1
+	}
+	return levels[l]
+}
+
+const oriBins = 36
+
+// orientations computes the dominant gradient orientation(s) of a candidate
+// from a Gaussian-weighted 36-bin histogram; peaks within 80% of the maximum
+// each produce a keypoint, per Lowe.
+func orientations(p *pyramid, c candidate) []float64 {
+	img := p.gaussianImage(c)
+	var hist [oriBins]float64
+	sigmaW := 1.5 * c.sigma
+	radius := int(math.Round(3 * sigmaW))
+	cx, cy := int(math.Round(c.x)), int(math.Round(c.y))
+	inv2s2 := -1 / (2 * sigmaW * sigmaW)
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			x, y := cx+dx, cy+dy
+			if x < 1 || y < 1 || x >= img.W-1 || y >= img.H-1 {
+				continue
+			}
+			mag, theta := imaging.Gradient(img, x, y)
+			w := math.Exp(float64(dx*dx+dy*dy) * inv2s2)
+			bin := int(math.Floor((theta + math.Pi) / (2 * math.Pi) * oriBins))
+			if bin >= oriBins {
+				bin = oriBins - 1
+			} else if bin < 0 {
+				bin = 0
+			}
+			hist[bin] += w * mag
+		}
+	}
+	// Smooth the histogram twice with a [1 1 1]/3 box filter.
+	for pass := 0; pass < 2; pass++ {
+		var sm [oriBins]float64
+		for i := 0; i < oriBins; i++ {
+			sm[i] = (hist[(i+oriBins-1)%oriBins] + hist[i] + hist[(i+1)%oriBins]) / 3
+		}
+		hist = sm
+	}
+	maxV := 0.0
+	for _, h := range hist {
+		if h > maxV {
+			maxV = h
+		}
+	}
+	if maxV == 0 {
+		return []float64{0}
+	}
+	var out []float64
+	for i := 0; i < oriBins; i++ {
+		h := hist[i]
+		prev := hist[(i+oriBins-1)%oriBins]
+		next := hist[(i+1)%oriBins]
+		if h < 0.8*maxV || h < prev || h < next {
+			continue
+		}
+		// Parabolic peak interpolation.
+		off := quadOffset(prev, h, next)
+		theta := (float64(i)+0.5+off)/oriBins*2*math.Pi - math.Pi
+		out = append(out, theta)
+		if len(out) == 4 {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = []float64{0}
+	}
+	return out
+}
+
+const (
+	descGrid = 4 // 4x4 spatial bins
+	descOri  = 8 // 8 orientation bins
+)
+
+// describe fills desc with the 128-dimensional gradient histogram of the
+// region around c, rotated to the given orientation, then normalized,
+// clamped at 0.2, renormalized, and quantized to bytes.
+func describe(p *pyramid, c candidate, orientation float64, desc *Descriptor) {
+	img := p.gaussianImage(c)
+	var raw [descGrid * descGrid * descOri]float64
+
+	histWidth := 3 * c.sigma // pixels per spatial bin
+	radius := int(math.Round(histWidth * math.Sqrt2 * (descGrid + 1) / 2))
+	if radius < 1 {
+		radius = 1
+	}
+	cosT, sinT := math.Cos(orientation), math.Sin(orientation)
+	cx, cy := c.x, c.y
+	binCenter := float64(descGrid)/2 - 0.5
+
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			x := int(math.Round(cx)) + dx
+			y := int(math.Round(cy)) + dy
+			if x < 1 || y < 1 || x >= img.W-1 || y >= img.H-1 {
+				continue
+			}
+			// Rotate the offset into the keypoint frame.
+			rx := (cosT*float64(dx) + sinT*float64(dy)) / histWidth
+			ry := (-sinT*float64(dx) + cosT*float64(dy)) / histWidth
+			bx := rx + binCenter
+			by := ry + binCenter
+			if bx <= -1 || bx >= descGrid || by <= -1 || by >= descGrid {
+				continue
+			}
+			mag, theta := imaging.Gradient(img, x, y)
+			rot := theta - orientation
+			for rot < 0 {
+				rot += 2 * math.Pi
+			}
+			for rot >= 2*math.Pi {
+				rot -= 2 * math.Pi
+			}
+			bo := rot / (2 * math.Pi) * descOri
+			w := math.Exp(-(rx*rx + ry*ry) / (0.5 * descGrid * descGrid))
+			trilinearAdd(raw[:], bx, by, bo, w*mag)
+		}
+	}
+
+	// Normalize, clamp, renormalize — Lowe's illumination invariance.
+	norm := 0.0
+	for _, v := range raw {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm > 0 {
+		for i := range raw {
+			raw[i] /= norm
+			if raw[i] > 0.2 {
+				raw[i] = 0.2
+			}
+		}
+		norm = 0
+		for _, v := range raw {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+	}
+	for i := range raw {
+		v := 0.0
+		if norm > 0 {
+			v = raw[i] / norm * 512
+		}
+		if v > 255 {
+			v = 255
+		}
+		desc[i] = byte(v)
+	}
+}
+
+// trilinearAdd distributes weight w into the 3-D histogram at fractional
+// coordinates (bx, by, bo), with wraparound on the orientation axis.
+func trilinearAdd(hist []float64, bx, by, bo, w float64) {
+	x0 := int(math.Floor(bx))
+	y0 := int(math.Floor(by))
+	o0 := int(math.Floor(bo))
+	fx := bx - float64(x0)
+	fy := by - float64(y0)
+	fo := bo - float64(o0)
+	for dx := 0; dx <= 1; dx++ {
+		xb := x0 + dx
+		if xb < 0 || xb >= descGrid {
+			continue
+		}
+		wx := w * ((1-fx)*(1-float64(dx)) + fx*float64(dx))
+		for dy := 0; dy <= 1; dy++ {
+			yb := y0 + dy
+			if yb < 0 || yb >= descGrid {
+				continue
+			}
+			wy := wx * ((1-fy)*(1-float64(dy)) + fy*float64(dy))
+			for do := 0; do <= 1; do++ {
+				ob := (o0 + do) % descOri
+				if ob < 0 {
+					ob += descOri
+				}
+				wo := wy * ((1-fo)*(1-float64(do)) + fo*float64(do))
+				hist[(yb*descGrid+xb)*descOri+ob] += wo
+			}
+		}
+	}
+}

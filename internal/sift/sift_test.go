@@ -1,0 +1,223 @@
+package sift
+
+import (
+	"math"
+	"testing"
+
+	"visualprint/internal/imaging"
+)
+
+// blobImage renders Gaussian blobs at the given centers — clean, isolated
+// scale-space extrema.
+func blobImage(w, h int, centers [][2]float64, sigma float64) *imaging.Gray {
+	g := imaging.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.1
+			for _, c := range centers {
+				dx, dy := float64(x)-c[0], float64(y)-c[1]
+				v += 0.8 * math.Exp(-(dx*dx+dy*dy)/(2*sigma*sigma))
+			}
+			g.Set(x, y, float32(math.Min(v, 1)))
+		}
+	}
+	return g
+}
+
+func noiseImage(w, h int, seed uint32) *imaging.Gray {
+	return imaging.RenderTexture(imaging.NoiseTexture{Seed: seed, Freq: 10, Octaves: 4, Gain: 1}, w, h, 2, 2)
+}
+
+func TestDetectFlatImageNoKeypoints(t *testing.T) {
+	g := imaging.NewGray(64, 64)
+	for i := range g.Pix {
+		g.Pix[i] = 0.5
+	}
+	if kps := Detect(g, DefaultConfig()); len(kps) != 0 {
+		t.Errorf("flat image produced %d keypoints", len(kps))
+	}
+}
+
+func TestDetectFindsBlobs(t *testing.T) {
+	centers := [][2]float64{{20, 20}, {44, 44}}
+	g := blobImage(64, 64, centers, 3)
+	kps := Detect(g, DefaultConfig())
+	if len(kps) == 0 {
+		t.Fatal("no keypoints on blob image")
+	}
+	// Each blob center should have a keypoint within a few pixels.
+	for _, c := range centers {
+		best := math.Inf(1)
+		for _, kp := range kps {
+			d := math.Hypot(kp.X-c[0], kp.Y-c[1])
+			if d < best {
+				best = d
+			}
+		}
+		if best > 4 {
+			t.Errorf("nearest keypoint to blob (%v,%v) is %.1f px away", c[0], c[1], best)
+		}
+	}
+}
+
+func TestDetectScaleReflectsBlobSize(t *testing.T) {
+	small := Detect(blobImage(96, 96, [][2]float64{{48, 48}}, 2.5), DefaultConfig())
+	large := Detect(blobImage(96, 96, [][2]float64{{48, 48}}, 7), DefaultConfig())
+	if len(small) == 0 || len(large) == 0 {
+		t.Skip("blob not detected at one of the sizes")
+	}
+	if large[0].Scale <= small[0].Scale {
+		t.Errorf("larger blob should be detected at larger scale: %v vs %v",
+			large[0].Scale, small[0].Scale)
+	}
+}
+
+func TestDetectSortedByResponse(t *testing.T) {
+	kps := Detect(noiseImage(128, 96, 1), DefaultConfig())
+	for i := 1; i < len(kps); i++ {
+		if kps[i].Response > kps[i-1].Response {
+			t.Fatal("keypoints not sorted by response")
+		}
+	}
+}
+
+func TestMaxKeypointsCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxKeypoints = 5
+	kps := Detect(noiseImage(128, 96, 1), cfg)
+	if len(kps) > 5 {
+		t.Errorf("cap not applied: %d keypoints", len(kps))
+	}
+}
+
+func TestNoiseImageYieldsManyKeypoints(t *testing.T) {
+	kps := Detect(noiseImage(160, 120, 2), DefaultConfig())
+	if len(kps) < 20 {
+		t.Errorf("high-entropy texture yielded only %d keypoints", len(kps))
+	}
+}
+
+func TestDescriptorTranslationInvariance(t *testing.T) {
+	// The same physical pattern shifted by 8 pixels must produce nearly
+	// identical descriptors for corresponding keypoints.
+	tex := imaging.NoiseTexture{Seed: 31, Freq: 8, Octaves: 3, Gain: 1}
+	w, h := 128, 128
+	a := imaging.NewGray(w, h)
+	b := imaging.NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a.Set(x, y, float32(tex.Sample(float64(x)/40, float64(y)/40)))
+			b.Set(x, y, float32(tex.Sample(float64(x+8)/40, float64(y)/40)))
+		}
+	}
+	ka := Detect(a, DefaultConfig())
+	kb := Detect(b, DefaultConfig())
+	if len(ka) < 5 || len(kb) < 5 {
+		t.Fatalf("too few keypoints: %d, %d", len(ka), len(kb))
+	}
+	matched, tight := 0, 0
+	for _, p := range ka {
+		if p.X-8 < 16 || p.X >= float64(w)-16 || p.Y < 16 || p.Y >= float64(h)-16 {
+			continue
+		}
+		// Find the geometrically corresponding keypoint in b.
+		var best *Keypoint
+		bestD := 3.0
+		for i := range kb {
+			q := &kb[i]
+			d := math.Hypot(q.X-(p.X-8), q.Y-p.Y)
+			if d < bestD {
+				bestD = d
+				best = q
+			}
+		}
+		if best == nil {
+			continue
+		}
+		matched++
+		// Compare descriptor distance to the distance against a random
+		// other keypoint.
+		dCorr := p.Desc.DistSq(&best.Desc)
+		other := &kb[(matched*7)%len(kb)]
+		if other == best {
+			other = &kb[(matched*7+1)%len(kb)]
+		}
+		if dCorr < p.Desc.DistSq(&other.Desc) {
+			tight++
+		}
+	}
+	if matched < 3 {
+		t.Fatalf("only %d geometric correspondences found", matched)
+	}
+	if float64(tight) < 0.7*float64(matched) {
+		t.Errorf("descriptors not discriminative: %d/%d correspondences closer than random", tight, matched)
+	}
+}
+
+func TestDescriptorNormBounded(t *testing.T) {
+	kps := Detect(noiseImage(96, 96, 3), DefaultConfig())
+	if len(kps) == 0 {
+		t.Skip("no keypoints")
+	}
+	for _, kp := range kps {
+		norm := 0.0
+		for _, v := range kp.Desc {
+			norm += float64(v) * float64(v)
+		}
+		norm = math.Sqrt(norm)
+		// Quantization scales unit vectors by 512 and clamps at 255, so
+		// the norm must be near 512 (within quantization slack).
+		if norm < 300 || norm > 600 {
+			t.Errorf("descriptor norm %v outside expected range", norm)
+		}
+	}
+}
+
+func TestDescriptorFloatAndDistSq(t *testing.T) {
+	var a, b Descriptor
+	a[0] = 3
+	b[0] = 7
+	b[127] = 2
+	if got := a.DistSq(&b); got != 16+4 {
+		t.Errorf("DistSq = %d, want 20", got)
+	}
+	f := a.Float()
+	if len(f) != DescriptorSize || f[0] != 3 {
+		t.Errorf("Float = len %d, f[0]=%v", len(f), f[0])
+	}
+}
+
+func TestQuadOffsetClamped(t *testing.T) {
+	if off := quadOffset(0, 0, 0); off != 0 {
+		t.Errorf("flat parabola offset = %v", off)
+	}
+	if off := quadOffset(1, 0, 0); off < -0.5 || off > 0.5 {
+		t.Errorf("offset %v not clamped", off)
+	}
+	// Symmetric parabola peaks in the middle.
+	if off := quadOffset(1, 2, 1); off != 0 {
+		t.Errorf("symmetric peak offset = %v", off)
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	g := noiseImage(96, 72, 8)
+	a := Detect(g, DefaultConfig())
+	b := Detect(g, DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("keypoint %d differs between runs", i)
+		}
+	}
+}
+
+func BenchmarkDetect160x120(b *testing.B) {
+	g := noiseImage(160, 120, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Detect(g, DefaultConfig())
+	}
+}

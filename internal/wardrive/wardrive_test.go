@@ -1,0 +1,188 @@
+package wardrive
+
+import (
+	"math"
+	"testing"
+
+	"visualprint/internal/mathx"
+	"visualprint/internal/scene"
+)
+
+func testWorld() *scene.World {
+	spec := scene.VenueSpec{
+		Name: "testroom", Width: 14, Depth: 10, Height: 3,
+		Aisles: 0, PanelWidth: 2,
+		UniqueFrac: 0.6, RepeatedFrac: 0.2,
+		Seed: 5, TileSize: 0.5,
+	}
+	return scene.Build(spec)
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ImageW, cfg.ImageH = 160, 120
+	cfg.MaxKeypointsPerFrame = 150
+	cfg.SweepPOIs = false // lawnmower only: keeps unit tests fast
+	return cfg
+}
+
+func TestSweepPOIsAddsCoverage(t *testing.T) {
+	w := testWorld()
+	base, err := Walk(w, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.SweepPOIs = true
+	swept, err := Walk(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(base) + 2*len(w.POIs) // two sweep captures per POI
+	if len(swept) != want {
+		t.Errorf("swept snapshots = %d, want %d", len(swept), want)
+	}
+}
+
+func TestWalkProducesSnapshots(t *testing.T) {
+	snaps, err := Walk(testWorld(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 4 {
+		t.Fatalf("only %d snapshots", len(snaps))
+	}
+	totalObs := 0
+	for _, s := range snaps {
+		totalObs += len(s.Obs)
+		if len(s.Cloud) == 0 || len(s.Cloud) != len(s.TrueCloud) {
+			t.Fatalf("cloud missing or mismatched: %d vs %d", len(s.Cloud), len(s.TrueCloud))
+		}
+	}
+	if totalObs < 100 {
+		t.Errorf("only %d keypoint observations across the walk", totalObs)
+	}
+}
+
+func TestWalkValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.ImageW = 0
+	if _, err := Walk(testWorld(), cfg); err == nil {
+		t.Error("zero image width accepted")
+	}
+	cfg = testConfig()
+	cfg.StepMeters = 0
+	if _, err := Walk(testWorld(), cfg); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestBackprojectionHitsSurfaces(t *testing.T) {
+	// With zero drift, estimated and true positions agree, and every
+	// observation lies on a world surface (within the venue bounds).
+	w := testWorld()
+	cfg := testConfig()
+	cfg.Drift = DriftModel{}
+	snaps, err := Walk(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range snaps {
+		for _, o := range s.Obs {
+			if o.Est.Dist(o.True) > 1e-9 {
+				t.Fatalf("zero drift but Est %v != True %v", o.Est, o.True)
+			}
+			eps := 0.3
+			if o.True.X < w.Min.X-eps || o.True.X > w.Max.X+eps ||
+				o.True.Y < w.Min.Y-eps || o.True.Y > w.Max.Y+eps ||
+				o.True.Z < w.Min.Z-eps || o.True.Z > w.Max.Z+eps {
+				t.Fatalf("observation %v outside the world", o.True)
+			}
+		}
+	}
+}
+
+func TestDriftAccumulates(t *testing.T) {
+	cfg := testConfig()
+	cfg.Drift = DriftModel{PosStddevPerMeter: 0.05, YStddevPerMeter: 0.01, YawStddevPerMeter: 0.002, Seed: 3}
+	snaps, err := Walk(testWorld(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, max := PoseError(snaps)
+	if mean <= 0 || max <= 0 {
+		t.Fatalf("drift produced no pose error (mean %v, max %v)", mean, max)
+	}
+	// Later snapshots should on average drift more than earlier ones.
+	half := len(snaps) / 2
+	early, _ := PoseError(snaps[:half])
+	late, _ := PoseError(snaps[half:])
+	if late <= early*0.5 {
+		t.Errorf("drift not accumulating: early %v, late %v", early, late)
+	}
+}
+
+func TestWalkDeterministic(t *testing.T) {
+	a, err := Walk(testWorld(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Walk(testWorld(), testConfig())
+	if len(a) != len(b) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Obs) != len(b[i].Obs) || a[i].EstCam.Pos != b[i].EstCam.Pos {
+			t.Fatalf("snapshot %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestCaptureAppliesBias(t *testing.T) {
+	w := testWorld()
+	cam := scene.DefaultCamera(160, 120)
+	cam.Pos = mathx.Vec3{X: 7, Y: 1.6, Z: 5}
+	bias := mathx.Vec3{X: 0.4, Z: -0.2}
+	snap, err := Capture(w, cam, testConfig(), bias, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.EstCam.Pos.Dist(cam.Pos.Add(bias)) > 1e-12 {
+		t.Errorf("EstCam.Pos = %v", snap.EstCam.Pos)
+	}
+	if math.Abs(snap.EstCam.Yaw-cam.Yaw-0.01) > 1e-12 {
+		t.Errorf("EstCam.Yaw = %v", snap.EstCam.Yaw)
+	}
+	// Estimated observations shift by roughly the bias magnitude.
+	if len(snap.Obs) == 0 {
+		t.Fatal("no observations")
+	}
+	for _, o := range snap.Obs[:1] {
+		d := o.Est.Dist(o.True)
+		if d < 0.1 || d > 2 {
+			t.Errorf("bias-induced offset = %v, want around %v", d, bias.Norm())
+		}
+	}
+}
+
+func TestObservationsFlatten(t *testing.T) {
+	snaps, err := Walk(testWorld(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := Observations(snaps)
+	count := 0
+	for _, s := range snaps {
+		count += len(s.Obs)
+	}
+	if len(all) != count {
+		t.Errorf("flattened %d, want %d", len(all), count)
+	}
+}
+
+func TestPoseErrorEmptyInput(t *testing.T) {
+	mean, max := PoseError(nil)
+	if mean != 0 || max != 0 {
+		t.Errorf("empty pose error = %v, %v", mean, max)
+	}
+}

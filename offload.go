@@ -1,0 +1,91 @@
+package visualprint
+
+import (
+	"time"
+
+	"visualprint/internal/codec"
+	"visualprint/internal/netsim"
+	"visualprint/internal/power"
+	"visualprint/internal/session"
+)
+
+// Encoding identifies a frame encoding for whole-frame offload.
+type Encoding = codec.Encoding
+
+// Frame encodings (Figure 2's comparison set).
+const (
+	EncodingH264 = codec.EncodingH264
+	EncodingJPEG = codec.EncodingJPEG
+	EncodingPNG  = codec.EncodingPNG
+	EncodingRAW  = codec.EncodingRAW
+)
+
+// EncodeFrame serializes a frame image under the given encoding (JPEG
+// quality 0 selects the default). H.264 yields a placeholder of the modeled
+// size.
+func EncodeFrame(img *Image, enc Encoding, jpegQuality int) ([]byte, error) {
+	return codec.EncodeFrame(img, enc, jpegQuality)
+}
+
+// DecodeFrame decodes RAW, PNG or JPEG frames produced by EncodeFrame.
+func DecodeFrame(data []byte, enc Encoding) (*Image, error) {
+	return codec.DecodeFrame(data, enc)
+}
+
+// MarshalKeypoints serializes keypoints in the client upload wire format
+// (144 bytes per keypoint).
+func MarshalKeypoints(kps []Keypoint) []byte { return codec.MarshalKeypoints(kps) }
+
+// UnmarshalKeypoints parses MarshalKeypoints output.
+func UnmarshalKeypoints(data []byte) ([]Keypoint, error) {
+	return codec.UnmarshalKeypoints(data)
+}
+
+// Gzip and Gunzip wrap compress/gzip for payload compression experiments.
+func Gzip(data []byte) ([]byte, error)   { return codec.Gzip(data) }
+func Gunzip(data []byte) ([]byte, error) { return codec.Gunzip(data) }
+
+// Link models the wireless uplink between client and cloud.
+type Link = netsim.Link
+
+// UploadEvent is one completed upload in a simulated transfer trace.
+type UploadEvent = netsim.UploadEvent
+
+// TraceUploads simulates a client continuously uploading payloads over a
+// link (Figure 14's cumulative-upload traces).
+func TraceUploads(l Link, duration, interval time.Duration, sizes func(i int) int64) ([]UploadEvent, error) {
+	return netsim.Trace(l, duration, interval, sizes)
+}
+
+// SessionConfig describes a simulated continuous capture session (the
+// client app's realtime loop: blur gating, stale-frame dropping, pipelined
+// upload).
+type SessionConfig = session.Config
+
+// SessionResult summarizes a simulated capture session.
+type SessionResult = session.Result
+
+// RunSession simulates the client's continuous capture loop.
+func RunSession(cfg SessionConfig) (*SessionResult, error) { return session.Run(cfg) }
+
+// PowerModel holds component power draws for the Figure 18 energy model.
+type PowerModel = power.Model
+
+// PowerWorkload describes a client configuration's component duty cycles.
+type PowerWorkload = power.Workload
+
+// DefaultPowerModel returns the calibrated smartphone power model.
+func DefaultPowerModel() PowerModel { return power.Default() }
+
+// Power workload presets matching Figure 18's traces.
+func PowerDisplayOnly() PowerWorkload        { return power.DisplayOnly() }
+func PowerCameraPreview() PowerWorkload      { return power.CameraPreview() }
+func PowerVisualPrintFull() PowerWorkload    { return power.VisualPrintFull() }
+func PowerFrameOffload() PowerWorkload       { return power.FrameOffload() }
+func PowerVisualPrintCompute() PowerWorkload { return power.VisualPrintComputeOnly() }
+func PowerVisualPrintUpload() PowerWorkload  { return power.VisualPrintUploadOnly() }
+
+// VariableLink models an unpredictable wireless channel (Gilbert-Elliott
+// good/bad states) — the latency variability the paper's introduction
+// motivates VisualPrint with.
+type VariableLink = netsim.VariableLink

@@ -1,0 +1,180 @@
+package visualprint
+
+import (
+	"net"
+
+	"visualprint/internal/server"
+	"visualprint/internal/sift"
+)
+
+// ServerConfig configures the cloud service.
+type ServerConfig = server.DatabaseConfig
+
+// DefaultServerConfig returns a configuration scaled for simulated venues.
+func DefaultServerConfig() ServerConfig { return server.DefaultDatabaseConfig() }
+
+// Server is the VisualPrint cloud service: the LSH keypoint-to-3D lookup
+// table, the uniqueness oracle, and the localization pipeline, served over
+// a length-prefixed binary TCP protocol.
+type Server struct {
+	db  *server.Database
+	srv *server.Server
+}
+
+// NewServer creates a cloud service with an empty database.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	db, err := server.NewDatabase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{db: db}, nil
+}
+
+// Listen starts serving on addr ("host:port"; ":0" picks a free port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	srv, err := server.ListenAndServe(addr, s.db)
+	if err != nil {
+		return nil, err
+	}
+	s.srv = srv
+	return srv.Addr(), nil
+}
+
+// Close stops the network listener (if any).
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Database gives direct (in-process) access to the service state, used by
+// Pipeline and the benchmark harness.
+func (s *Server) Database() *server.Database { return s.db }
+
+// Ingest adds wardriven mappings directly (in-process).
+func (s *Server) Ingest(ms []Mapping) error { return s.db.Ingest(ms) }
+
+// Client is a connection to a VisualPrint cloud service.
+type Client = server.Client
+
+// Connect dials a VisualPrint server.
+func Connect(addr string) (*Client, error) { return server.Dial(addr) }
+
+// QueryUploadBytes returns the wire size of a localization query carrying n
+// keypoints — 200 keypoints cost ~29 KB, in line with the paper's "short
+// description (~30KB)".
+func QueryUploadBytes(n int) int64 { return server.QueryUploadBytes(n) }
+
+// Pipeline is the single-process convenience API: world, wardriving, cloud
+// database and client-side filtering in one object. It is what the examples
+// and benchmarks use when network transport is not the subject under test.
+type Pipeline struct {
+	World  *World
+	Server *Server
+	Oracle *Oracle
+
+	// SelectCount is how many most-unique keypoints a query uploads
+	// (the paper evaluates 200 and 500).
+	SelectCount int
+	// Sift configures client-side extraction.
+	Sift SiftConfig
+	// BlurThreshold rejects frames whose BlurScore falls below it before
+	// any extraction work (0 disables the check). The client app performs
+	// this quick check to skip motion-blurred frames.
+	BlurThreshold float64
+}
+
+// ErrFrameBlurred is returned by LocalizeFrame for frames rejected by the
+// blur gate.
+var ErrFrameBlurred = errFrameBlurred{}
+
+type errFrameBlurred struct{}
+
+func (errFrameBlurred) Error() string { return "visualprint: frame rejected as blurred" }
+
+// NewPipeline builds a pipeline over a world with a fresh server.
+func NewPipeline(w *World, cfg ServerConfig) (*Pipeline, error) {
+	srv, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc := sift.DefaultConfig()
+	sc.ContrastThreshold = 0.02
+	return &Pipeline{
+		World:       w,
+		Server:      srv,
+		SelectCount: 200,
+		Sift:        sc,
+	}, nil
+}
+
+// Wardrive walks the world, optionally corrects drift with ICP, ingests
+// the mappings, and installs the (server-identical) oracle for client-side
+// filtering. It returns the number of mappings ingested.
+func (p *Pipeline) Wardrive(cfg WardriveConfig, correctDrift bool) (int, error) {
+	snaps, err := Wardrive(p.World, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if correctDrift {
+		if _, _, err := CorrectDrift(snaps); err != nil {
+			return 0, err
+		}
+	}
+	ms := MappingsFrom(snaps)
+	if err := p.Server.Ingest(ms); err != nil {
+		return 0, err
+	}
+	// In-process deployments share the oracle object; a networked client
+	// would FetchOracle instead.
+	p.Oracle = p.Server.Database().Oracle()
+	return len(ms), nil
+}
+
+// QueryStats reports what a localization query consumed.
+type QueryStats struct {
+	ExtractedKeypoints int
+	UploadedKeypoints  int
+	UploadBytes        int64
+}
+
+// Localize captures a frame from cam, extracts keypoints, filters them to
+// the SelectCount most unique via the oracle, and runs the server's
+// localization pipeline. It is the end-to-end client flow of the paper's
+// Figure 7 without the network in between.
+func (p *Pipeline) Localize(cam Camera) (LocateResult, QueryStats, error) {
+	fr, err := Render(p.World, cam)
+	if err != nil {
+		return LocateResult{}, QueryStats{}, err
+	}
+	return p.LocalizeFrame(fr)
+}
+
+// LocalizeFrame runs the client flow on an already-rendered frame. Frames
+// failing the blur gate return ErrFrameBlurred without any extraction work.
+func (p *Pipeline) LocalizeFrame(fr *Frame) (LocateResult, QueryStats, error) {
+	if p.BlurThreshold > 0 && BlurScore(fr.Image) < p.BlurThreshold {
+		return LocateResult{}, QueryStats{}, ErrFrameBlurred
+	}
+	kps := ExtractKeypoints(fr.Image, p.Sift)
+	sel := kps
+	if p.Oracle != nil && p.SelectCount > 0 && len(kps) > p.SelectCount {
+		var err error
+		sel, err = p.Oracle.SelectUnique(kps, p.SelectCount)
+		if err != nil {
+			return LocateResult{}, QueryStats{}, err
+		}
+	}
+	stats := QueryStats{
+		ExtractedKeypoints: len(kps),
+		UploadedKeypoints:  len(sel),
+		UploadBytes:        QueryUploadBytes(len(sel)),
+	}
+	res, err := p.Server.Database().Locate(sel, IntrinsicsOf(fr.Cam))
+	if err != nil {
+		return LocateResult{}, stats, err
+	}
+	return res, stats, nil
+}
