@@ -1,0 +1,17 @@
+# VisualPrint build/verify targets.
+
+.PHONY: build test verify bench
+
+build:
+	go build ./...
+
+# Tier-1: the never-regress line tracked by ROADMAP.md.
+test:
+	go build ./... && go test ./...
+
+# Full gate: vet + build + the whole suite under the race detector.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	go test -run NONE -bench . -benchtime 1x .

@@ -9,6 +9,7 @@
 package visualprint_test
 
 import (
+	"runtime"
 	"testing"
 
 	"visualprint/internal/bench"
@@ -105,6 +106,22 @@ func BenchmarkTakeaways(b *testing.B) {
 		}
 		if len(rows) == 0 {
 			b.Fatal("no takeaways")
+		}
+	}
+}
+
+// BenchmarkConcurrentQueryThroughput measures multi-client localization
+// throughput over the multiplexed v2 protocol, scaling the client count up
+// to GOMAXPROCS (see EXPERIMENTS.md for recorded scaling results).
+func BenchmarkConcurrentQueryThroughput(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		e, err := bench.QueryThroughput(sc, runtime.GOMAXPROCS(0), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(e.Points) == 0 {
+			b.Fatal("throughput produced no data")
 		}
 	}
 }

@@ -7,7 +7,7 @@
 //	vpbench -scale full -csv out/   # paper-scale corpus, CSV files
 //
 // Experiment ids: fig02 fig03 fig05 fig06 fig13 fig14 fig15 fig16 fig18
-// fig19 fig20 extra-latency takeaways ablations.
+// fig19 fig20 extra-latency throughput takeaways ablations.
 package main
 
 import (
@@ -88,6 +88,9 @@ func main() {
 	run("fig18", bench.Fig18Energy)
 	run("fig19", bench.Fig19Localization)
 	run("fig20", bench.Fig20AxisError)
+	run("throughput", func(s bench.Scale) (*bench.Experiment, error) {
+		return bench.QueryThroughput(s, 0, 8)
+	})
 
 	if all || wanted["ablations"] {
 		for _, f := range []func() (*bench.Experiment, error){

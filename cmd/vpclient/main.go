@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 	}
 	defer client.Close()
 
-	oracle, blobSize, err := client.FetchOracle()
+	oracle, blobSize, err := client.FetchOracle(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := client.Query(sel, visualprint.IntrinsicsOf(cam))
+		res, err := client.Query(context.Background(), sel, visualprint.IntrinsicsOf(cam))
 		if err != nil {
 			log.Printf("query %d: %v", q, err)
 			continue

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 
@@ -61,7 +62,7 @@ func main() {
 		if end > len(ms) {
 			end = len(ms)
 		}
-		total, err := client.Ingest(ms[i:end])
+		total, err := client.Ingest(context.Background(), ms[i:end])
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package visualprint_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -76,7 +77,7 @@ func ExampleServer() {
 	for i := range ms {
 		ms[i].Desc[0] = byte(i)
 	}
-	total, err := client.Ingest(ms)
+	total, err := client.Ingest(context.Background(), ms)
 	if err != nil {
 		log.Fatal(err)
 	}

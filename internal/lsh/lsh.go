@@ -140,8 +140,15 @@ type Candidate struct {
 // lookup table. IDs are assigned in insertion order; the caller keeps its
 // own id -> payload mapping.
 //
-// Index is not safe for concurrent mutation; concurrent Query calls are
-// safe after all inserts complete.
+// Concurrency: the read path (Query, Len, MemoryBytes, Hasher) touches only
+// immutable per-query state plus the tables/descs slices and maps, so any
+// number of Query calls may run concurrently — the server's parallel Locate
+// fan-out relies on this. Insert mutates the tables and must be externally
+// serialized against both other Inserts and all readers (the server's
+// Database guards the index with an RWMutex: Ingest takes the write lock,
+// Locate the read lock). Query results are deterministic for a given index
+// state, which is what keeps the parallel and serial Locate paths
+// bit-identical.
 type Index struct {
 	h      *Hasher
 	tables []map[uint64][]int32

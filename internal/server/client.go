@@ -2,8 +2,12 @@ package server
 
 import (
 	"bytes"
+	"context"
+	"encoding/binary"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"visualprint/internal/codec"
 	"visualprint/internal/core"
@@ -16,62 +20,234 @@ func decodeKeypoints(data []byte) ([]sift.Keypoint, error) {
 	return codec.UnmarshalKeypoints(data)
 }
 
-// Client is a VisualPrint protocol client. It is safe for concurrent use;
-// requests are serialized over the single connection. The byte counters
-// feed the Figure 14 bandwidth accounting.
+// Client is a VisualPrint protocol client. It is safe for concurrent use:
+// requests are multiplexed over the single connection with uint32 request
+// IDs (wire protocol v2), so concurrent calls overlap on the wire and on
+// the server instead of queueing behind a lock. A demux goroutine routes
+// each response frame to the caller whose request it answers.
+//
+// Every method takes a context: its deadline is mapped onto the
+// connection's write deadline, and cancellation abandons the response wait
+// (a late response is discarded by the demux loop). The byte counters feed
+// the Figure 14 bandwidth accounting.
 type Client struct {
-	mu   sync.Mutex
 	conn net.Conn
+	v1   bool // legacy ID-less framing; responses route in FIFO order
 
-	sent, received int64
+	// writeMu serializes frame writes; for v1 it also pins FIFO
+	// registration to wire order.
+	writeMu sync.Mutex
+	lastID  uint32 // v2 request ID source, guarded by writeMu
+
+	mu      sync.Mutex
+	pending map[uint32]chan rpcResult // v2 in-flight requests by ID
+	fifo    []chan rpcResult          // v1 in-flight requests in send order
+	readErr error                     // terminal demux error, sticky
+
+	sent, received atomic.Int64
 }
 
-// NewClient wraps an established connection (TCP or net.Pipe).
+// rpcResult is one demuxed response (or a terminal transport error).
+type rpcResult struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// NewClient wraps an established connection (TCP or net.Pipe), announcing
+// protocol v2 and starting the response demux loop.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn}
+	c := &Client{conn: conn, pending: make(map[uint32]chan rpcResult)}
+	if err := writePreamble(conn); err != nil {
+		// Surface the broken transport through the demux path so every
+		// call fails with it rather than hanging.
+		c.readErr = err
+		return c
+	}
+	c.sent.Add(preambleSize)
+	go c.demux()
+	return c
+}
+
+// NewClientV1 wraps a connection speaking the legacy v1 (ID-less) framing,
+// as an old client binary would. The server handles a v1 connection
+// sequentially, so responses arrive in request order and are routed FIFO;
+// calls pipeline on the wire but cannot overlap server-side.
+func NewClientV1(conn net.Conn) *Client {
+	c := &Client{conn: conn, v1: true, pending: make(map[uint32]chan rpcResult)}
+	go c.demux()
+	return c
 }
 
 // Dial connects to a VisualPrint server over TCP.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a VisualPrint server over TCP, honoring the
+// context's deadline and cancellation for the dial itself.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	return NewClient(conn), nil
 }
 
-// Close closes the connection.
+// Close closes the connection; in-flight calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// BytesSent returns the total payload bytes uploaded (including framing).
-func (c *Client) BytesSent() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sent
-}
+// BytesSent returns the total bytes uploaded (including framing and the
+// version preamble).
+func (c *Client) BytesSent() int64 { return c.sent.Load() }
 
 // BytesReceived returns the total payload bytes downloaded.
-func (c *Client) BytesReceived() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.received
+func (c *Client) BytesReceived() int64 { return c.received.Load() }
+
+func (c *Client) frameOverhead() int64 {
+	if c.v1 {
+		return frameOverheadV1
+	}
+	return frameOverheadV2
 }
 
-// roundTrip sends one request frame and reads one response frame.
-func (c *Client) roundTrip(typ byte, payload []byte, wantType byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, typ, payload); err != nil {
-		return nil, err
+// demux reads response frames and routes each to its waiting caller — by
+// request ID on v2, in FIFO order on v1. A read error is terminal: it fails
+// every in-flight and future call.
+func (c *Client) demux() {
+	for {
+		var (
+			id      uint32
+			typ     byte
+			payload []byte
+			err     error
+		)
+		if c.v1 {
+			typ, payload, err = readFrame(c.conn)
+		} else {
+			id, typ, payload, err = readFrameV2(c.conn)
+		}
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.received.Add(int64(len(payload)) + c.frameOverhead())
+		c.mu.Lock()
+		var ch chan rpcResult
+		if c.v1 {
+			if len(c.fifo) > 0 {
+				ch = c.fifo[0]
+				c.fifo = c.fifo[1:]
+			}
+		} else {
+			ch = c.pending[id]
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rpcResult{typ: typ, payload: payload} // buffered; never blocks
+		}
 	}
-	c.sent += int64(len(payload)) + 5
-	rt, resp, err := readFrame(c.conn)
+}
+
+// failAll marks the client broken and unblocks every waiter.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	c.readErr = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- rpcResult{err: err}
+	}
+	for _, ch := range c.fifo {
+		ch <- rpcResult{err: err}
+	}
+	c.fifo = nil
+	c.mu.Unlock()
+}
+
+// call sends one request and waits for its routed response, returning the
+// raw response type and payload (msgError is already converted to error).
+func (c *Client) call(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	ch := make(chan rpcResult, 1)
+	c.writeMu.Lock()
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		c.writeMu.Unlock()
+		return 0, nil, err
+	}
+	var id uint32
+	if c.v1 {
+		c.fifo = append(c.fifo, ch)
+	} else {
+		c.lastID++
+		id = c.lastID
+		c.pending[id] = ch
+	}
+	c.mu.Unlock()
+	// The context deadline bounds the blocking write; the read side is
+	// enforced by the ctx.Done select below (the demux read itself is
+	// shared across requests and cannot carry a per-request deadline).
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetWriteDeadline(d)
+	} else {
+		c.conn.SetWriteDeadline(time.Time{})
+	}
+	var err error
+	if c.v1 {
+		err = writeFrame(c.conn, typ, payload)
+	} else {
+		err = writeFrameV2(c.conn, id, typ, payload)
+	}
+	if err == nil {
+		c.sent.Add(int64(len(payload)) + c.frameOverhead())
+	}
+	c.writeMu.Unlock()
+	if err != nil {
+		c.forget(id, ch)
+		return 0, nil, err
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		if r.typ == msgError {
+			return 0, nil, decodeErrorPayload(r.payload)
+		}
+		return r.typ, r.payload, nil
+	case <-ctx.Done():
+		c.forget(id, ch)
+		return 0, nil, ctx.Err()
+	}
+}
+
+// forget abandons an in-flight request after cancellation or a write
+// failure. A v2 entry is removed from the pending map (its late response,
+// if any, is dropped by the demux loop). A v1 entry must stay in the FIFO —
+// removing it would misroute every later response — so its response drains
+// into the abandoned buffered channel instead.
+func (c *Client) forget(id uint32, ch chan rpcResult) {
+	if c.v1 {
+		return
+	}
+	c.mu.Lock()
+	if c.pending[id] == ch {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// roundTrip is call plus a response-type check.
+func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte, wantType byte) ([]byte, error) {
+	rt, resp, err := c.call(ctx, typ, payload)
 	if err != nil {
 		return nil, err
-	}
-	c.received += int64(len(resp)) + 5
-	if rt == msgError {
-		return nil, errRemote{msg: string(resp)}
 	}
 	if rt != wantType {
 		return nil, errRemote{msg: "unexpected response type"}
@@ -81,8 +257,8 @@ func (c *Client) roundTrip(typ byte, payload []byte, wantType byte) ([]byte, err
 
 // FetchOracle downloads the current uniqueness oracle. blobSize is the
 // compressed transfer size in bytes (the paper's ~10 MB download).
-func (c *Client) FetchOracle() (o *core.Oracle, blobSize int64, err error) {
-	resp, err := c.roundTrip(msgGetOracle, nil, msgOracleBlob)
+func (c *Client) FetchOracle(ctx context.Context) (o *core.Oracle, blobSize int64, err error) {
+	resp, err := c.roundTrip(ctx, msgGetOracle, nil, msgOracleBlob)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -102,25 +278,13 @@ func (c *Client) FetchOracle() (o *core.Oracle, blobSize int64, err error) {
 // (typically a small fraction of the full blob); otherwise the oracle is
 // replaced wholesale. The returned oracle is o itself after an incremental
 // patch, or a fresh instance after a full refresh.
-func (c *Client) RefreshOracle(o *core.Oracle) (updated *core.Oracle, transferBytes int64, incremental bool, err error) {
-	var req [8]byte
-	v := o.Inserts()
-	for i := 0; i < 8; i++ {
-		req[i] = byte(v >> (8 * i))
-	}
-	c.mu.Lock()
-	if err := writeFrame(c.conn, msgGetDiff, req[:]); err != nil {
-		c.mu.Unlock()
-		return nil, 0, false, err
-	}
-	c.sent += int64(len(req)) + 5
-	rt, resp, err := readFrame(c.conn)
+func (c *Client) RefreshOracle(ctx context.Context, o *core.Oracle) (updated *core.Oracle, transferBytes int64, incremental bool, err error) {
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint64(req, o.Inserts())
+	rt, resp, err := c.call(ctx, msgGetDiff, req)
 	if err != nil {
-		c.mu.Unlock()
 		return nil, 0, false, err
 	}
-	c.received += int64(len(resp)) + 5
-	c.mu.Unlock()
 	switch rt {
 	case msgDiffBlob:
 		if err := core.ApplyDiff(o, resp); err != nil {
@@ -137,8 +301,6 @@ func (c *Client) RefreshOracle(o *core.Oracle) (updated *core.Oracle, transferBy
 			return nil, 0, false, err
 		}
 		return fresh, int64(len(resp)), false, nil
-	case msgError:
-		return nil, 0, false, errRemote{msg: string(resp)}
 	default:
 		return nil, 0, false, errRemote{msg: "unexpected response type"}
 	}
@@ -146,22 +308,22 @@ func (c *Client) RefreshOracle(o *core.Oracle) (updated *core.Oracle, transferBy
 
 // Ingest uploads wardriven keypoint-to-3D mappings; it returns the server's
 // total mapping count after the batch.
-func (c *Client) Ingest(ms []Mapping) (total int, err error) {
-	resp, err := c.roundTrip(msgIngest, encodeMappings(ms), msgIngestAck)
+func (c *Client) Ingest(ctx context.Context, ms []Mapping) (total int, err error) {
+	resp, err := c.roundTrip(ctx, msgIngest, encodeMappings(ms), msgIngestAck)
 	if err != nil {
 		return 0, err
 	}
-	if len(resp) != 4 {
+	if len(resp) != 8 {
 		return 0, errRemote{msg: "bad ingest ack"}
 	}
-	return int(resp[0]) | int(resp[1])<<8 | int(resp[2])<<16 | int(resp[3])<<24, nil
+	return int(binary.LittleEndian.Uint64(resp)), nil
 }
 
 // Query uploads selected keypoints (with their 2D pixel coordinates) and
 // returns the server's 3D localization.
-func (c *Client) Query(kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
+func (c *Client) Query(ctx context.Context, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
 	payload := encodeQuery(intr, codec.MarshalKeypoints(kps))
-	resp, err := c.roundTrip(msgQuery, payload, msgQueryResult)
+	resp, err := c.roundTrip(ctx, msgQuery, payload, msgQueryResult)
 	if err != nil {
 		return LocateResult{}, err
 	}
@@ -169,23 +331,20 @@ func (c *Client) Query(kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult,
 }
 
 // Stats returns the server's mapping count.
-func (c *Client) Stats() (mappings uint64, err error) {
-	resp, err := c.roundTrip(msgStats, nil, msgStatsResult)
+func (c *Client) Stats(ctx context.Context) (mappings uint64, err error) {
+	resp, err := c.roundTrip(ctx, msgStats, nil, msgStatsResult)
 	if err != nil {
 		return 0, err
 	}
 	if len(resp) != 8 {
 		return 0, errRemote{msg: "bad stats response"}
 	}
-	for i := 0; i < 8; i++ {
-		mappings |= uint64(resp[i]) << (8 * i)
-	}
-	return mappings, nil
+	return binary.LittleEndian.Uint64(resp), nil
 }
 
-// QueryUploadBytes returns the wire size of a query with the given number
-// of keypoints — the per-query upload the paper reports as 51.2 KB for
-// VisualPrint-ish fingerprints versus 523 KB whole frames.
+// QueryUploadBytes returns the v2 wire size of a query with the given
+// number of keypoints — the per-query upload the paper reports as 51.2 KB
+// for VisualPrint-ish fingerprints versus 523 KB whole frames.
 func QueryUploadBytes(nKeypoints int) int64 {
-	return 5 + queryHeaderSize + 10 + int64(nKeypoints)*codec.KeypointWireSize
+	return frameOverheadV2 + queryHeaderSize + 10 + int64(nKeypoints)*codec.KeypointWireSize
 }

@@ -7,9 +7,10 @@
 package server
 
 import (
-	"errors"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"visualprint/internal/bloom"
 	"visualprint/internal/cluster"
@@ -34,6 +35,12 @@ type DatabaseConfig struct {
 	MaxMatchDistSq int
 	Cluster        cluster.Params
 	Pose           pose.Options
+	// LocateParallelism bounds the worker pool that fans per-keypoint LSH
+	// candidate retrieval out during Locate. 0 means GOMAXPROCS; 1 forces
+	// the serial path. Queries below parallelLocateThreshold keypoints are
+	// always processed serially — goroutine fan-out costs more than it
+	// saves on small queries.
+	LocateParallelism int
 }
 
 // DefaultDatabaseConfig returns a configuration scaled for the simulated
@@ -214,39 +221,119 @@ type LocateResult struct {
 	Matched int
 }
 
+// locateCand pairs a query pixel with one retrieved 3D candidate.
+type locateCand struct {
+	px, py float64
+	p      mathx.Vec3
+}
+
+// parallelLocateThreshold is the keypoint count below which Locate skips
+// the worker pool; small queries are faster serially.
+const parallelLocateThreshold = 32
+
+// candidatesFor retrieves the distance-gated LSH candidates of one query
+// keypoint. Callers must hold db.mu (read side); the LSH index read path is
+// safe for concurrent queries.
+func (db *Database) candidatesFor(kp sift.Keypoint) ([]locateCand, error) {
+	res, err := db.index.Query(kp.Desc[:], lsh.QueryOptions{
+		MaxCandidates: db.cfg.NeighborsPerKeypoint,
+		MultiProbe:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []locateCand
+	for _, c := range res {
+		if db.cfg.MaxMatchDistSq > 0 && c.DistSq > db.cfg.MaxMatchDistSq {
+			continue
+		}
+		out = append(out, locateCand{px: kp.X, py: kp.Y, p: db.positions[c.ID]})
+	}
+	return out, nil
+}
+
+// gatherCandidates produces the |K| * n candidate list, fanning the
+// per-keypoint LSH lookups across a bounded worker pool for large queries.
+// Each worker fills a disjoint per-keypoint slot, so flattening in keypoint
+// order yields exactly the serial path's candidate sequence — clustering
+// and pose results are bit-identical either way.
+func (db *Database) gatherCandidates(kps []sift.Keypoint) ([]locateCand, error) {
+	workers := db.cfg.LocateParallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(kps) {
+		workers = len(kps)
+	}
+	if len(kps) < parallelLocateThreshold || workers <= 1 {
+		var cands []locateCand
+		for i := range kps {
+			cs, err := db.candidatesFor(kps[i])
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, cs...)
+		}
+		return cands, nil
+	}
+	perKP := make([][]locateCand, len(kps))
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(kps) {
+					return
+				}
+				cs, err := db.candidatesFor(kps[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				perKP[i] = cs
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var cands []locateCand
+	for _, cs := range perKP {
+		cands = append(cands, cs...)
+	}
+	return cands, nil
+}
+
 // Locate runs the paper's server-side query pipeline: LSH candidate
-// retrieval for each uploaded keypoint, spatial clustering of the candidate
-// 3D points, largest-cluster filtering, and the Figure 12 optimization over
-// the surviving correspondences.
+// retrieval for each uploaded keypoint (parallelized across a bounded
+// worker pool on large queries), spatial clustering of the candidate 3D
+// points, largest-cluster filtering, and the Figure 12 optimization over
+// the surviving correspondences. Failures return the typed sentinels
+// ErrEmptyDatabase, ErrTooFewMatches and ErrNoConsensus.
 func (db *Database) Locate(kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if len(db.positions) == 0 {
-		return LocateResult{}, errors.New("server: database is empty")
+		return LocateResult{}, ErrEmptyDatabase
 	}
-	// |K| * n candidate 3D points.
-	type cand struct {
-		px, py float64
-		p      mathx.Vec3
-	}
-	var cands []cand
-	for i := range kps {
-		res, err := db.index.Query(kps[i].Desc[:], lsh.QueryOptions{
-			MaxCandidates: db.cfg.NeighborsPerKeypoint,
-			MultiProbe:    true,
-		})
-		if err != nil {
-			return LocateResult{}, err
-		}
-		for _, c := range res {
-			if db.cfg.MaxMatchDistSq > 0 && c.DistSq > db.cfg.MaxMatchDistSq {
-				continue
-			}
-			cands = append(cands, cand{px: kps[i].X, py: kps[i].Y, p: db.positions[c.ID]})
-		}
+	cands, err := db.gatherCandidates(kps)
+	if err != nil {
+		return LocateResult{}, err
 	}
 	if len(cands) < 3 {
-		return LocateResult{}, errors.New("server: too few keypoint matches")
+		return LocateResult{}, ErrTooFewMatches
 	}
 	// Largest spatial cluster filters out scattered false matches.
 	pts := make([]mathx.Vec3, len(cands))
@@ -258,7 +345,7 @@ func (db *Database) Locate(kps []sift.Keypoint, intr pose.Intrinsics) (LocateRes
 		return LocateResult{}, err
 	}
 	if !ok || len(largest.Indices) < 3 {
-		return LocateResult{}, errors.New("server: no spatial consensus among matches")
+		return LocateResult{}, ErrNoConsensus
 	}
 	corr := make([]pose.Correspondence, 0, len(largest.Indices))
 	for _, i := range largest.Indices {

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"errors"
+	"strings"
+)
+
+// Typed localization failures returned by Database.Locate. They cross the
+// wire as stable one-byte codes in the msgError payload, so a networked
+// caller can errors.Is against them instead of matching message text.
+var (
+	// ErrEmptyDatabase: the server has no ingested mappings to match
+	// against.
+	ErrEmptyDatabase = errors.New("server: database is empty")
+	// ErrTooFewMatches: fewer than three query keypoints survived LSH
+	// retrieval and distance gating (the paper's failure mode 1/2 —
+	// featureless frames or unmapped areas).
+	ErrTooFewMatches = errors.New("server: too few keypoint matches")
+	// ErrNoConsensus: candidate 3D points formed no spatial cluster
+	// (failure mode 3 — matches scattered across the venue).
+	ErrNoConsensus = errors.New("server: no spatial consensus among matches")
+)
+
+// Wire error codes: the first byte of every msgError payload, followed by
+// the human-readable message. Codes are append-only and stable across
+// protocol versions.
+const (
+	errCodeGeneric       byte = 0
+	errCodeEmptyDatabase byte = 1
+	errCodeTooFewMatches byte = 2
+	errCodeNoConsensus   byte = 3
+)
+
+// errorCode maps a server-side error to its wire code.
+func errorCode(err error) byte {
+	switch {
+	case errors.Is(err, ErrEmptyDatabase):
+		return errCodeEmptyDatabase
+	case errors.Is(err, ErrTooFewMatches):
+		return errCodeTooFewMatches
+	case errors.Is(err, ErrNoConsensus):
+		return errCodeNoConsensus
+	default:
+		return errCodeGeneric
+	}
+}
+
+// sentinelFor is errorCode's inverse on the client; generic and unknown
+// codes have no sentinel.
+func sentinelFor(code byte) error {
+	switch code {
+	case errCodeEmptyDatabase:
+		return ErrEmptyDatabase
+	case errCodeTooFewMatches:
+		return ErrTooFewMatches
+	case errCodeNoConsensus:
+		return ErrNoConsensus
+	default:
+		return nil
+	}
+}
+
+// encodeErrorPayload builds a msgError payload: [code][message].
+func encodeErrorPayload(err error) []byte {
+	msg := err.Error()
+	buf := make([]byte, 1+len(msg))
+	buf[0] = errorCode(err)
+	copy(buf[1:], msg)
+	return buf
+}
+
+// decodeErrorPayload reconstructs the remote error, re-attaching the typed
+// sentinel so errors.Is works across the wire.
+func decodeErrorPayload(p []byte) error {
+	if len(p) == 0 {
+		return errRemote{msg: "unspecified error"}
+	}
+	return errRemote{code: p[0], msg: string(p[1:])}
+}
+
+// errRemote wraps a server-reported error.
+type errRemote struct {
+	code byte
+	msg  string
+}
+
+func (e errRemote) Error() string {
+	// Sentinel messages already carry a "server: " prefix; don't stutter.
+	if strings.HasPrefix(e.msg, "server: ") {
+		return "visualprint " + e.msg
+	}
+	return "visualprint server: " + e.msg
+}
+
+// Unwrap exposes the typed sentinel matching the wire code, if any.
+func (e errRemote) Unwrap() error { return sentinelFor(e.code) }
+
+// IsRemote reports whether err was returned by the server (as opposed to a
+// transport failure).
+func IsRemote(err error) bool {
+	var r errRemote
+	return errors.As(err, &r)
+}

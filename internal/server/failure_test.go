@@ -10,6 +10,7 @@ package server
 // never a panic or a silently confident wrong answer.
 
 import (
+	"context"
 	"testing"
 
 	"visualprint/internal/scene"
@@ -32,7 +33,7 @@ func TestFailureModeFeaturelessQuery(t *testing.T) {
 	w := testVenue()
 	s, _ := startServer(t)
 	c := dialClient(t, s)
-	if _, err := c.Ingest(wardriveMappings(t, w)[:600]); err != nil {
+	if _, err := c.Ingest(context.Background(), wardriveMappings(t, w)[:600]); err != nil {
 		t.Fatal(err)
 	}
 	blank := blankWallVenue()
@@ -46,7 +47,7 @@ func TestFailureModeFeaturelessQuery(t *testing.T) {
 	if len(kps) > 10 {
 		t.Fatalf("blank venue produced %d keypoints; scenario invalid", len(kps))
 	}
-	if _, err := c.Query(kps, IntrinsicsForTest(cam)); err == nil {
+	if _, err := c.Query(context.Background(), kps, IntrinsicsForTest(cam)); err == nil {
 		t.Error("featureless query returned a confident fix")
 	} else if !IsRemote(err) {
 		t.Errorf("want a remote (server-diagnosed) error, got %v", err)
@@ -63,7 +64,7 @@ func TestFailureModeInsufficientWardriving(t *testing.T) {
 	mapped := testVenue()
 	s, _ := startServer(t)
 	c := dialClient(t, s)
-	if _, err := c.Ingest(wardriveMappings(t, mapped)[:800]); err != nil {
+	if _, err := c.Ingest(context.Background(), wardriveMappings(t, mapped)[:800]); err != nil {
 		t.Fatal(err)
 	}
 	other := scene.Build(scene.VenueSpec{
@@ -80,7 +81,7 @@ func TestFailureModeInsufficientWardriving(t *testing.T) {
 	sc := sift.DefaultConfig()
 	sc.ContrastThreshold = 0.02
 	kps := sift.Detect(fr.Image, sc)
-	res, err := c.Query(kps, IntrinsicsForTest(cam))
+	res, err := c.Query(context.Background(), kps, IntrinsicsForTest(cam))
 	if err == nil && res.Matched > len(kps)/2 {
 		t.Errorf("unmapped venue produced a confident match: %+v", res)
 	}

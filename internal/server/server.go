@@ -1,17 +1,32 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 )
 
 // Server accepts VisualPrint protocol connections and serves a Database.
+//
+// Connections negotiate a protocol version at open (see wire.go). On a v2
+// connection every request carries a uint32 ID and is dispatched on its own
+// goroutine — bounded by a server-wide semaphore — while a single writer
+// goroutine serializes the responses, so one slow localization query does
+// not stall the pipelined requests behind it. Legacy v1 connections keep
+// the original sequential read-dispatch-write loop, which preserves their
+// implicit response ordering.
 type Server struct {
 	db *Database
 	ln net.Listener
+
+	// sem bounds concurrently executing request handlers across all
+	// connections; nil means unbounded (direct ServeConn use).
+	sem chan struct{}
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -21,10 +36,18 @@ type Server struct {
 	Logf func(format string, args ...any)
 }
 
+// DefaultMaxInFlight returns the default bound on concurrently executing
+// requests: enough to keep every core busy with headroom for requests
+// blocked on the database write lock.
+func DefaultMaxInFlight() int { return 4 * runtime.GOMAXPROCS(0) }
+
 // Serve starts accepting connections on ln. It returns immediately; Close
 // stops the accept loop and all connections.
 func Serve(ln net.Listener, db *Database) *Server {
-	s := &Server{db: db, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+	s := &Server{
+		db: db, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf,
+		sem: make(chan struct{}, DefaultMaxInFlight()),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -85,107 +108,183 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// ServeConn handles one protocol connection until EOF or error. It is
-// exported so tests and single-process deployments can drive the protocol
-// over net.Pipe.
-func (s *Server) ServeConn(conn net.Conn) {
-	defer conn.Close()
-	for {
-		typ, payload, err := readFrame(conn)
-		if err != nil {
-			return // EOF or broken connection
-		}
-		if err := s.dispatch(conn, typ, payload); err != nil {
-			if s.Logf != nil {
-				s.Logf("visualprint server: %v", err)
-			}
-			return
-		}
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, typ byte, payload []byte) error {
+func (s *Server) acquire() {
+	if s.sem != nil {
+		s.sem <- struct{}{}
+	}
+}
+
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// ServeConn handles one protocol connection until EOF or error. It is
+// exported so tests and single-process deployments can drive the protocol
+// over net.Pipe. The first four bytes of the connection select the framing:
+// the v2 magic, or a v1 frame length from a legacy client.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(hdr[:]) != protoMagic {
+		s.serveV1(conn, binary.LittleEndian.Uint32(hdr[:]))
+		return
+	}
+	var ver [1]byte
+	if _, err := io.ReadFull(conn, ver[:]); err != nil {
+		return
+	}
+	if ver[0] != protoVersion2 {
+		writeFrame(conn, msgError, encodeErrorPayload(
+			fmt.Errorf("unsupported protocol version %d", ver[0])))
+		return
+	}
+	s.serveV2(conn)
+}
+
+// serveV1 is the legacy sequential loop: one request, one response, in
+// order. firstLen is the already-consumed length prefix of the first frame.
+func (s *Server) serveV1(conn net.Conn, firstLen uint32) {
+	n := firstLen
+	for {
+		typ, payload, err := readFrameBody(conn, n)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		rt, resp := s.handle(typ, payload)
+		if err := writeFrame(conn, rt, resp); err != nil {
+			s.logf("visualprint server: %v", err)
+			return
+		}
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n = binary.LittleEndian.Uint32(hdr[:])
+	}
+}
+
+// v2Response is one response queued for the connection's writer goroutine.
+type v2Response struct {
+	id      uint32
+	typ     byte
+	payload []byte
+}
+
+// serveV2 is the multiplexed loop: requests are dispatched concurrently
+// (bounded by the server semaphore) and responses are serialized through a
+// single writer goroutine, tagged with the ID of the request they answer.
+// Response order is therefore completion order, not request order.
+func (s *Server) serveV2(conn net.Conn) {
+	out := make(chan v2Response, 32)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		failed := false
+		for r := range out {
+			if failed {
+				continue // drain so handlers never block on a dead writer
+			}
+			if err := writeFrameV2(conn, r.id, r.typ, r.payload); err != nil {
+				s.logf("visualprint server: %v", err)
+				failed = true
+				conn.Close() // unblocks the read loop below
+			}
+		}
+	}()
+	var handlers sync.WaitGroup
+	for {
+		id, typ, payload, err := readFrameV2(conn)
+		if err != nil {
+			break // EOF or broken connection
+		}
+		s.acquire()
+		handlers.Add(1)
+		go func(id uint32, typ byte, payload []byte) {
+			defer handlers.Done()
+			defer s.release()
+			rt, resp := s.handle(typ, payload)
+			out <- v2Response{id: id, typ: rt, payload: resp}
+		}(id, typ, payload)
+	}
+	handlers.Wait()
+	close(out)
+	<-writerDone
+}
+
+// handle executes one request and returns the response frame type and
+// payload. Framing and request IDs belong to the caller; handle never
+// fails — request errors become msgError responses.
+func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
 	switch typ {
 	case msgGetOracle:
 		blob, err := s.db.OracleBlob()
 		if err != nil {
-			return writeError(conn, err)
+			return errorResponse(err)
 		}
-		return writeFrame(conn, msgOracleBlob, blob)
+		return msgOracleBlob, blob
 	case msgIngest:
 		ms, err := decodeMappings(payload)
 		if err != nil {
-			return writeError(conn, err)
+			return errorResponse(err)
 		}
 		if err := s.db.Ingest(ms); err != nil {
-			return writeError(conn, err)
+			return errorResponse(err)
 		}
-		ack := make([]byte, 4)
-		n := s.db.Len()
-		ack[0] = byte(n)
-		ack[1] = byte(n >> 8)
-		ack[2] = byte(n >> 16)
-		ack[3] = byte(n >> 24)
-		return writeFrame(conn, msgIngestAck, ack)
+		ack := make([]byte, 8)
+		binary.LittleEndian.PutUint64(ack, uint64(s.db.Len()))
+		return msgIngestAck, ack
 	case msgQuery:
 		intr, kpData, err := decodeQueryHeader(payload)
 		if err != nil {
-			return writeError(conn, err)
+			return errorResponse(err)
 		}
 		kps, err := decodeKeypoints(kpData)
 		if err != nil {
-			return writeError(conn, err)
+			return errorResponse(err)
 		}
 		res, err := s.db.Locate(kps, intr)
 		if err != nil {
-			return writeError(conn, err)
+			return errorResponse(err)
 		}
-		return writeFrame(conn, msgQueryResult, encodeLocateResult(res))
+		return msgQueryResult, encodeLocateResult(res)
 	case msgGetDiff:
 		if len(payload) != 8 {
-			return writeError(conn, errors.New("bad diff request"))
+			return errorResponse(errors.New("bad diff request"))
 		}
-		var since uint64
-		for i := 0; i < 8; i++ {
-			since |= uint64(payload[i]) << (8 * i)
-		}
+		since := binary.LittleEndian.Uint64(payload)
 		diff, ok, err := s.db.OracleDiff(since)
 		if err != nil {
-			return writeError(conn, err)
+			return errorResponse(err)
 		}
 		if ok {
-			return writeFrame(conn, msgDiffBlob, diff)
+			return msgDiffBlob, diff
 		}
 		// Version no longer retained: fall back to the full blob.
 		blob, err := s.db.OracleBlob()
 		if err != nil {
-			return writeError(conn, err)
+			return errorResponse(err)
 		}
-		return writeFrame(conn, msgOracleBlob, blob)
+		return msgOracleBlob, blob
 	case msgStats:
 		buf := make([]byte, 8)
-		n := uint64(s.db.Len())
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(n >> (8 * i))
-		}
-		return writeFrame(conn, msgStatsResult, buf)
+		binary.LittleEndian.PutUint64(buf, uint64(s.db.Len()))
+		return msgStatsResult, buf
 	default:
-		return writeError(conn, fmt.Errorf("unknown message type %d", typ))
+		return errorResponse(fmt.Errorf("unknown message type %d", typ))
 	}
 }
 
-func writeError(conn net.Conn, err error) error {
-	return writeFrame(conn, msgError, []byte(err.Error()))
-}
-
-// errRemote wraps a server-reported error.
-type errRemote struct{ msg string }
-
-func (e errRemote) Error() string { return "visualprint server: " + e.msg }
-
-// IsRemote reports whether err was returned by the server (as opposed to a
-// transport failure).
-func IsRemote(err error) bool {
-	var r errRemote
-	return errors.As(err, &r)
+func errorResponse(err error) (byte, []byte) {
+	return msgError, encodeErrorPayload(err)
 }

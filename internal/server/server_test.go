@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -83,14 +85,14 @@ func TestIngestAndStatsOverTCP(t *testing.T) {
 		ms[i].Desc[0] = byte(i)
 		ms[i].Pos = mathx.Vec3{X: float64(i)}
 	}
-	total, err := c.Ingest(ms)
+	total, err := c.Ingest(context.Background(), ms)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if total != 10 || db.Len() != 10 {
 		t.Errorf("total=%d dbLen=%d", total, db.Len())
 	}
-	n, err := c.Stats()
+	n, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,10 +113,10 @@ func TestOracleDownloadAgrees(t *testing.T) {
 			ms[i].Desc[j] = byte((i*7 + j*13) % 256)
 		}
 	}
-	if _, err := c.Ingest(ms); err != nil {
+	if _, err := c.Ingest(context.Background(), ms); err != nil {
 		t.Fatal(err)
 	}
-	oracle, size, err := c.FetchOracle()
+	oracle, size, err := c.FetchOracle(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +151,11 @@ func TestEndToEndLocalization(t *testing.T) {
 		if end > len(ms) {
 			end = len(ms)
 		}
-		if _, err := c.Ingest(ms[i:end]); err != nil {
+		if _, err := c.Ingest(context.Background(), ms[i:end]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	oracle, _, err := c.FetchOracle()
+	oracle, _, err := c.FetchOracle(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestEndToEndLocalization(t *testing.T) {
 			t.Fatal(err)
 		}
 		intr := pose.Intrinsics{W: cam.W, H: cam.H, FovX: cam.FovX, FovY: cam.FovY()}
-		res, err := c.Query(sel, intr)
+		res, err := c.Query(context.Background(), sel, intr)
 		if err != nil {
 			continue // some views may lack consensus
 		}
@@ -201,18 +203,21 @@ func TestQueryOnEmptyDatabase(t *testing.T) {
 	s, _ := startServer(t)
 	c := dialClient(t, s)
 	kps := make([]sift.Keypoint, 5)
-	_, err := c.Query(kps, pose.Intrinsics{W: 100, H: 100, FovX: 1, FovY: 1})
+	_, err := c.Query(context.Background(), kps, pose.Intrinsics{W: 100, H: 100, FovX: 1, FovY: 1})
 	if err == nil {
 		t.Fatal("empty database query succeeded")
 	}
 	if !IsRemote(err) {
 		t.Errorf("want remote error, got %v", err)
 	}
+	if !errors.Is(err, ErrEmptyDatabase) {
+		t.Errorf("want ErrEmptyDatabase over the wire, got %v", err)
+	}
 	if !strings.Contains(err.Error(), "empty") {
 		t.Errorf("unexpected error: %v", err)
 	}
 	// The connection survives a remote error: next request works.
-	if _, err := c.Stats(); err != nil {
+	if _, err := c.Stats(context.Background()); err != nil {
 		t.Fatalf("connection dead after remote error: %v", err)
 	}
 }
@@ -227,10 +232,10 @@ func TestServeConnOverPipe(t *testing.T) {
 	go s.ServeConn(serverEnd)
 	c := NewClient(clientEnd)
 	defer c.Close()
-	if _, err := c.Ingest([]Mapping{{}}); err != nil {
+	if _, err := c.Ingest(context.Background(), []Mapping{{}}); err != nil {
 		t.Fatal(err)
 	}
-	n, err := c.Stats()
+	n, err := c.Stats(context.Background())
 	if err != nil || n != 1 {
 		t.Fatalf("stats = %d, err = %v", n, err)
 	}
@@ -256,11 +261,11 @@ func TestConcurrentClients(t *testing.T) {
 					ms[i].Desc[1] = byte(b)
 					ms[i].Desc[2] = byte(i)
 				}
-				if _, err := cl.Ingest(ms); err != nil {
+				if _, err := cl.Ingest(context.Background(), ms); err != nil {
 					errc <- err
 					return
 				}
-				if _, err := cl.Stats(); err != nil {
+				if _, err := cl.Stats(context.Background()); err != nil {
 					errc <- err
 					return
 				}
@@ -337,7 +342,7 @@ func TestQueryUploadBytesMatchesWire(t *testing.T) {
 	s, _ := startServer(t)
 	c := dialClient(t, s)
 	before := c.BytesSent()
-	c.Query(kps, pose.Intrinsics{W: 100, H: 100, FovX: 1, FovY: 1}) // error ignored: empty DB
+	c.Query(context.Background(), kps, pose.Intrinsics{W: 100, H: 100, FovX: 1, FovY: 1}) // error ignored: empty DB
 	sent := c.BytesSent() - before
 	if sent != QueryUploadBytes(200) {
 		t.Errorf("measured %d bytes, model %d", sent, QueryUploadBytes(200))
@@ -356,19 +361,19 @@ func TestRefreshOracleIncremental(t *testing.T) {
 		}
 		return ms
 	}
-	if _, err := c.Ingest(mk(200, 0)); err != nil {
+	if _, err := c.Ingest(context.Background(), mk(200, 0)); err != nil {
 		t.Fatal(err)
 	}
-	oracle, fullSize, err := c.FetchOracle()
+	oracle, fullSize, err := c.FetchOracle(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Server ingests more; client refreshes incrementally.
 	extra := mk(30, 9999)
-	if _, err := c.Ingest(extra); err != nil {
+	if _, err := c.Ingest(context.Background(), extra); err != nil {
 		t.Fatal(err)
 	}
-	updated, diffSize, incremental, err := c.RefreshOracle(oracle)
+	updated, diffSize, incremental, err := c.RefreshOracle(context.Background(), oracle)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +406,7 @@ func TestRefreshOracleFallsBackToFull(t *testing.T) {
 	for i := range ms {
 		ms[i].Desc[0] = byte(i)
 	}
-	if _, err := c.Ingest(ms); err != nil {
+	if _, err := c.Ingest(context.Background(), ms); err != nil {
 		t.Fatal(err)
 	}
 	// A client whose version the server never snapshotted gets a full blob.
@@ -410,7 +415,7 @@ func TestRefreshOracleFallsBackToFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	stale.Insert(make([]byte, 128))
-	updated, _, incremental, err := c.RefreshOracle(stale)
+	updated, _, incremental, err := c.RefreshOracle(context.Background(), stale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,8 +12,12 @@ import (
 	"visualprint/internal/sift"
 )
 
-// Message types of the VisualPrint wire protocol. Every frame is
-// [uint32 length][uint8 type][payload]; length covers type+payload.
+// Message types of the VisualPrint wire protocol. A v1 frame is
+// [uint32 length][uint8 type][payload]; a v2 frame is
+// [uint32 length][uint32 requestID][uint8 type][payload]. The length always
+// covers everything after itself. Request IDs let a single v2 connection
+// carry many in-flight requests; responses carry the ID of the request they
+// answer.
 const (
 	msgGetOracle   byte = 1 // -> gzip oracle blob
 	msgIngest      byte = 2 // mappings -> uint32 total count
@@ -30,6 +34,36 @@ const (
 
 // maxFrameSize bounds a single protocol frame (oracle blobs dominate).
 const maxFrameSize = 1 << 30
+
+// Protocol version negotiation. A v2 client opens its connection with a
+// five-byte preamble: protoMagic (little-endian) followed by a version
+// byte. The magic is deliberately larger than maxFrameSize, so the first
+// four bytes of a connection are unambiguous: they either decode to the
+// magic (a versioned client) or to a valid v1 frame length (a legacy
+// client, which the server keeps serving with ID-less framing).
+const (
+	protoMagic    uint32 = 0xfe325056 // "VP2\xfe" when read little-endian
+	protoVersion2 byte   = 2
+)
+
+// preambleSize is the on-wire size of the v2 connection preamble.
+const preambleSize = 5
+
+// writePreamble announces protocol v2 on a fresh connection.
+func writePreamble(w io.Writer) error {
+	var buf [preambleSize]byte
+	binary.LittleEndian.PutUint32(buf[:4], protoMagic)
+	buf[4] = protoVersion2
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// Per-frame byte overhead of each framing version (length prefix + header),
+// used by the client byte counters and the upload-size model.
+const (
+	frameOverheadV1 = 5
+	frameOverheadV2 = 9
+)
 
 // writeFrame writes one protocol frame as a single Write call: header and
 // payload combined. A single write avoids interleaving hazards and,
@@ -48,13 +82,19 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one protocol frame.
+// readFrame reads one v1 protocol frame.
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	return readFrameBody(r, binary.LittleEndian.Uint32(hdr[:]))
+}
+
+// readFrameBody finishes reading a v1 frame whose length prefix has already
+// been consumed (the server's version sniffer reads it while deciding which
+// framing a connection speaks).
+func readFrameBody(r io.Reader, n uint32) (typ byte, payload []byte, err error) {
 	if n == 0 || n > maxFrameSize {
 		return 0, nil, fmt.Errorf("server: bad frame length %d", n)
 	}
@@ -63,6 +103,39 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 		return 0, nil, err
 	}
 	return buf[0], buf[1:], nil
+}
+
+// writeFrameV2 writes one v2 frame — [uint32 length][uint32 id][uint8
+// type][payload] — as a single Write, for the same interleaving and
+// zero-length-write reasons as writeFrame.
+func writeFrameV2(w io.Writer, id uint32, typ byte, payload []byte) error {
+	if len(payload)+5 > maxFrameSize {
+		return errors.New("server: frame too large")
+	}
+	buf := make([]byte, frameOverheadV2+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)+5))
+	binary.LittleEndian.PutUint32(buf[4:8], id)
+	buf[8] = typ
+	copy(buf[9:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrameV2 reads one v2 protocol frame.
+func readFrameV2(r io.Reader) (id uint32, typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 5 || n > maxFrameSize {
+		return 0, 0, nil, fmt.Errorf("server: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, 0, nil, err
+	}
+	return binary.LittleEndian.Uint32(buf[:4]), buf[4], buf[5:], nil
 }
 
 const mappingWireSize = sift.DescriptorSize + 3*8

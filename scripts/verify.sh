@@ -1,0 +1,16 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate: static checks, a clean
+# build, and the entire test suite under the race detector (the concurrent
+# server/client paths are only trustworthy -race clean). `make verify` runs
+# this; CI should too. The tier-1 subset (build + tests without -race) is
+# what ROADMAP.md tracks as the never-regress line.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test -race =="
+go test -race ./...
+echo "verify: OK"

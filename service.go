@@ -1,6 +1,7 @@
 package visualprint
 
 import (
+	"context"
 	"net"
 
 	"visualprint/internal/server"
@@ -61,6 +62,25 @@ type Client = server.Client
 
 // Connect dials a VisualPrint server.
 func Connect(addr string) (*Client, error) { return server.Dial(addr) }
+
+// DialContext dials a VisualPrint server, honoring the context's deadline
+// and cancellation during connection establishment.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	return server.DialContext(ctx, addr)
+}
+
+// Typed localization failures, re-exported so callers can errors.Is on a
+// Query error — locally or through a networked Client, where the sentinel
+// travels as a stable wire code — instead of matching message text.
+var (
+	ErrEmptyDatabase = server.ErrEmptyDatabase
+	ErrTooFewMatches = server.ErrTooFewMatches
+	ErrNoConsensus   = server.ErrNoConsensus
+)
+
+// IsRemoteError reports whether err was diagnosed by the server (as opposed
+// to a transport failure).
+func IsRemoteError(err error) bool { return server.IsRemote(err) }
 
 // QueryUploadBytes returns the wire size of a localization query carrying n
 // keypoints — 200 keypoints cost ~29 KB, in line with the paper's "short

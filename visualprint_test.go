@@ -1,6 +1,7 @@
 package visualprint
 
 import (
+	"context"
 	"testing"
 )
 
@@ -241,10 +242,10 @@ func TestServerListenAndConnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Ingest([]Mapping{{}}); err != nil {
+	if _, err := c.Ingest(context.Background(), []Mapping{{}}); err != nil {
 		t.Fatal(err)
 	}
-	n, err := c.Stats()
+	n, err := c.Stats(context.Background())
 	if err != nil || n != 1 {
 		t.Fatalf("stats = %d, err = %v", n, err)
 	}
