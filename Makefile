@@ -1,6 +1,6 @@
 # VisualPrint build/verify targets.
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench clean
 
 build:
 	go build ./...
@@ -15,3 +15,9 @@ verify:
 
 bench:
 	go test -run NONE -bench . -benchtime 1x .
+
+# Remove built binaries and any data directories left by manual testing.
+# Test-created data dirs live under the test tempdir and clean themselves up.
+clean:
+	go clean ./...
+	rm -rf bin/ *.vpdata data/

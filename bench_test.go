@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"testing"
 
+	"visualprint"
 	"visualprint/internal/bench"
 )
 
@@ -155,3 +156,117 @@ func BenchmarkAblationLSHParams(b *testing.B) { runAblation(b, bench.AblationLSH
 
 // BenchmarkAblationICP: map error with/without ICP drift correction.
 func BenchmarkAblationICP(b *testing.B) { run1(b, bench.AblationICP) }
+
+// Persistence benchmarks (see DESIGN.md "Persistence" and EXPERIMENTS.md).
+
+// persistenceMappings builds a synthetic ingest corpus: descriptor bytes and
+// positions only — rendering is not what these benchmarks measure.
+func persistenceMappings(n int) []visualprint.Mapping {
+	ms := make([]visualprint.Mapping, n)
+	for i := range ms {
+		for j := range ms[i].Desc {
+			ms[i].Desc[j] = byte((i*131 + j*31) % 251)
+		}
+		ms[i].Pos.X = float64(i%97) * 0.25
+		ms[i].Pos.Y = float64(i%13) * 0.2
+		ms[i].Pos.Z = float64(i%59) * 0.3
+	}
+	return ms
+}
+
+// BenchmarkIngestThroughputMemory is the in-memory ingest baseline the
+// durable variant is compared against.
+func BenchmarkIngestThroughputMemory(b *testing.B) {
+	benchIngest(b, false)
+}
+
+// BenchmarkIngestThroughputDurable measures WAL-backed ingest: every batch
+// is logged and fsynced before it is acknowledged.
+func BenchmarkIngestThroughputDurable(b *testing.B) {
+	benchIngest(b, true)
+}
+
+func benchIngest(b *testing.B, durable bool) {
+	const batch = 500
+	ms := persistenceMappings(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		srv, err := visualprint.NewServer(visualprint.DefaultServerConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if durable {
+			if err := srv.OpenData(b.TempDir()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		for k := 0; k < 8; k++ {
+			if err := srv.Ingest(ms); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := srv.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(8*batch), "mappings/op")
+}
+
+// BenchmarkColdRecoveryWAL measures a cold start that replays the whole log
+// (no snapshot): the worst-case restart.
+func BenchmarkColdRecoveryWAL(b *testing.B) { benchColdRecovery(b, false) }
+
+// BenchmarkColdRecoverySnapshot measures a cold start from a compacted
+// snapshot with an empty WAL tail: the common restart.
+func BenchmarkColdRecoverySnapshot(b *testing.B) { benchColdRecovery(b, true) }
+
+func benchColdRecovery(b *testing.B, compacted bool) {
+	dir := b.TempDir()
+	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.OpenData(dir); err != nil {
+		b.Fatal(err)
+	}
+	ms := persistenceMappings(500)
+	for k := 0; k < 8; k++ {
+		if err := srv.Ingest(ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if compacted {
+		if err := srv.Database().Compact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	want := srv.Database().Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv2, err := visualprint.NewServer(visualprint.DefaultServerConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv2.OpenData(dir); err != nil {
+			b.Fatal(err)
+		}
+		if srv2.Database().Len() != want {
+			b.Fatalf("recovered %d mappings, want %d", srv2.Database().Len(), want)
+		}
+		b.StopTimer()
+		if err := srv2.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(want), "mappings/op")
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"flag"
 	"log"
+	"time"
 
 	"visualprint"
 )
@@ -22,6 +23,7 @@ func main() {
 	seed := flag.Uint("seed", 1, "venue construction seed (must match vpwardrive)")
 	queries := flag.Int("queries", 5, "number of query viewpoints")
 	selectN := flag.Int("select", 200, "most-unique keypoints to upload per query")
+	stats := flag.Bool("stats", false, "print server state (size, persistence) and exit")
 	flag.Parse()
 
 	var world *visualprint.World
@@ -43,6 +45,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+
+	if *stats {
+		printStats(client)
+		return
+	}
 
 	oracle, blobSize, err := client.FetchOracle(context.Background())
 	if err != nil {
@@ -77,4 +84,28 @@ func main() {
 	}
 	log.Printf("%d/%d queries localized; %.1f KB uploaded total",
 		success, *queries, float64(client.BytesSent())/1024)
+}
+
+// printStats fetches and prints the server's full state report.
+func printStats(client *visualprint.Client) {
+	s, err := client.StatsFull(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mappings:               %d", s.Mappings)
+	log.Printf("database size:          %.1f MB", float64(s.DatabaseBytes)/1e6)
+	log.Printf("oracle inserts:         %d", s.OracleInserts)
+	log.Printf("oracle snapshot bytes:  %.1f MB", float64(s.OracleSnapshotBytes)/1e6)
+	if !s.Persistent {
+		log.Printf("persistence:            in-memory")
+		return
+	}
+	log.Printf("persistence:            durable")
+	log.Printf("snapshot covers:        %d records", s.SnapshotSeq)
+	log.Printf("wal size:               %.1f MB", float64(s.WALBytes)/1e6)
+	if s.LastCompactionUnix > 0 {
+		log.Printf("last compaction:        %s", time.Unix(s.LastCompactionUnix, 0).Format(time.RFC3339))
+	} else {
+		log.Printf("last compaction:        never")
+	}
 }

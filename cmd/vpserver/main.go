@@ -2,7 +2,11 @@
 // wardriving ingest, serves uniqueness-oracle downloads, and answers
 // localization queries over the binary TCP protocol.
 //
-//	vpserver -listen :7310
+// With -data the database is durable: ingests are written to a write-ahead
+// log before they are acknowledged, a background snapshotter compacts the
+// log, and a restart (graceful or not) recovers the exact map.
+//
+//	vpserver -listen :7310 -data /var/lib/visualprint
 package main
 
 import (
@@ -17,11 +21,18 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":7310", "listen address")
+	data := flag.String("data", "", "data directory for durable storage (empty: in-memory)")
 	flag.Parse()
 
 	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *data != "" {
+		if err := srv.OpenData(*data); err != nil {
+			log.Fatalf("opening data dir %s: %v", *data, err)
+		}
+		log.Printf("data dir %s: recovered %d mappings", *data, srv.Database().Len())
 	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
@@ -33,6 +44,12 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down (%d mappings served)", srv.Database().Len())
+	if *data != "" {
+		// Fold the WAL into a snapshot so the next start recovers fast.
+		if err := srv.Database().Compact(); err != nil {
+			log.Printf("final compaction: %v", err)
+		}
+	}
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}

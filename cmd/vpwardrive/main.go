@@ -2,6 +2,12 @@
 // streams the keypoint-to-3D mappings to a running vpserver.
 //
 //	vpwardrive -server localhost:7310 -venue office -seed 1
+//
+// With -data the mappings are instead ingested into a local durable
+// database directory — no server needed — which a later
+// `vpserver -data <dir>` serves directly:
+//
+//	vpwardrive -data /var/lib/visualprint -venue office -seed 1
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 
 func main() {
 	serverAddr := flag.String("server", "localhost:7310", "vpserver address")
+	data := flag.String("data", "", "ingest into this local data directory instead of a server")
 	venue := flag.String("venue", "office", "venue: office, cafeteria, grocery, gallery")
 	seed := flag.Uint("seed", 1, "venue construction seed")
 	drift := flag.Float64("drift", 0.05, "dead-reckoning drift stddev per sqrt-meter")
@@ -52,6 +59,11 @@ func main() {
 	}
 	ms := visualprint.MappingsFrom(snaps)
 
+	if *data != "" {
+		ingestLocal(*data, ms, *batch)
+		return
+	}
+
 	client, err := visualprint.Connect(*serverAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -69,4 +81,38 @@ func main() {
 		log.Printf("ingested %d/%d (server total %d)", end, len(ms), total)
 	}
 	log.Printf("done: uploaded %.1f MB", float64(client.BytesSent())/1e6)
+}
+
+// ingestLocal writes the mappings into a durable database directory without
+// a network hop: open (recovering any prior state), append, snapshot, close.
+func ingestLocal(dir string, ms []visualprint.Mapping, batch int) {
+	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.OpenData(dir); err != nil {
+		log.Fatalf("opening data dir %s: %v", dir, err)
+	}
+	if n := srv.Database().Len(); n > 0 {
+		log.Printf("data dir %s: extending existing map of %d mappings", dir, n)
+	}
+	for i := 0; i < len(ms); i += batch {
+		end := i + batch
+		if end > len(ms) {
+			end = len(ms)
+		}
+		if err := srv.Ingest(ms[i:end]); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ingested %d/%d (local total %d)", end, len(ms), srv.Database().Len())
+	}
+	// Compact so vpserver's next start loads one snapshot instead of
+	// replaying the whole log.
+	if err := srv.Database().Compact(); err != nil {
+		log.Fatalf("compacting: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("done: %d mappings durable in %s", srv.Database().Len(), dir)
 }

@@ -1,0 +1,140 @@
+package lsh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Index serialization, used by the server's durable snapshots. The format
+// stores the parameter set (from which the projection family is rebuilt
+// deterministically — the Gaussian coefficients themselves are never
+// written), the retained descriptors, and the L bucket tables verbatim.
+// Per-bucket id slices keep their insertion order, which is what makes a
+// deserialized index answer queries bit-identically to the original:
+// candidate enumeration order, and therefore tie-breaking among equal
+// distances, is preserved.
+const indexMagic = "VPLSH1\x00\x00"
+
+// indexMaxEntries bounds deserialized allocation sizes so a corrupt length
+// field fails cleanly instead of attempting a huge allocation.
+const indexMaxEntries = 1 << 31
+
+// WriteTo serializes the index. The stream is framed by the caller (the
+// server snapshot wraps it in a checksummed container).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return 0, err
+	}
+	p := ix.h.p
+	hdr := []any{
+		uint32(p.L), uint32(p.M), p.W, uint32(p.Dim), p.Seed,
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return 0, err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(ix.descs))); err != nil {
+		return 0, err
+	}
+	for _, d := range ix.descs {
+		if _, err := bw.Write(d); err != nil {
+			return 0, err
+		}
+	}
+	for _, tbl := range ix.tables {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(tbl))); err != nil {
+			return 0, err
+		}
+		for key, ids := range tbl {
+			if err := binary.Write(bw, binary.LittleEndian, key); err != nil {
+				return 0, err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(ids))); err != nil {
+				return 0, err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, ids); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return 0, bw.Flush()
+}
+
+// ReadIndex deserializes an index written by WriteTo, rebuilding the
+// projection family from the stored seed. It consumes exactly the bytes
+// WriteTo produced — no internal read-ahead — so the index can be embedded
+// mid-stream (the server's database snapshot does); hand it a buffered
+// reader when performance matters.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := r
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("lsh: bad index magic %q", magic)
+	}
+	var p Params
+	var l, m, dim uint32
+	fields := []any{&l, &m, &p.W, &dim, &p.Seed}
+	for _, v := range fields {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	p.L, p.M, p.Dim = int(l), int(m), int(dim)
+	ix, err := NewIndex(p)
+	if err != nil {
+		return nil, err
+	}
+	var nDescs uint64
+	if err := binary.Read(br, binary.LittleEndian, &nDescs); err != nil {
+		return nil, err
+	}
+	if nDescs > indexMaxEntries {
+		return nil, errors.New("lsh: implausible descriptor count")
+	}
+	ix.descs = make([][]byte, nDescs)
+	for i := range ix.descs {
+		d := make([]byte, p.Dim)
+		if _, err := io.ReadFull(br, d); err != nil {
+			return nil, err
+		}
+		ix.descs[i] = d
+	}
+	for t := 0; t < p.L; t++ {
+		var nBuckets uint64
+		if err := binary.Read(br, binary.LittleEndian, &nBuckets); err != nil {
+			return nil, err
+		}
+		if nBuckets > indexMaxEntries {
+			return nil, errors.New("lsh: implausible bucket count")
+		}
+		tbl := make(map[uint64][]int32, nBuckets)
+		for b := uint64(0); b < nBuckets; b++ {
+			var key uint64
+			var n uint32
+			if err := binary.Read(br, binary.LittleEndian, &key); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+				return nil, err
+			}
+			if uint64(n) > nDescs {
+				return nil, errors.New("lsh: bucket larger than descriptor count")
+			}
+			ids := make([]int32, n)
+			if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
+				return nil, err
+			}
+			tbl[key] = ids
+		}
+		ix.tables[t] = tbl
+	}
+	return ix, nil
+}

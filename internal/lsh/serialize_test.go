@@ -1,0 +1,81 @@
+package lsh
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestIndexSerializeRoundTrip(t *testing.T) {
+	p := Params{L: 6, M: 4, W: 400, Dim: 32, Seed: 9}
+	ix, err := NewIndex(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	descs := make([][]byte, 500)
+	for i := range descs {
+		d := make([]byte, p.Dim)
+		for j := range d {
+			d[j] = byte(rng.Intn(256))
+		}
+		descs[i] = d
+		if _, err := ix.Insert(append([]byte(nil), d...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ix2.Len() != ix.Len() {
+		t.Fatalf("len %d != %d", ix2.Len(), ix.Len())
+	}
+	if !reflect.DeepEqual(ix.h.p, ix2.h.p) {
+		t.Fatalf("params diverge: %+v vs %+v", ix.h.p, ix2.h.p)
+	}
+	if !reflect.DeepEqual(ix.descs, ix2.descs) {
+		t.Fatal("descriptors diverge after round trip")
+	}
+	if !reflect.DeepEqual(ix.tables, ix2.tables) {
+		t.Fatal("bucket tables diverge after round trip")
+	}
+
+	// Queries must be bit-identical: same candidates, same order.
+	opt := QueryOptions{MaxCandidates: 8, MultiProbe: true}
+	for i := 0; i < 100; i++ {
+		q := descs[rng.Intn(len(descs))]
+		if rng.Intn(2) == 0 { // perturb to exercise near-miss paths
+			q = append([]byte(nil), q...)
+			q[rng.Intn(len(q))] ^= 0x0f
+		}
+		a, err := ix.Query(q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ix2.Query(q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %d diverges: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("not an index at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated stream: valid magic then EOF.
+	if _, err := ReadIndex(bytes.NewReader([]byte(indexMagic))); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

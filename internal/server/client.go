@@ -332,14 +332,27 @@ func (c *Client) Query(ctx context.Context, kps []sift.Keypoint, intr pose.Intri
 
 // Stats returns the server's mapping count.
 func (c *Client) Stats(ctx context.Context) (mappings uint64, err error) {
-	resp, err := c.roundTrip(ctx, msgStats, nil, msgStatsResult)
+	s, err := c.StatsFull(ctx)
 	if err != nil {
 		return 0, err
 	}
-	if len(resp) != 8 {
-		return 0, errRemote{msg: "bad stats response"}
+	return s.Mappings, nil
+}
+
+// StatsFull returns the server's full state report: database size, oracle
+// insert count and persistence state (snapshot coverage, WAL size, last
+// compaction). Legacy servers that ship only a mapping count yield a
+// DBStats with just Mappings set.
+func (c *Client) StatsFull(ctx context.Context) (DBStats, error) {
+	resp, err := c.roundTrip(ctx, msgStats, nil, msgStatsResult)
+	if err != nil {
+		return DBStats{}, err
 	}
-	return binary.LittleEndian.Uint64(resp), nil
+	s, err := decodeDBStats(resp)
+	if err != nil {
+		return DBStats{}, errRemote{msg: err.Error()}
+	}
+	return s, nil
 }
 
 // QueryUploadBytes returns the v2 wire size of a query with the given

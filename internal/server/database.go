@@ -7,6 +7,7 @@
 package server
 
 import (
+	"log"
 	"math"
 	"runtime"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"visualprint/internal/pose"
 	"visualprint/internal/scene"
 	"visualprint/internal/sift"
+	"visualprint/internal/store"
 )
 
 // DatabaseConfig configures the server-side structures.
@@ -41,7 +43,28 @@ type DatabaseConfig struct {
 	// always processed serially — goroutine fan-out costs more than it
 	// saves on small queries.
 	LocateParallelism int
+	// WALCompactBytes is the write-ahead-log size past which the
+	// background snapshotter folds the log into a fresh snapshot (only
+	// meaningful after Open; 0 means defaultWALCompactBytes).
+	WALCompactBytes int64
+	// OracleSnapshotBudgetBytes caps the memory the database is expected
+	// to spend on retained oracle download versions (the diff-serving
+	// clones). Exceeding it is not fatal — old versions still age out of
+	// the window — but it is logged, since each clone is a full filter
+	// copy (~190 MB at the paper's 2.5M-descriptor sizing). 0 means
+	// defaultOracleSnapshotBudget.
+	OracleSnapshotBudgetBytes int64
 }
+
+// defaultWALCompactBytes triggers compaction once the WAL outgrows 64 MB —
+// a few hundred thousand mapping records, well past the point where
+// replaying the log dominates cold-start time.
+const defaultWALCompactBytes = 64 << 20
+
+// defaultOracleSnapshotBudget bounds retained oracle clones at 1 GB, which
+// accommodates the full maxOracleSnapshots window at paper scale with
+// headroom; simulated-scale databases never approach it.
+const defaultOracleSnapshotBudget = 1 << 30
 
 // DefaultDatabaseConfig returns a configuration scaled for the simulated
 // venues (TestParams-sized oracle; swap in core.DefaultParams for the
@@ -58,11 +81,20 @@ func DefaultDatabaseConfig() DatabaseConfig {
 }
 
 // Database is the cloud service state. All methods are safe for concurrent
-// use.
+// use. A Database is purely in-memory until Open attaches a data directory;
+// from then on every Ingest is write-ahead logged and the map survives a
+// crash (see persist.go).
 type Database struct {
 	cfg DatabaseConfig
 
 	mu        sync.RWMutex
+	// userLogf receives persistence and resource warnings (WAL
+	// truncation, oracle-snapshot budget overruns); set via SetLogf, nil
+	// means log.Printf. Serve wires it to the server's logger when still
+	// unset. Every logf call site already holds mu, so SetLogf taking the
+	// write lock keeps late wiring race-free.
+	userLogf  func(format string, args ...any)
+	logfSet   bool
 	index     *lsh.Index
 	positions []mathx.Vec3
 	oracle    *core.Oracle
@@ -71,9 +103,47 @@ type Database struct {
 	// snapshots retains clones of the oracle at versions clients have
 	// downloaded (keyed by insert count), so later refreshes can be served
 	// as compressed diffs instead of full blobs. Bounded to the most
-	// recent few versions.
-	snapshots map[uint64]*core.Oracle
-	snapOrder []uint64
+	// recent few versions and accounted against
+	// OracleSnapshotBudgetBytes.
+	snapshots  map[uint64]*core.Oracle
+	snapOrder  []uint64
+	snapBytes  int64
+	snapWarned bool
+
+	// Persistence (nil/zero when running in-memory; see Open).
+	store    *store.Store
+	snapKick chan struct{}
+	quit     chan struct{}
+	snapDone chan struct{}
+}
+
+// SetLogf routes the database's persistence and resource warnings through
+// f (nil silences them). Defaults to log.Printf when never called.
+func (db *Database) SetLogf(f func(format string, args ...any)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.userLogf = f
+	db.logfSet = true
+}
+
+// setLogfDefault wires f only when SetLogf has never been called.
+func (db *Database) setLogfDefault(f func(format string, args ...any)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.logfSet {
+		db.userLogf = f
+		db.logfSet = true
+	}
+}
+
+// logf logs one warning. Callers must hold db.mu (either side).
+func (db *Database) logf(format string, args ...any) {
+	switch {
+	case db.userLogf != nil:
+		db.userLogf(format, args...)
+	case !db.logfSet:
+		log.Printf(format, args...)
+	}
 }
 
 // maxOracleSnapshots bounds retained download versions. Each snapshot is a
@@ -86,6 +156,12 @@ const maxOracleSnapshots = 4
 func NewDatabase(cfg DatabaseConfig) (*Database, error) {
 	if cfg.NeighborsPerKeypoint <= 0 {
 		cfg.NeighborsPerKeypoint = 2
+	}
+	if cfg.WALCompactBytes <= 0 {
+		cfg.WALCompactBytes = defaultWALCompactBytes
+	}
+	if cfg.OracleSnapshotBudgetBytes <= 0 {
+		cfg.OracleSnapshotBudgetBytes = defaultOracleSnapshotBudget
 	}
 	ix, err := lsh.NewIndex(cfg.LSH)
 	if err != nil {
@@ -107,9 +183,55 @@ type Mapping struct {
 // Ingest incorporates wardriven mappings: each descriptor is added to the
 // lookup table and the uniqueness oracle — "in constant time and memory"
 // per record.
+//
+// On a durable database (Open), the batch is write-ahead logged before it
+// is applied, and Ingest returns only once the record has reached stable
+// storage — so an acknowledged batch is always recovered, and a crash can
+// only lose batches whose Ingest had not yet returned. The WAL reservation
+// and the in-memory apply share the database lock, which pins replay order
+// to apply order and makes recovery bit-identical; the fsync wait happens
+// after the lock is released, so concurrent ingests batch into shared
+// group commits instead of serializing on the disk.
 func (db *Database) Ingest(ms []Mapping) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	// Reject dimension mismatches before the WAL reservation: applyLocked
+	// must not be able to fail after the record is logged, or replay would
+	// diverge from the live state.
+	if db.cfg.LSH.Dim != sift.DescriptorSize || db.cfg.Oracle.LSH.Dim != sift.DescriptorSize {
+		db.mu.Unlock()
+		return errRemote{msg: "database descriptor dimension mismatch"}
+	}
+	var commit *store.Commit
+	var st *store.Store
+	var kick chan struct{}
+	if db.store != nil {
+		st, kick = db.store, db.snapKick
+		commit = st.Append(encodeMappings(ms))
+	}
+	err := db.applyLocked(ms)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if commit == nil {
+		return nil
+	}
+	if err := commit.Wait(); err != nil {
+		return err
+	}
+	if st.WALBytes() >= db.cfg.WALCompactBytes {
+		select {
+		case kick <- struct{}{}:
+		default: // a compaction is already queued
+		}
+	}
+	return nil
+}
+
+// applyLocked incorporates mappings into the in-memory structures. It is
+// the single mutation path, shared by live ingest and WAL replay. Callers
+// must hold db.mu.
+func (db *Database) applyLocked(ms []Mapping) error {
 	for i := range ms {
 		desc := make([]byte, sift.DescriptorSize)
 		copy(desc, ms[i].Desc[:])
@@ -163,7 +285,10 @@ func (db *Database) OracleBlob() ([]byte, error) {
 	return bloom.GzipBytes(db.oracle)
 }
 
-// snapshotLocked records a clone of the oracle at its current version.
+// snapshotLocked records a clone of the oracle at its current version,
+// keeping the retained-clone byte total accounted against the configured
+// budget: crossing it logs a warning (each clone is a full filter copy, so
+// silent growth here is how a server quietly doubles its RAM).
 func (db *Database) snapshotLocked() error {
 	v := db.oracle.Inserts()
 	if _, ok := db.snapshots[v]; ok {
@@ -175,9 +300,21 @@ func (db *Database) snapshotLocked() error {
 	}
 	db.snapshots[v] = clone
 	db.snapOrder = append(db.snapOrder, v)
+	db.snapBytes += clone.MemoryBytes()
 	for len(db.snapOrder) > maxOracleSnapshots {
-		delete(db.snapshots, db.snapOrder[0])
+		evict := db.snapOrder[0]
+		db.snapBytes -= db.snapshots[evict].MemoryBytes()
+		delete(db.snapshots, evict)
 		db.snapOrder = db.snapOrder[1:]
+	}
+	if budget := db.cfg.OracleSnapshotBudgetBytes; db.snapBytes > budget {
+		if !db.snapWarned {
+			db.snapWarned = true
+			db.logf("server: %d retained oracle snapshots hold %.1f MB, over the %.1f MB budget — consider lowering the snapshot window or raising OracleSnapshotBudgetBytes",
+				len(db.snapOrder), float64(db.snapBytes)/1e6, float64(budget)/1e6)
+		}
+	} else {
+		db.snapWarned = false
 	}
 	return nil
 }
@@ -210,6 +347,53 @@ func (db *Database) Oracle() *core.Oracle {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.oracle
+}
+
+// DBStats is the server-state report behind the Stats RPC.
+type DBStats struct {
+	// Mappings is the ingested record count.
+	Mappings uint64
+	// DatabaseBytes estimates the in-memory footprint of the lookup
+	// table, the positions and the live oracle (retained download clones
+	// excluded — see OracleSnapshotBytes).
+	DatabaseBytes uint64
+	// OracleInserts is the live oracle's insert counter — the version
+	// clients cite when requesting incremental refreshes.
+	OracleInserts uint64
+	// OracleSnapshotBytes is the memory held by retained oracle download
+	// versions (the diff-serving clones).
+	OracleSnapshotBytes uint64
+	// Persistent reports whether a data directory is attached.
+	Persistent bool
+	// SnapshotSeq is the ingest-batch coverage of the newest durable
+	// snapshot (0 when none has been written yet).
+	SnapshotSeq uint64
+	// WALBytes is the current size of the write-ahead log.
+	WALBytes uint64
+	// LastCompactionUnix is when the newest durable snapshot was written
+	// (Unix seconds; 0 when never).
+	LastCompactionUnix int64
+}
+
+// Stats reports the database's size, oracle state and persistence state.
+func (db *Database) Stats() DBStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := DBStats{
+		Mappings:            uint64(len(db.positions)),
+		DatabaseBytes:       uint64(db.index.MemoryBytes() + db.oracle.MemoryBytes() + int64(len(db.positions))*24),
+		OracleInserts:       db.oracle.Inserts(),
+		OracleSnapshotBytes: uint64(db.snapBytes),
+	}
+	if db.store != nil {
+		s.Persistent = true
+		s.SnapshotSeq = db.store.SnapshotSeq()
+		s.WALBytes = uint64(db.store.WALBytes())
+		if t := db.store.LastCompaction(); !t.IsZero() {
+			s.LastCompactionUnix = t.Unix()
+		}
+	}
+	return s
 }
 
 // LocateResult is the server's answer to a localization query.

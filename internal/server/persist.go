@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"visualprint/internal/core"
+	"visualprint/internal/lsh"
+	"visualprint/internal/mathx"
+	"visualprint/internal/store"
+)
+
+// Durable database lifecycle. Open attaches a data directory to an empty
+// Database: the newest valid snapshot is loaded, the WAL tail is replayed
+// through the same applyLocked path live ingest uses (so the recovered
+// structures — LSH bucket slices, position ids, oracle counters — are
+// bit-identical to the pre-crash state), and a background snapshotter
+// starts folding the WAL into fresh snapshots whenever it outgrows
+// DatabaseConfig.WALCompactBytes.
+//
+// Snapshot payload layout (inside the store's checksummed container):
+//
+//	[8-byte magic][lsh index][uint64 n][n Vec3 positions]
+//	[bounds: uint8 has, lo Vec3, hi Vec3][oracle]
+//
+// The retained oracle download clones are deliberately not persisted: after
+// a restart the diff window starts empty and clients refreshing against a
+// pre-crash version transparently fall back to a full oracle download.
+
+// dbSnapMagic versions the database snapshot payload.
+const dbSnapMagic = "VPDB1\x00\x00\x00"
+
+// Open attaches dir as the database's durable backing store, recovering
+// any previously persisted state into the (required to be empty) in-memory
+// structures. After Open, every Ingest is write-ahead logged; Close
+// releases the directory.
+func (db *Database) Open(dir string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.store != nil {
+		return errors.New("server: database already has a data directory")
+	}
+	if len(db.positions) != 0 {
+		return errors.New("server: Open requires an empty database")
+	}
+	st, err := store.Open(dir, store.Options{Logf: db.logf})
+	if err != nil {
+		return err
+	}
+	err = st.Recover(
+		func(r io.Reader) error { return db.loadStateLocked(r) },
+		func(payload []byte) error {
+			ms, err := decodeMappings(payload)
+			if err != nil {
+				return err
+			}
+			return db.applyLocked(ms)
+		},
+	)
+	if err != nil {
+		st.Close()
+		return err
+	}
+	db.store = st
+	db.snapKick = make(chan struct{}, 1)
+	db.quit = make(chan struct{})
+	db.snapDone = make(chan struct{})
+	go db.snapshotter()
+	return nil
+}
+
+// Close detaches the data directory: pending WAL commits are flushed, the
+// background snapshotter stops, and file handles are released. The
+// database remains usable in-memory. Close on an in-memory database is a
+// no-op.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	st := db.store
+	db.store = nil
+	db.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	close(db.quit)
+	<-db.snapDone
+	return st.Close()
+}
+
+// Compact synchronously folds the current state into a fresh durable
+// snapshot and truncates the WAL. It is what the background snapshotter
+// runs on threshold, exposed for deliberate checkpoints (vpwardrive after
+// a bulk upload; tests; benchmarks).
+func (db *Database) Compact() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.store == nil {
+		return errors.New("server: in-memory database has nothing to compact")
+	}
+	// Holding the read lock excludes Ingest (whose WAL reservation needs
+	// the write lock) for the duration, so the serialized state is exactly
+	// the state at the log head. Locates proceed concurrently.
+	return db.store.Snapshot(func(w io.Writer) error { return db.writeStateLocked(w) })
+}
+
+// snapshotter runs WAL compactions in the background, one at a time, when
+// Ingest observes the log over threshold.
+func (db *Database) snapshotter() {
+	defer close(db.snapDone)
+	for {
+		select {
+		case <-db.quit:
+			return
+		case <-db.snapKick:
+			db.mu.RLock()
+			st := db.store
+			var err error
+			if st != nil {
+				err = st.Snapshot(func(w io.Writer) error { return db.writeStateLocked(w) })
+			}
+			if err != nil {
+				db.logf("server: background wal compaction: %v", err)
+			}
+			db.mu.RUnlock()
+		}
+	}
+}
+
+// writeStateLocked serializes the full database state. Callers hold db.mu.
+func (db *Database) writeStateLocked(w io.Writer) error {
+	if _, err := io.WriteString(w, dbSnapMagic); err != nil {
+		return err
+	}
+	if _, err := db.index.WriteTo(w); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(db.positions))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, db.positions); err != nil {
+		return err
+	}
+	var has byte
+	if db.hasBounds {
+		has = 1
+	}
+	if err := binary.Write(w, binary.LittleEndian, has); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, []mathx.Vec3{db.lo, db.hi}); err != nil {
+		return err
+	}
+	if _, err := db.oracle.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// loadStateLocked replaces the in-memory structures with a deserialized
+// snapshot, refusing state whose parameters disagree with the database's
+// configuration (a server restarted with a different LSH family or oracle
+// sizing would otherwise silently mis-hash every query).
+func (db *Database) loadStateLocked(r io.Reader) error {
+	magic := make([]byte, len(dbSnapMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return err
+	}
+	if string(magic) != dbSnapMagic {
+		return fmt.Errorf("server: bad database snapshot magic %q", magic)
+	}
+	ix, err := lsh.ReadIndex(r)
+	if err != nil {
+		return err
+	}
+	if ip := ix.Hasher().Params(); ip != db.cfg.LSH {
+		return fmt.Errorf("server: snapshot LSH params %+v differ from configured %+v", ip, db.cfg.LSH)
+	}
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if n != uint64(ix.Len()) {
+		return fmt.Errorf("server: snapshot has %d positions for %d descriptors", n, ix.Len())
+	}
+	positions := make([]mathx.Vec3, n)
+	if err := binary.Read(r, binary.LittleEndian, positions); err != nil {
+		return err
+	}
+	var has byte
+	if err := binary.Read(r, binary.LittleEndian, &has); err != nil {
+		return err
+	}
+	bounds := make([]mathx.Vec3, 2)
+	if err := binary.Read(r, binary.LittleEndian, bounds); err != nil {
+		return err
+	}
+	oracle, err := core.Read(r)
+	if err != nil {
+		return err
+	}
+	if op := oracle.Params(); op != db.cfg.Oracle {
+		return fmt.Errorf("server: snapshot oracle params differ from configured")
+	}
+	db.index = ix
+	db.positions = positions
+	db.hasBounds = has == 1
+	db.lo, db.hi = bounds[0], bounds[1]
+	db.oracle = oracle
+	// The diff window restarts empty: refreshes against pre-crash
+	// versions fall back to a full download.
+	db.snapshots = map[uint64]*core.Oracle{}
+	db.snapOrder = nil
+	db.snapBytes = 0
+	db.snapWarned = false
+	return nil
+}

@@ -48,6 +48,10 @@ func Serve(ln net.Listener, db *Database) *Server {
 		db: db, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf,
 		sem: make(chan struct{}, DefaultMaxInFlight()),
 	}
+	// Route the database's own warnings (persistence, resource budgets)
+	// through the server's logger so one knob silences or redirects both —
+	// unless the owner already chose a logger.
+	db.setLogfDefault(s.logf)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -277,9 +281,7 @@ func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
 		}
 		return msgOracleBlob, blob
 	case msgStats:
-		buf := make([]byte, 8)
-		binary.LittleEndian.PutUint64(buf, uint64(s.db.Len()))
-		return msgStatsResult, buf
+		return msgStatsResult, encodeDBStats(s.db.Stats())
 	default:
 		return errorResponse(fmt.Errorf("unknown message type %d", typ))
 	}

@@ -209,6 +209,50 @@ func decodeQueryHeader(data []byte) (pose.Intrinsics, []byte, error) {
 	return intr, data[queryHeaderSize:], nil
 }
 
+// dbStatsWireSize is the extended stats payload: seven uint64/int64 fields
+// plus the persistence flag. The original protocol shipped only the first
+// field (the mapping count); decodeDBStats still accepts that 8-byte form
+// from old servers.
+const dbStatsWireSize = 7*8 + 1
+
+// encodeDBStats serializes a stats response.
+func encodeDBStats(s DBStats) []byte {
+	buf := make([]byte, dbStatsWireSize)
+	binary.LittleEndian.PutUint64(buf[0:], s.Mappings)
+	binary.LittleEndian.PutUint64(buf[8:], s.DatabaseBytes)
+	binary.LittleEndian.PutUint64(buf[16:], s.OracleInserts)
+	binary.LittleEndian.PutUint64(buf[24:], s.OracleSnapshotBytes)
+	binary.LittleEndian.PutUint64(buf[32:], s.SnapshotSeq)
+	binary.LittleEndian.PutUint64(buf[40:], s.WALBytes)
+	binary.LittleEndian.PutUint64(buf[48:], uint64(s.LastCompactionUnix))
+	if s.Persistent {
+		buf[56] = 1
+	}
+	return buf
+}
+
+// decodeDBStats parses a stats response, tolerating the legacy 8-byte
+// count-only payload.
+func decodeDBStats(data []byte) (DBStats, error) {
+	switch len(data) {
+	case 8:
+		return DBStats{Mappings: binary.LittleEndian.Uint64(data)}, nil
+	case dbStatsWireSize:
+		return DBStats{
+			Mappings:            binary.LittleEndian.Uint64(data[0:]),
+			DatabaseBytes:       binary.LittleEndian.Uint64(data[8:]),
+			OracleInserts:       binary.LittleEndian.Uint64(data[16:]),
+			OracleSnapshotBytes: binary.LittleEndian.Uint64(data[24:]),
+			SnapshotSeq:         binary.LittleEndian.Uint64(data[32:]),
+			WALBytes:            binary.LittleEndian.Uint64(data[40:]),
+			LastCompactionUnix:  int64(binary.LittleEndian.Uint64(data[48:])),
+			Persistent:          data[56] == 1,
+		}, nil
+	default:
+		return DBStats{}, fmt.Errorf("server: bad stats payload size %d", len(data))
+	}
+}
+
 // encodeLocateResult serializes a query response.
 func encodeLocateResult(r LocateResult) []byte {
 	buf := make([]byte, 5*8+4)

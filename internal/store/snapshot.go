@@ -1,0 +1,172 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout. A snapshot is named snap-<seq:016x>.snap, where seq
+// is the sequence number of the first WAL record NOT covered by the
+// snapshot (i.e. the number of records folded in). The layout is:
+//
+//	[8-byte magic][uint64 seq][payload...][uint32 CRC32-IEEE]
+//
+// The trailing checksum covers the seq and the payload. The payload length
+// is implicit: file size minus the fixed framing. Snapshots are written to
+// a .tmp sibling and renamed into place, so a crash mid-snapshot never
+// leaves a torn file under the final name — only a .tmp orphan, which Open
+// deletes.
+const (
+	snapMagic       = "VPSNAP1\x00"
+	snapFramingSize = 8 + 8 + 4 // magic + seq + trailing CRC
+)
+
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("snap-%016x.snap", seq)
+}
+
+func parseSnapshotName(name string) (seq uint64, ok bool) {
+	if n, err := fmt.Sscanf(name, "snap-%016x.snap", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	if name != snapshotName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// writeSnapshot streams write's output into a temp file with the snapshot
+// framing, fsyncs, and atomically renames it into place.
+func writeSnapshot(dir string, seq uint64, write func(w io.Writer) error, noSync bool) (path string, err error) {
+	final := filepath.Join(dir, snapshotName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err = bw.WriteString(snapMagic); err != nil {
+		return "", err
+	}
+	crc := crc32.NewIEEE()
+	cw := io.MultiWriter(bw, crc)
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], seq)
+	if _, err = cw.Write(seqBuf[:]); err != nil {
+		return "", err
+	}
+	if err = write(cw); err != nil {
+		return "", err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err = bw.Write(sum[:]); err != nil {
+		return "", err
+	}
+	if err = bw.Flush(); err != nil {
+		return "", err
+	}
+	if !noSync {
+		if err = f.Sync(); err != nil {
+			return "", err
+		}
+	}
+	if err = f.Close(); err != nil {
+		return "", err
+	}
+	if err = os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	if !noSync {
+		if err = syncDir(dir); err != nil {
+			return "", err
+		}
+	}
+	return final, nil
+}
+
+// validateSnapshot streams the whole file once, verifying the magic, the
+// header/filename agreement and the trailing checksum.
+func validateSnapshot(path string, wantSeq uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() < snapFramingSize {
+		return fmt.Errorf("store: snapshot %s too short (%d bytes)", filepath.Base(path), info.Size())
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, 8)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != snapMagic {
+		return fmt.Errorf("store: snapshot %s: bad magic", filepath.Base(path))
+	}
+	var seqBuf [8]byte
+	if _, err := io.ReadFull(br, seqBuf[:]); err != nil {
+		return err
+	}
+	if got := binary.LittleEndian.Uint64(seqBuf[:]); got != wantSeq {
+		return fmt.Errorf("store: snapshot %s: header seq %d disagrees with filename", filepath.Base(path), got)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(seqBuf[:])
+	if _, err := io.CopyN(crc, br, info.Size()-snapFramingSize); err != nil {
+		return err
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return err
+	}
+	if crc.Sum32() != binary.LittleEndian.Uint32(sum[:]) {
+		return fmt.Errorf("store: snapshot %s: checksum mismatch", filepath.Base(path))
+	}
+	return nil
+}
+
+// loadSnapshot opens a previously validated snapshot and hands the payload
+// reader to load.
+func loadSnapshot(path string, load func(r io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	if _, err := br.Discard(8 + 8); err != nil { // magic + seq
+		return err
+	}
+	return load(io.LimitReader(br, info.Size()-snapFramingSize))
+}
+
+// syncDir fsyncs a directory so a rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -31,6 +31,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return &Server{db: db}, nil
 }
 
+// OpenData makes the database durable, backed by the given directory: every
+// acknowledged ingest is written to a write-ahead log before it is applied,
+// and a background snapshotter periodically folds the log into a compact
+// binary snapshot. If the directory already holds data — including data left
+// by a crashed process — the prior state is recovered first, bit-identically.
+// Must be called before any ingest; an empty dir string is a no-op (the
+// server stays in-memory).
+func (s *Server) OpenData(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	return s.db.Open(dir)
+}
+
 // Listen starts serving on addr ("host:port"; ":0" picks a free port) and
 // returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
@@ -42,12 +56,17 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return srv.Addr(), nil
 }
 
-// Close stops the network listener (if any).
+// Close stops the network listener (if any) and, for a durable server,
+// flushes and closes the data directory.
 func (s *Server) Close() error {
-	if s.srv == nil {
-		return nil
+	var err error
+	if s.srv != nil {
+		err = s.srv.Close()
 	}
-	return s.srv.Close()
+	if dbErr := s.db.Close(); err == nil {
+		err = dbErr
+	}
+	return err
 }
 
 // Database gives direct (in-process) access to the service state, used by
@@ -56,6 +75,11 @@ func (s *Server) Database() *server.Database { return s.db }
 
 // Ingest adds wardriven mappings directly (in-process).
 func (s *Server) Ingest(ms []Mapping) error { return s.db.Ingest(ms) }
+
+// DBStats is the server's state report: mapping and byte counts plus
+// persistence status (snapshot coverage, WAL size, last compaction). It is
+// what Client.StatsFull returns over the wire.
+type DBStats = server.DBStats
 
 // Client is a connection to a VisualPrint cloud service.
 type Client = server.Client
