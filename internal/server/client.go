@@ -330,23 +330,38 @@ func (c *Client) Query(ctx context.Context, kps []sift.Keypoint, intr pose.Intri
 	return decodeLocateResult(resp)
 }
 
-// Stats returns the server's mapping count.
+// Stats returns the server's mapping count. It uses the original
+// count-only RPC, so it works against every server version.
 func (c *Client) Stats(ctx context.Context) (mappings uint64, err error) {
-	s, err := c.StatsFull(ctx)
+	resp, err := c.roundTrip(ctx, msgStats, nil, msgStatsResult)
 	if err != nil {
 		return 0, err
+	}
+	// Every server answers msgStats with the legacy 8-byte count;
+	// decodeDBStats additionally tolerates an extended payload.
+	s, err := decodeDBStats(resp)
+	if err != nil {
+		return 0, errRemote{msg: err.Error()}
 	}
 	return s.Mappings, nil
 }
 
 // StatsFull returns the server's full state report: database size, oracle
 // insert count and persistence state (snapshot coverage, WAL size, last
-// compaction). Legacy servers that ship only a mapping count yield a
-// DBStats with just Mappings set.
+// compaction). Legacy servers without the extended RPC yield a DBStats
+// with just Mappings set.
 func (c *Client) StatsFull(ctx context.Context) (DBStats, error) {
-	resp, err := c.roundTrip(ctx, msgStats, nil, msgStatsResult)
+	resp, err := c.roundTrip(ctx, msgStatsFull, nil, msgStatsResult)
 	if err != nil {
-		return DBStats{}, err
+		if !IsRemote(err) {
+			return DBStats{}, err
+		}
+		// A server predating msgStatsFull rejects the unknown message
+		// type; fall back to the count-only RPC it does speak.
+		resp, err = c.roundTrip(ctx, msgStats, nil, msgStatsResult)
+		if err != nil {
+			return DBStats{}, err
+		}
 	}
 	s, err := decodeDBStats(resp)
 	if err != nil {

@@ -45,7 +45,11 @@ type DatabaseConfig struct {
 	LocateParallelism int
 	// WALCompactBytes is the write-ahead-log size past which the
 	// background snapshotter folds the log into a fresh snapshot (only
-	// meaningful after Open; 0 means defaultWALCompactBytes).
+	// meaningful after Open; 0 means defaultWALCompactBytes). Compaction
+	// serializes the full database under a lock that stalls Ingest (and,
+	// transitively, new Locates queued behind it), so this knob also tunes
+	// the size of periodic ingest latency spikes: smaller means more
+	// frequent but shorter stalls.
 	WALCompactBytes int64
 	// OracleSnapshotBudgetBytes caps the memory the database is expected
 	// to spend on retained oracle download versions (the diff-serving

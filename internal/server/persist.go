@@ -91,7 +91,15 @@ func (db *Database) Close() error {
 // Compact synchronously folds the current state into a fresh durable
 // snapshot and truncates the WAL. It is what the background snapshotter
 // runs on threshold, exposed for deliberate checkpoints (vpwardrive after
-// a bulk upload; tests; benchmarks).
+// a bulk upload; tests; benchmarks). Concurrent Compact and snapshotter
+// runs are safe: the store serializes snapshot writers internally, and
+// whichever runs second observes an already-current snapshot and no-ops.
+//
+// Ingest stalls for the duration: serialization and fsync happen under the
+// read lock Ingest's WAL reservation needs for writing, and Go's RWMutex
+// queues new read acquisitions behind the blocked writer. At the default
+// 64 MB threshold this is a latency spike of up to a few seconds; lowering
+// DatabaseConfig.WALCompactBytes trades more frequent, shorter stalls.
 func (db *Database) Compact() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()

@@ -281,6 +281,12 @@ func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
 		}
 		return msgOracleBlob, blob
 	case msgStats:
+		// Legacy count-only response: deployed clients require exactly 8
+		// bytes here. The extended report lives under msgStatsFull.
+		ack := make([]byte, 8)
+		binary.LittleEndian.PutUint64(ack, uint64(s.db.Len()))
+		return msgStatsResult, ack
+	case msgStatsFull:
 		return msgStatsResult, encodeDBStats(s.db.Stats())
 	default:
 		return errorResponse(fmt.Errorf("unknown message type %d", typ))

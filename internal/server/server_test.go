@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"io"
 	"net"
 	"strings"
 	"testing"
@@ -424,5 +426,82 @@ func TestRefreshOracleFallsBackToFull(t *testing.T) {
 	}
 	if updated.Inserts() != 50 {
 		t.Errorf("refreshed oracle has %d inserts, want 50", updated.Inserts())
+	}
+}
+
+// TestStatsWireCompat pins the stats wire contract: msgStats keeps its
+// original 8-byte count-only response (deployed clients reject anything
+// else), while the extended report travels under msgStatsFull.
+func TestStatsWireCompat(t *testing.T) {
+	s, db := startServer(t)
+	ms := make([]Mapping, 7)
+	for i := range ms {
+		ms[i].Desc[0] = byte(i)
+		ms[i].Pos = mathx.Vec3{X: float64(i)}
+	}
+	if err := db.Ingest(ms); err != nil {
+		t.Fatal(err)
+	}
+	rt, resp := s.handle(msgStats, nil)
+	if rt != msgStatsResult {
+		t.Fatalf("msgStats response type = %d", rt)
+	}
+	if len(resp) != 8 {
+		t.Fatalf("msgStats payload is %d bytes, legacy clients require exactly 8", len(resp))
+	}
+	if got := binary.LittleEndian.Uint64(resp); got != 7 {
+		t.Fatalf("msgStats count = %d, want 7", got)
+	}
+	rt, resp = s.handle(msgStatsFull, nil)
+	if rt != msgStatsResult {
+		t.Fatalf("msgStatsFull response type = %d", rt)
+	}
+	full, err := decodeDBStats(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Mappings != 7 || full.DatabaseBytes == 0 {
+		t.Fatalf("msgStatsFull decoded %+v", full)
+	}
+}
+
+// TestStatsFullLegacyServerFallback drives StatsFull against a simulated
+// old server that rejects msgStatsFull as an unknown message type: the
+// client must fall back to the count-only RPC instead of failing.
+func TestStatsFullLegacyServerFallback(t *testing.T) {
+	cc, sc := net.Pipe()
+	defer sc.Close()
+	go func() {
+		var pre [preambleSize]byte
+		if _, err := io.ReadFull(sc, pre[:]); err != nil {
+			return
+		}
+		for {
+			id, typ, _, err := readFrameV2(sc)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case msgStats:
+				ack := make([]byte, 8)
+				binary.LittleEndian.PutUint64(ack, 42)
+				writeFrameV2(sc, id, msgStatsResult, ack)
+			default: // an old server knows no other stats message
+				writeFrameV2(sc, id, msgError, encodeErrorPayload(
+					errors.New("unknown message type")))
+			}
+		}
+	}()
+	c := NewClient(cc)
+	defer c.Close()
+	st, err := c.StatsFull(context.Background())
+	if err != nil {
+		t.Fatalf("StatsFull against legacy server: %v", err)
+	}
+	if st.Mappings != 42 {
+		t.Fatalf("Mappings = %d, want 42", st.Mappings)
+	}
+	if st.Persistent || st.WALBytes != 0 {
+		t.Fatalf("legacy fallback invented persistence state: %+v", st)
 	}
 }

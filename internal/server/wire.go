@@ -29,6 +29,7 @@ const (
 	msgStatsResult byte = 8
 	msgGetDiff     byte = 9  // client's oracle version -> diff or full blob
 	msgDiffBlob    byte = 10 // incremental oracle update
+	msgStatsFull   byte = 11 // -> extended DBStats payload
 	msgError       byte = 0x7f
 )
 
@@ -209,10 +210,10 @@ func decodeQueryHeader(data []byte) (pose.Intrinsics, []byte, error) {
 	return intr, data[queryHeaderSize:], nil
 }
 
-// dbStatsWireSize is the extended stats payload: seven uint64/int64 fields
-// plus the persistence flag. The original protocol shipped only the first
-// field (the mapping count); decodeDBStats still accepts that 8-byte form
-// from old servers.
+// dbStatsWireSize is the extended stats payload served for msgStatsFull:
+// seven uint64/int64 fields plus the persistence flag. msgStats keeps its
+// original 8-byte count-only response — deployed clients require exactly
+// that length — and decodeDBStats accepts both forms.
 const dbStatsWireSize = 7*8 + 1
 
 // encodeDBStats serializes a stats response.

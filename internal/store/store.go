@@ -66,6 +66,12 @@ type Store struct {
 	wal     *wal
 	started bool
 
+	// snapMu serializes Snapshot calls: the server's compaction entry
+	// points (explicit Compact, background snapshotter) only exclude
+	// Appends, not each other, and two interleaved writers would produce a
+	// corrupt snapshot file and then delete the WAL segments it covers.
+	snapMu sync.Mutex
+
 	mu             sync.Mutex
 	snapSeq        uint64 // records covered by the newest snapshot
 	haveSnap       bool
@@ -160,7 +166,7 @@ func (s *Store) Recover(load func(r io.Reader) error, replay func(payload []byte
 		if i > 0 && firstSeq != nextSeq {
 			return fmt.Errorf("store: wal segment gap: %s follows record %d", segmentName(firstSeq), nextSeq)
 		}
-		segNext, err := replaySegment(path, firstSeq, isLast, base, replay, s.logf)
+		segNext, err := replaySegment(path, firstSeq, isLast, base, s.noSync, replay, s.logf)
 		if err != nil {
 			return err
 		}
@@ -215,11 +221,15 @@ func (s *Store) Append(payload []byte) *Commit {
 // the owner's full serialized state; the WAL is then rotated at the
 // snapshot boundary and obsolete snapshots and segments are deleted. The
 // caller must exclude concurrent Appends for the duration (the state being
-// written must be exactly the state at the log head).
+// written must be exactly the state at the log head); concurrent Snapshot
+// calls are serialized internally, the loser seeing an up-to-date snapshot
+// and returning without writing.
 func (s *Store) Snapshot(write func(w io.Writer) error) error {
 	if !s.started {
 		return errors.New("store: Snapshot before Recover")
 	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
 	if err := s.wal.waitIdle(); err != nil {
 		return err
 	}

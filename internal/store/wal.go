@@ -108,7 +108,11 @@ func parseSegmentName(name string) (firstSeq uint64, ok bool) {
 	return seq, true
 }
 
-// createSegment writes a fresh segment file with its header synced.
+// createSegment writes a fresh segment file with its header synced, and
+// fsyncs the directory so the new entry survives power loss — without it,
+// record fsyncs land in a file whose directory entry may not be durable,
+// silently voiding the durability contract for everything appended after a
+// rotation.
 func createSegment(dir string, firstSeq uint64, noSync bool) (*os.File, string, error) {
 	path := filepath.Join(dir, segmentName(firstSeq))
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
@@ -124,6 +128,10 @@ func createSegment(dir string, firstSeq uint64, noSync bool) (*os.File, string, 
 	}
 	if !noSync {
 		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, "", err
+		}
+		if err := syncDir(dir); err != nil {
 			f.Close()
 			return nil, "", err
 		}
@@ -316,7 +324,7 @@ func (w *wal) syncCount() int64 {
 // would silently drop records that later segments build on).
 //
 // It returns the sequence after the last intact record.
-func replaySegment(path string, firstSeq uint64, isLast bool, base uint64, replay func(payload []byte) error, logf func(string, ...any)) (nextSeq uint64, err error) {
+func replaySegment(path string, firstSeq uint64, isLast bool, base uint64, noSync bool, replay func(payload []byte) error, logf func(string, ...any)) (nextSeq uint64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -328,6 +336,21 @@ func replaySegment(path string, firstSeq uint64, isLast bool, base uint64, repla
 	}
 	fileSize := info.Size()
 
+	// syncFile makes a recovery-time repair (truncation, header rewrite)
+	// itself durable: a crash shortly after recovery must not resurrect the
+	// torn bytes that subsequent appends assume are gone.
+	syncFile := func() error {
+		if noSync {
+			return nil
+		}
+		sf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		return sf.Sync()
+	}
+
 	truncate := func(offset int64, reason string) error {
 		if !isLast {
 			return fmt.Errorf("store: wal segment %s corrupt at offset %d (%s) with later segments present", filepath.Base(path), offset, reason)
@@ -337,6 +360,9 @@ func replaySegment(path string, firstSeq uint64, isLast bool, base uint64, repla
 		f.Close()
 		if err := os.Truncate(path, offset); err != nil {
 			return fmt.Errorf("store: truncating torn wal tail: %w", err)
+		}
+		if err := syncFile(); err != nil {
+			return fmt.Errorf("store: syncing truncated wal tail: %w", err)
 		}
 		return nil
 	}
@@ -358,6 +384,11 @@ func replaySegment(path string, firstSeq uint64, isLast bool, base uint64, repla
 		binary.LittleEndian.PutUint64(hdr[8:], firstSeq)
 		if _, err := nf.Write(hdr[:]); err != nil {
 			return 0, err
+		}
+		if !noSync {
+			if err := nf.Sync(); err != nil {
+				return 0, err
+			}
 		}
 		return firstSeq, nil
 	}
