@@ -1,6 +1,6 @@
 # VisualPrint build/verify targets.
 
-.PHONY: build test verify bench clean
+.PHONY: build test verify bench bench-short clean
 
 build:
 	go build ./...
@@ -13,8 +13,18 @@ test:
 verify:
 	sh scripts/verify.sh
 
+# Full measurement run: Go benchmarks once through, then the standard
+# Locate workload with the machine-readable result in BENCH_locate.json
+# (ns/op, allocs/op, queries/s at 1/2/4 clients, speedup vs the recorded
+# pre-optimization baseline).
 bench:
 	go test -run NONE -bench . -benchtime 1x .
+	go run ./cmd/vpbench -exp locate -scale full -locate-json BENCH_locate.json
+
+# CI-sized locate benchmark: same schema and code paths at ~10x less
+# compute, keeping BENCH_locate.json generation exercised on every push.
+bench-short:
+	go run ./cmd/vpbench -exp locate -scale quick -locate-json BENCH_locate_short.json
 
 # Remove built binaries and any data directories left by manual testing.
 # Test-created data dirs live under the test tempdir and clean themselves up.

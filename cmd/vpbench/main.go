@@ -5,17 +5,22 @@
 //	vpbench -exp fig13,fig19        # selected experiments
 //	vpbench -exp takeaways          # the paper-vs-measured summary table
 //	vpbench -scale full -csv out/   # paper-scale corpus, CSV files
+//	vpbench -exp locate -scale full -locate-json BENCH_locate.json
+//	vpbench -exp locate -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment ids: fig02 fig03 fig05 fig06 fig13 fig14 fig15 fig16 fig18
-// fig19 fig20 extra-latency throughput takeaways ablations.
+// fig19 fig20 extra-latency throughput locate takeaways ablations.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -26,7 +31,40 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	locateJSON := flag.String("locate-json", "", "file to write the locate benchmark result as JSON (BENCH_locate.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		// Profiles are flushed only on the success path; error paths
+		// os.Exit without one, which is fine for a measurement tool.
+		defer pprof.StopCPUProfile()
+		defer f.Close()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var sc bench.Scale
 	switch *scaleName {
@@ -92,6 +130,32 @@ func main() {
 		return bench.QueryThroughput(s, 0, 8)
 	})
 
+	if all || wanted["locate"] {
+		// quick scale runs the CI-sized workload (exercised on every push
+		// by `make bench-short`); full scale runs the standard workload
+		// whose numbers are comparable against the recorded baseline.
+		cfg, iters, perClient := bench.ShortLocateWorkload(), 3, 2
+		if *scaleName == "full" {
+			cfg, iters, perClient = bench.DefaultLocateWorkload(), 10, 4
+		}
+		res, err := bench.RunLocateBenchmark(cfg, iters, []int{1, 2, 4}, perClient)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locate: %v\n", err)
+			os.Exit(1)
+		}
+		printLocate(res)
+		if *locateJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*locateJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "locate-json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if all || wanted["ablations"] {
 		for _, f := range []func() (*bench.Experiment, error){
 			bench.AblationVerification,
@@ -129,6 +193,23 @@ func main() {
 			fmt.Printf("  %-16s   measured: %s\n", "", r.Measured)
 		}
 	}
+}
+
+// printLocate prints the Locate microbenchmark summary.
+func printLocate(r *bench.LocateBenchResult) {
+	fmt.Printf("== locate: server-side Locate microbenchmark ==\n")
+	fmt.Printf("  %.1f ms/op  %.0f allocs/op  %.0f B/op  (%d iters, %s)\n",
+		r.NsPerOp/1e6, r.AllocsPerOp, r.BytesPerOp, r.Iters, r.Host)
+	for _, c := range []string{"1", "2", "4"} {
+		if q, ok := r.QueriesPerSec[c]; ok {
+			fmt.Printf("  %s client(s): %.2f queries/s\n", c, q)
+		}
+	}
+	if r.Baseline != nil {
+		fmt.Printf("  baseline %.1f ms/op (%s) -> speedup %.2fx\n",
+			r.Baseline.NsPerOp/1e6, r.Baseline.Recorded, r.SpeedupNs)
+	}
+	fmt.Println()
 }
 
 // printExperiment prints a compact textual rendering: notes plus per-series

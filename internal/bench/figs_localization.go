@@ -114,7 +114,7 @@ func localizationErrors(run *venueRun, sc Scale) (errs []float64, axis [3][]floa
 			continue
 		}
 		// Client-side oracle selection, as deployed.
-		sel, serr := run.db.Oracle().SelectUnique(kps, 200)
+		sel, serr := run.db.SelectUnique(kps, 200)
 		if serr != nil {
 			return nil, axis, serr
 		}

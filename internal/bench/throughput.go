@@ -47,7 +47,7 @@ func prepareQueries(run *venueRun, sc Scale, n int) ([]throughputQuery, error) {
 		if len(kps) < 15 {
 			continue
 		}
-		sel, err := run.db.Oracle().SelectUnique(kps, 200)
+		sel, err := run.db.SelectUnique(kps, 200)
 		if err != nil {
 			return nil, err
 		}

@@ -102,6 +102,14 @@ func (c *Counting) PositionsInto(item []byte, out []uint64) {
 // positions.
 func (c *Counting) Add(item []byte) []uint64 {
 	pos := c.Positions(item)
+	c.AddAt(pos)
+	return pos
+}
+
+// AddAt increments the counters at pre-computed positions (saturating),
+// counting one inserted element. Combined with PositionsInto it is the
+// allocation-free form of Add used by the oracle's ingest path.
+func (c *Counting) AddAt(pos []uint64) {
 	for _, p := range pos {
 		v := c.counterAt(p)
 		if v < c.max {
@@ -109,7 +117,6 @@ func (c *Counting) Add(item []byte) []uint64 {
 		}
 	}
 	c.inserts++
-	return pos
 }
 
 // Count returns the estimated multiplicity of item: the minimum of its k
@@ -402,9 +409,17 @@ func (f *Filter) ApplyDiffWords(diff []uint64) error {
 // used by the oracle to feed the verification filter:
 // hash(concat(bitPositions)).
 func PositionsKey(pos []uint64) []byte {
-	buf := make([]byte, 8*len(pos))
-	for i, p := range pos {
-		binary.LittleEndian.PutUint64(buf[8*i:], p)
+	return AppendPositionsKey(make([]byte, 0, 8*len(pos)), pos)
+}
+
+// AppendPositionsKey is PositionsKey appending into dst (truncated first),
+// the allocation-free form for hot paths that reuse one key buffer.
+func AppendPositionsKey(dst []byte, pos []uint64) []byte {
+	dst = dst[:0]
+	var tmp [8]byte
+	for _, p := range pos {
+		binary.LittleEndian.PutUint64(tmp[:], p)
+		dst = append(dst, tmp[:]...)
 	}
-	return buf
+	return dst
 }

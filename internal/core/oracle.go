@@ -25,7 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
+	"sync"
 
 	"visualprint/internal/bloom"
 	"visualprint/internal/lsh"
@@ -111,6 +113,39 @@ type Oracle struct {
 	primary []*bloom.Counting
 	verify  *bloom.Filter // nil when verification is disabled
 	inserts uint64
+
+	// scratch recycles per-call buffers (widened descriptor, bucket
+	// coordinates, serialized keys, Bloom positions, per-table estimates)
+	// so Insert and Uniqueness are allocation-free in steady state — the
+	// client-side filtering cost Figure 16 benchmarks. Never serialized;
+	// the zero value is ready to use.
+	scratch sync.Pool
+}
+
+// oracleScratch is one call's worth of reusable buffers.
+type oracleScratch struct {
+	vec    []float32 // widened descriptor (converted once per call)
+	coords []int32   // one table's bucket coordinate (mutated for probes)
+	key    []byte    // serialized bucket coordinate
+	pos    []uint64  // counting-filter positions (K entries)
+	vkey   []byte    // verification filter key: positions + table tag
+	ests   []uint32  // per-table estimates for the median
+}
+
+// getScratch returns a scratch sized for this oracle's parameters.
+func (o *Oracle) getScratch() *oracleScratch {
+	s, _ := o.scratch.Get().(*oracleScratch)
+	if s == nil {
+		s = &oracleScratch{
+			vec:    make([]float32, 0, o.p.LSH.Dim),
+			coords: make([]int32, o.p.LSH.M),
+			key:    make([]byte, 0, 4*o.p.LSH.M),
+			pos:    make([]uint64, o.p.K),
+			vkey:   make([]byte, 0, 8*o.p.K+1),
+			ests:   make([]uint32, 0, o.p.LSH.L),
+		}
+	}
+	return s
 }
 
 // New creates an empty oracle.
@@ -158,47 +193,53 @@ func bucketBytes(buf []byte, coords []int32) []byte {
 }
 
 // Insert records one descriptor sighting in all L tables and the
-// verification filter. Constant time and memory per call.
+// verification filter. Constant time and memory per call (allocation-free
+// in steady state: the descriptor is widened once and all keys and filter
+// positions go through pooled scratch buffers).
 func (o *Oracle) Insert(desc []byte) error {
 	if len(desc) != o.p.LSH.Dim {
 		return errors.New("core: descriptor dimension mismatch")
 	}
-	coords := make([]int32, o.p.LSH.M)
-	var key []byte
+	s := o.getScratch()
+	defer o.scratch.Put(s)
+	s.vec = lsh.DescriptorVec(desc, s.vec)
 	for t := 0; t < o.p.LSH.L; t++ {
-		o.hasher.BucketInto(desc, t, coords)
-		key = bucketBytes(key, coords)
-		pos := o.primary[t].Add(key)
+		o.hasher.BucketVecInto(s.vec, t, s.coords)
+		s.key = bucketBytes(s.key, s.coords)
+		cf := o.primary[t]
+		cf.PositionsInto(s.key, s.pos)
+		cf.AddAt(s.pos)
 		if o.verify != nil {
 			// Verification entry: hash of the concatenated counter
 			// positions, tagged with the table index.
-			vk := bloom.PositionsKey(pos)
-			vk = append(vk, byte(t))
-			o.verify.Add(vk)
+			s.vkey = bloom.AppendPositionsKey(s.vkey, s.pos)
+			s.vkey = append(s.vkey, byte(t))
+			o.verify.Add(s.vkey)
 		}
 	}
 	o.inserts++
 	return nil
 }
 
-// tableEstimate queries one table for the count of one bucket coordinate.
-// Returns 0 when the bucket fails the primary or verification checks.
-func (o *Oracle) tableEstimate(t int, key []byte) uint32 {
+// tableEstimate queries one table for the count of the bucket coordinate
+// serialized in s.key. Returns 0 when the bucket fails the primary or
+// verification checks.
+func (o *Oracle) tableEstimate(t int, s *oracleScratch) uint32 {
 	cf := o.primary[t]
-	pos := cf.Positions(key)
-	count := cf.CountAt(pos)
+	cf.PositionsInto(s.key, s.pos)
+	count := cf.CountAt(s.pos)
 	if count == 0 && o.p.MultiProbe {
 		// K-1-of-K partial match: treat a single missing counter as a
 		// potential false negative.
-		count = cf.CountAtPartial(pos)
+		count = cf.CountAtPartial(s.pos)
 	}
 	if count == 0 {
 		return 0
 	}
 	if o.verify != nil {
-		vk := bloom.PositionsKey(pos)
-		vk = append(vk, byte(t))
-		if !o.verify.Test(vk) {
+		s.vkey = bloom.AppendPositionsKey(s.vkey, s.pos)
+		s.vkey = append(s.vkey, byte(t))
+		if !o.verify.Test(s.vkey) {
 			// "A positive result is returned if and only if a positive
 			// match is found in both the primary and verification Bloom
 			// filters." Partial matches especially need this gate.
@@ -217,29 +258,39 @@ func (o *Oracle) Uniqueness(desc []byte) (uint32, error) {
 	if len(desc) != o.p.LSH.Dim {
 		return 0, errors.New("core: descriptor dimension mismatch")
 	}
-	ests := make([]uint32, 0, o.p.LSH.L)
-	coords := make([]int32, o.p.LSH.M)
-	var key []byte
+	s := o.getScratch()
+	defer o.scratch.Put(s)
+	s.vec = lsh.DescriptorVec(desc, s.vec)
+	s.ests = s.ests[:0]
 	for t := 0; t < o.p.LSH.L; t++ {
-		o.hasher.BucketInto(desc, t, coords)
-		key = bucketBytes(key, coords)
-		est := o.tableEstimate(t, key)
+		o.hasher.BucketVecInto(s.vec, t, s.coords)
+		s.key = bucketBytes(s.key, s.coords)
+		est := o.tableEstimate(t, s)
 		if est == 0 && o.p.MultiProbe {
-			// Adjacent-quantization-bucket probes (multi-probe LSH):
-			// check the 2M off-by-one buckets, accept the first verified
-			// positive.
-			for _, probe := range o.hasher.Probes(coords)[1:] {
-				key = bucketBytes(key, probe)
-				if e := o.tableEstimate(t, key); e > 0 {
-					est = e
-					break
+			// Adjacent-quantization-bucket probes (multi-probe LSH): check
+			// the 2M off-by-one buckets, accept the first verified
+			// positive. The perturbations are enumerated by mutating one
+			// coordinate at a time — same order as lsh.Probes, without the
+			// per-probe allocations.
+		probeLoop:
+			for m := range s.coords {
+				orig := s.coords[m]
+				for _, d := range [2]int32{-1, 1} {
+					s.coords[m] = orig + d
+					s.key = bucketBytes(s.key, s.coords)
+					if e := o.tableEstimate(t, s); e > 0 {
+						est = e
+						s.coords[m] = orig
+						break probeLoop
+					}
 				}
+				s.coords[m] = orig
 			}
 		}
-		ests = append(ests, est)
+		s.ests = append(s.ests, est)
 	}
-	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
-	return ests[len(ests)/2], nil
+	slices.Sort(s.ests)
+	return s.ests[len(s.ests)/2], nil
 }
 
 // Ranked pairs a keypoint index with its uniqueness estimate.

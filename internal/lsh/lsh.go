@@ -10,14 +10,23 @@
 // preserve the L2 norm in expectation. Each projection is quantized with
 // width W; the M quantized values form the bucket coordinate of one of the L
 // tables.
+//
+// The query path is allocation-free in steady state: the descriptor bytes
+// are widened to float32 once per query (not once per projection row — at
+// the paper's L=10, M=7 that would be a 70x redundant conversion), bucket
+// coordinates, probe perturbations and table keys run through per-query
+// scratch buffers recycled via a sync.Pool, and QueryInto appends into a
+// caller-owned candidate slice. See DESIGN.md "Performance".
 package lsh
 
 import (
+	"cmp"
 	"encoding/binary"
 	"errors"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
+	"sync"
 
 	"visualprint/internal/hash"
 )
@@ -77,6 +86,18 @@ func NewHasher(p Params) (*Hasher, error) {
 // Params returns the parameter set the hasher was built with.
 func (h *Hasher) Params() Params { return h.p }
 
+// DescriptorVec widens descriptor bytes to float32 into dst (reusing its
+// capacity), the one-per-query conversion both hot paths share. The result
+// multiplies bit-identically to converting each byte inside the projection
+// loop, so bucket coordinates are unchanged.
+func DescriptorVec(desc []byte, dst []float32) []float32 {
+	dst = dst[:0]
+	for _, v := range desc {
+		dst = append(dst, float32(v))
+	}
+	return dst
+}
+
 // Bucket computes the M quantized projection coordinates of desc for the
 // given table (0 <= table < L). The desc length must equal Dim.
 func (h *Hasher) Bucket(desc []byte, table int) []int32 {
@@ -85,19 +106,33 @@ func (h *Hasher) Bucket(desc []byte, table int) []int32 {
 	return out
 }
 
-// BucketInto is Bucket without allocation; out must have length M.
+// BucketInto is Bucket without allocation; out must have length M. It
+// converts every descriptor byte once per projection row; hot paths that
+// hash the same descriptor into several tables should convert once with
+// DescriptorVec and use BucketVecInto instead.
 func (h *Hasher) BucketInto(desc []byte, table int, out []int32) {
 	base := table * h.p.M
 	for m := 0; m < h.p.M; m++ {
 		row := h.proj[base+m]
-		var dot float64
-		// Descriptors are bytes; accumulate in float32 blocks for speed.
 		var acc float32
 		for d, v := range desc {
 			acc += row[d] * float32(v)
 		}
-		dot = float64(acc)
-		out[m] = int32(math.Floor((dot + h.offs[base+m]) / h.p.W))
+		out[m] = int32(math.Floor((float64(acc) + h.offs[base+m]) / h.p.W))
+	}
+}
+
+// BucketVecInto is BucketInto over a pre-widened descriptor (DescriptorVec).
+// Identical arithmetic, so the coordinates match BucketInto bit for bit.
+func (h *Hasher) BucketVecInto(vec []float32, table int, out []int32) {
+	base := table * h.p.M
+	for m := 0; m < h.p.M; m++ {
+		row := h.proj[base+m]
+		var acc float32
+		for d, v := range vec {
+			acc += row[d] * v
+		}
+		out[m] = int32(math.Floor((float64(acc) + h.offs[base+m]) / h.p.W))
 	}
 }
 
@@ -105,7 +140,13 @@ func (h *Hasher) BucketInto(desc []byte, table int, out []int32) {
 // seeded by the table index — the "cryptographic hash g_i from the same
 // family (Murmur-3)" step of Figure 8.
 func (h *Hasher) Key(table int, coords []int32) uint64 {
-	buf := make([]byte, 4*len(coords))
+	return h.KeyInto(table, coords, make([]byte, 4*len(coords)))
+}
+
+// KeyInto is Key using buf as the serialization scratch; buf must have
+// length (not just capacity) of at least 4*len(coords).
+func (h *Hasher) KeyInto(table int, coords []int32, buf []byte) uint64 {
+	buf = buf[:4*len(coords)]
 	for i, c := range coords {
 		binary.LittleEndian.PutUint32(buf[4*i:], uint32(c))
 	}
@@ -116,6 +157,11 @@ func (h *Hasher) Key(table int, coords []int32) uint64 {
 // bucket first, followed by the 2M off-by-one perturbations (each coordinate
 // +-1). This is the paper's borrowing from multi-probe LSH (Lv et al., VLDB
 // 2007) to reduce quantization false negatives.
+//
+// Probes allocates its result; the in-place query paths enumerate the same
+// perturbations by mutating one coordinate at a time instead (the probe
+// order — exact, then per coordinate -1 before +1 — is part of the query
+// contract, since it fixes candidate dedup order).
 func (h *Hasher) Probes(coords []int32) [][]int32 {
 	out := make([][]int32, 0, 2*len(coords)+1)
 	out = append(out, append([]int32(nil), coords...))
@@ -135,24 +181,52 @@ type Candidate struct {
 	DistSq int // squared Euclidean distance to the query
 }
 
+// compareCandidates orders by ascending distance; QueryInto sorts stably, so
+// equal distances keep candidate dedup order (table, then probe, then
+// in-bucket insertion order) — the deterministic tie-break the serialized
+// index round-trip and the parallel Locate fan-out both rely on.
+func compareCandidates(a, b Candidate) int { return cmp.Compare(a.DistSq, b.DistSq) }
+
+// queryScratch is the reusable per-query state: the widened descriptor, a
+// bucket-coordinate buffer mutated in place for multi-probing, the key
+// serialization buffer, and the dedup stamps. Pooled on the Index so a
+// steady-state query allocates nothing.
+//
+// Dedup is an epoch-stamped slice indexed by candidate id rather than a
+// map: a query bumps epoch and treats seen[id] == epoch as "already
+// collected", so there is nothing to clear between queries and the hot
+// membership check is a bounds-checked load instead of a map probe.
+type queryScratch struct {
+	vec    []float32
+	coords []int32
+	key    []byte
+	seen   []uint32
+	epoch  uint32
+}
+
 // Index is an LSH-backed approximate nearest-neighbor index over byte
 // descriptors, the structure behind the server's keypoint-to-3D-position
 // lookup table. IDs are assigned in insertion order; the caller keeps its
 // own id -> payload mapping.
 //
-// Concurrency: the read path (Query, Len, MemoryBytes, Hasher) touches only
-// immutable per-query state plus the tables/descs slices and maps, so any
-// number of Query calls may run concurrently — the server's parallel Locate
-// fan-out relies on this. Insert mutates the tables and must be externally
-// serialized against both other Inserts and all readers (the server's
-// Database guards the index with an RWMutex: Ingest takes the write lock,
-// Locate the read lock). Query results are deterministic for a given index
-// state, which is what keeps the parallel and serial Locate paths
+// Concurrency: the read path (Query, QueryInto, Len, MemoryBytes, Hasher)
+// touches only immutable per-query state plus the tables/descs slices and
+// maps, so any number of Query calls may run concurrently — the server's
+// parallel Locate fan-out relies on this (scratch state is pooled, and
+// sync.Pool is safe for concurrent use). Insert mutates the tables and must
+// be externally serialized against both other Inserts and all readers (the
+// server's Database guards the index with an RWMutex: Ingest takes the write
+// lock, Locate the read lock). Query results are deterministic for a given
+// index state, which is what keeps the parallel and serial Locate paths
 // bit-identical.
 type Index struct {
 	h      *Hasher
 	tables []map[uint64][]int32
 	descs  [][]byte
+
+	// scratch recycles *queryScratch values across queries (and inserts).
+	// Never serialized; the zero value is ready to use.
+	scratch sync.Pool
 }
 
 // NewIndex creates an empty index with the given parameters.
@@ -174,6 +248,27 @@ func (ix *Index) Hasher() *Hasher { return ix.h }
 // Len returns the number of indexed descriptors.
 func (ix *Index) Len() int { return len(ix.descs) }
 
+// getScratch returns a cleared scratch sized for this index's parameters.
+func (ix *Index) getScratch() *queryScratch {
+	s, _ := ix.scratch.Get().(*queryScratch)
+	if s == nil {
+		p := ix.h.p
+		s = &queryScratch{
+			vec:    make([]float32, 0, p.Dim),
+			coords: make([]int32, p.M),
+			key:    make([]byte, 4*p.M),
+		}
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		// Wrapped after 2^32 queries on this scratch: stale stamps could
+		// alias the new epoch, so reset them once.
+		clear(s.seen)
+		s.epoch = 1
+	}
+	return s
+}
+
 // Insert adds a descriptor and returns its id. The slice is retained; the
 // caller must not modify it afterwards.
 func (ix *Index) Insert(desc []byte) (int, error) {
@@ -182,10 +277,12 @@ func (ix *Index) Insert(desc []byte) (int, error) {
 	}
 	id := len(ix.descs)
 	ix.descs = append(ix.descs, desc)
-	coords := make([]int32, ix.h.p.M)
+	s := ix.getScratch()
+	defer ix.scratch.Put(s)
+	s.vec = DescriptorVec(desc, s.vec)
 	for t := 0; t < ix.h.p.L; t++ {
-		ix.h.BucketInto(desc, t, coords)
-		k := ix.h.Key(t, coords)
+		ix.h.BucketVecInto(s.vec, t, s.coords)
+		k := ix.h.KeyInto(t, s.coords, s.key)
 		ix.tables[t][k] = append(ix.tables[t][k], int32(id))
 	}
 	return id, nil
@@ -200,36 +297,67 @@ type QueryOptions struct {
 }
 
 // Query returns candidate neighbors of desc from all L tables, de-duplicated
-// and sorted by ascending Euclidean distance.
+// and sorted by ascending Euclidean distance (ties keep dedup order).
 func (ix *Index) Query(desc []byte, opt QueryOptions) ([]Candidate, error) {
+	return ix.QueryInto(desc, opt, nil)
+}
+
+// QueryInto is Query appending into dst (which is truncated first and may be
+// nil). Reusing dst across queries makes the steady-state query path free of
+// heap allocations — the property the server's per-keypoint Locate fan-out
+// depends on, pinned by TestIndexQuerySteadyStateZeroAllocs.
+//
+// Candidate order is deterministic: dedup order is table order, then probe
+// order (exact bucket, then per coordinate -1/+1), then in-bucket insertion
+// order; the final sort is stable on ascending distance.
+func (ix *Index) QueryInto(desc []byte, opt QueryOptions, dst []Candidate) ([]Candidate, error) {
 	if len(desc) != ix.h.p.Dim {
 		return nil, errors.New("lsh: descriptor dimension mismatch")
 	}
-	seen := make(map[int32]struct{})
-	coords := make([]int32, ix.h.p.M)
-	var cands []Candidate
+	s := ix.getScratch()
+	defer ix.scratch.Put(s)
+	s.vec = DescriptorVec(desc, s.vec)
+	dst = dst[:0]
 	for t := 0; t < ix.h.p.L; t++ {
-		ix.h.BucketInto(desc, t, coords)
-		probeSet := [][]int32{coords}
+		ix.h.BucketVecInto(s.vec, t, s.coords)
+		dst = ix.collect(t, desc, s, dst)
 		if opt.MultiProbe {
-			probeSet = ix.h.Probes(coords)
-		}
-		for _, pc := range probeSet {
-			k := ix.h.Key(t, pc)
-			for _, id := range ix.tables[t][k] {
-				if _, dup := seen[id]; dup {
-					continue
-				}
-				seen[id] = struct{}{}
-				cands = append(cands, Candidate{ID: int(id), DistSq: distSq(desc, ix.descs[id])})
+			// Off-by-one perturbations, enumerated by mutating one
+			// coordinate at a time — same order as Probes, no allocation.
+			for m := range s.coords {
+				orig := s.coords[m]
+				s.coords[m] = orig - 1
+				dst = ix.collect(t, desc, s, dst)
+				s.coords[m] = orig + 1
+				dst = ix.collect(t, desc, s, dst)
+				s.coords[m] = orig
 			}
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].DistSq < cands[j].DistSq })
-	if opt.MaxCandidates > 0 && len(cands) > opt.MaxCandidates {
-		cands = cands[:opt.MaxCandidates]
+	slices.SortStableFunc(dst, compareCandidates)
+	if opt.MaxCandidates > 0 && len(dst) > opt.MaxCandidates {
+		dst = dst[:opt.MaxCandidates]
 	}
-	return cands, nil
+	return dst, nil
+}
+
+// collect appends the not-yet-seen candidates of one bucket probe.
+func (ix *Index) collect(table int, desc []byte, s *queryScratch, dst []Candidate) []Candidate {
+	k := ix.h.KeyInto(table, s.coords, s.key)
+	for _, id := range ix.tables[table][k] {
+		if int(id) >= len(s.seen) {
+			// Ids are dense insertion indices, so size the stamps to the
+			// index once; steady-state queries never regrow.
+			grown := make([]uint32, len(ix.descs))
+			copy(grown, s.seen)
+			s.seen = grown
+		} else if s.seen[id] == s.epoch {
+			continue
+		}
+		s.seen[id] = s.epoch
+		dst = append(dst, Candidate{ID: int(id), DistSq: distSq(desc, ix.descs[id])})
+	}
+	return dst
 }
 
 // MemoryBytes estimates the in-memory footprint of the index: the L bucket

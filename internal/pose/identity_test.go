@@ -1,0 +1,265 @@
+package pose
+
+// Bit-identity regression coverage for the optimized solver (see DESIGN.md
+// "Performance"). The optimizations must be invisible in the output:
+//
+//   - the residual with precomputed aij and reused camera-to-point deltas
+//     must match the original per-call d() formulation bit for bit;
+//   - Localize with the early-abort objective must match a reference
+//     solver that evaluates every trial in full with the original residual;
+//   - the worker count must not change a single output bit, because every
+//     RNG draw is serial and each trial's cost is an independent serial
+//     summation.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"visualprint/internal/mathx"
+)
+
+// referenceResidual is the pre-optimization residual, kept verbatim: aij and
+// the ai/aj plane distances recomputed from scratch via dsq2 on every call.
+func referenceResidual(pg *pairGeometry, x, y, z float64) float64 {
+	dix, diy, diz := pg.pi.X-x, pg.pi.Y-y, pg.pi.Z-z
+	djx, djy, djz := pg.pj.X-x, pg.pj.Y-y, pg.pj.Z-z
+	di := dix*dix + diy*diy + diz*diz
+	dj := djx*djx + djy*djy + djz*djz
+	e3 := math.Pi
+	if di > 1e-12 && dj > 1e-12 {
+		dot := dix*djx + diy*djy + diz*djz
+		cosv := mathx.Clamp(dot/math.Sqrt(di*dj), -1, 1)
+		e3 = math.Abs(math.Acos(cosv) - pg.g3)
+	}
+	ai := dsq2(x, z, pg.pi.X, pg.pi.Z)
+	aj := dsq2(x, z, pg.pj.X, pg.pj.Z)
+	aij := dsq2(pg.pi.X, pg.pi.Z, pg.pj.X, pg.pj.Z)
+	ex := math.Pi
+	if ai > 1e-12 && aj > 1e-12 {
+		cosv := mathx.Clamp((ai+aj-aij)/(2*math.Sqrt(ai)*math.Sqrt(aj)), -1, 1)
+		ex = math.Abs(math.Acos(cosv) - pg.gx)
+	}
+	e := e3 + 0.5*ex
+	if e > residualCap {
+		e = residualCap
+	}
+	return e
+}
+
+// TestResidualMatchesReference: optimized vs original residual, compared by
+// exact float64 bits over a broad random sweep including degenerate
+// (camera-on-point) positions.
+func TestResidualMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 5000; trial++ {
+		pi := mathx.Vec3{X: rng.Float64()*20 - 10, Y: rng.Float64() * 3, Z: rng.Float64()*20 - 10}
+		pj := mathx.Vec3{X: rng.Float64()*20 - 10, Y: rng.Float64() * 3, Z: rng.Float64()*20 - 10}
+		pg := newPairGeometry(rng.Float64(), rng.Float64()*2, pi, pj)
+		var x, y, z float64
+		if trial%17 == 0 {
+			x, y, z = pi.X, pi.Y, pi.Z // degenerate: zero range to point i
+		} else {
+			x, y, z = rng.Float64()*24-12, rng.Float64()*4, rng.Float64()*24-12
+		}
+		got := pg.residual(x, y, z)
+		want := referenceResidual(&pg, x, y, z)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: residual %x (%v) != reference %x (%v)",
+				trial, math.Float64bits(got), got, math.Float64bits(want), want)
+		}
+	}
+}
+
+// referenceLocalize mirrors Localize's synchronous-generation DE exactly —
+// the same RNG draw order, same clamping, same selection — but evaluates
+// every trial in full (no early abort) with referenceResidual, serially.
+func referenceLocalize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Options) Result {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cx, cy := float64(intr.W)/2, float64(intr.H)/2
+	focal := cx / math.Tan(intr.FovX/2)
+	ray := func(px, py float64) mathx.Vec3 {
+		return mathx.Vec3{X: (px - cx) / focal, Y: -(py - cy) / focal, Z: 1}.Normalize()
+	}
+	var pairs []pairGeometry
+	for i := 0; i < len(corr); i++ {
+		ri := ray(corr[i].Px, corr[i].Py)
+		gi := gamma(corr[i].Px, cx, intr.FovX, float64(intr.W))
+		for j := i + 1; j < len(corr); j++ {
+			rj := ray(corr[j].Px, corr[j].Py)
+			gj := gamma(corr[j].Px, cx, intr.FovX, float64(intr.W))
+			pairs = append(pairs, newPairGeometry(
+				math.Abs(gi-gj),
+				math.Acos(mathx.Clamp(ri.Dot(rj), -1, 1)),
+				corr[i].P,
+				corr[j].P,
+			))
+		}
+	}
+	if opt.MaxPairs > 0 && len(pairs) > opt.MaxPairs {
+		rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+		pairs = pairs[:opt.MaxPairs]
+	}
+	objective := func(v [3]float64) float64 {
+		var s float64
+		for k := range pairs {
+			s += referenceResidual(&pairs[k], v[0], v[1], v[2])
+		}
+		return s
+	}
+	span := [3]float64{hi.X - lo.X, hi.Y - lo.Y, hi.Z - lo.Z}
+	lov := [3]float64{lo.X, lo.Y, lo.Z}
+	evals := 0
+	pop := make([][3]float64, opt.PopSize)
+	cost := make([]float64, opt.PopSize)
+	for i := range pop {
+		pop[i] = [3]float64{
+			lov[0] + rng.Float64()*span[0],
+			lov[1] + rng.Float64()*span[1],
+			lov[2] + rng.Float64()*span[2],
+		}
+		cost[i] = objective(pop[i])
+	}
+	evals += opt.PopSize
+	trials := make([][3]float64, opt.PopSize)
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		for i := range pop {
+			a, b, c := rng.Intn(opt.PopSize), rng.Intn(opt.PopSize), rng.Intn(opt.PopSize)
+			var trial [3]float64
+			jrand := rng.Intn(3)
+			for d := 0; d < 3; d++ {
+				if d == jrand || rng.Float64() < opt.CR {
+					trial[d] = pop[a][d] + opt.F*(pop[b][d]-pop[c][d])
+				} else {
+					trial[d] = pop[i][d]
+				}
+				trial[d] = mathx.Clamp(trial[d], lov[d], lov[d]+span[d])
+			}
+			trials[i] = trial
+		}
+		evals += opt.PopSize
+		for i := range pop {
+			if tc := objective(trials[i]); tc < cost[i] {
+				pop[i], cost[i] = trials[i], tc
+			}
+		}
+		if opt.Tol > 0 {
+			var mean float64
+			for _, c := range cost {
+				mean += c
+			}
+			mean /= float64(len(cost))
+			var s2 float64
+			for _, c := range cost {
+				d := c - mean
+				s2 += d * d
+			}
+			if math.Sqrt(s2/float64(len(cost))) <= opt.Tol*math.Abs(mean) {
+				break
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < opt.PopSize; i++ {
+		if cost[i] < cost[best] {
+			best = i
+		}
+	}
+	pos := mathx.Vec3{X: pop[best][0], Y: pop[best][1], Z: pop[best][2]}
+	return Result{
+		Position: pos,
+		Residual: cost[best] / float64(len(pairs)),
+		Evals:    evals,
+		Yaw:      EstimateYaw(corr, intr, pos),
+	}
+}
+
+// identityScenario builds a deterministic solvable correspondence set.
+func identityScenario(seed int64, n int) ([]Correspondence, Intrinsics, mathx.Vec3, mathx.Vec3) {
+	rng := rand.New(rand.NewSource(seed))
+	intr := Intrinsics{W: 200, H: 150, FovX: 1.1, FovY: 0.85}
+	corr := make([]Correspondence, n)
+	for i := range corr {
+		corr[i] = Correspondence{
+			Px: rng.Float64() * 200,
+			Py: rng.Float64() * 150,
+			P:  mathx.Vec3{X: rng.Float64() * 8, Y: rng.Float64() * 3, Z: rng.Float64() * 6},
+		}
+	}
+	return corr, intr, mathx.Vec3{X: -1, Y: 0, Z: -1}, mathx.Vec3{X: 9, Y: 3.5, Z: 7}
+}
+
+// identityOptions: a deadline-free fixed-seed configuration (a wall-clock
+// budget would make the generation count timing-dependent).
+func identityOptions(workers int) Options {
+	opt := DefaultOptions()
+	opt.Deadline = 0
+	opt.MaxIterations = 40
+	opt.Workers = workers
+	return opt
+}
+
+// TestLocalizeMatchesReferenceSolver: the production solver — precomputed
+// pair geometry, early-abort objective, worker-pool evaluation — must agree
+// bit for bit with the full-evaluation reference at several seeds and sizes.
+func TestLocalizeMatchesReferenceSolver(t *testing.T) {
+	for _, tc := range []struct {
+		seed    int64
+		n       int
+		workers int
+	}{
+		{3, 12, 1},
+		{4, 20, 1},
+		{5, 30, 4},
+		{6, 9, 0},
+	} {
+		corr, intr, lo, hi := identityScenario(tc.seed, tc.n)
+		opt := identityOptions(tc.workers)
+		opt.Seed = tc.seed * 11
+		got, err := Localize(corr, intr, lo, hi, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.seed, err)
+		}
+		want := referenceLocalize(corr, intr, lo, hi, opt)
+		if got != want {
+			t.Fatalf("seed %d workers %d: optimized %+v != reference %+v",
+				tc.seed, tc.workers, got, want)
+		}
+	}
+}
+
+// TestLocalizeWorkerCountBitIdentical: any worker count must produce the
+// exact same Result for a fixed seed.
+func TestLocalizeWorkerCountBitIdentical(t *testing.T) {
+	corr, intr, lo, hi := identityScenario(9, 24)
+	base, err := Localize(corr, intr, lo, hi, identityOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8} {
+		got, err := Localize(corr, intr, lo, hi, identityOptions(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Fatalf("workers=%d diverged: %+v != %+v", workers, got, base)
+		}
+	}
+}
+
+// TestLocalizeDeadlineStillBounds: the synchronous-generation loop must
+// still honor the wall-clock budget of the paper's time-bounded solve.
+func TestLocalizeDeadlineStillBounds(t *testing.T) {
+	corr, intr, lo, hi := identityScenario(13, 40)
+	opt := DefaultOptions()
+	opt.MaxIterations = 1 << 20
+	opt.Deadline = 30 * time.Millisecond
+	start := time.Now()
+	if _, err := Localize(corr, intr, lo, hi, opt); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-bounded solve ran %v", elapsed)
+	}
+}

@@ -13,13 +13,22 @@
 // As in the paper ("we solve the localization optimization using a
 // time-bounded differential evolution"), the solver is a bounded
 // differential-evolution search over the venue's bounding box with an
-// evaluation/time budget.
+// evaluation/time budget. The DE is the synchronous-generation rand/1/bin
+// variant: every RNG draw happens serially in index order, each
+// generation's trial population is derived from the generation-start
+// snapshot, and only then are the trials evaluated — on a bounded worker
+// pool when Options.Workers allows — so the result is bit-identical for a
+// fixed seed at any worker count (see DESIGN.md "Performance"). The search
+// ends at the evaluation budget, the deadline, or Options.Tol population
+// convergence, whichever comes first.
 package pose
 
 import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"visualprint/internal/mathx"
@@ -47,7 +56,11 @@ func gamma(p, c, fov float64, s float64) float64 {
 }
 
 // pairGeometry precomputes, for one keypoint pair, the observed angles and
-// the 3D coordinates entering the law-of-cosines constraint.
+// the 3D coordinates entering the law-of-cosines constraint, plus the
+// position-independent parts of that constraint: aij (the pairwise X/Z
+// squared distance) is invariant across the ~2 million objective
+// evaluations of a default solve, so it is computed once here instead of
+// once per residual call.
 //
 // The paper's Figure 12 splits the constraint into X/Z- and Y/Z-plane
 // angles. The X/Z (azimuthal) split is exact for an upright camera — the
@@ -61,6 +74,47 @@ type pairGeometry struct {
 	gx     float64 // observed azimuthal separation (absolute, radians)
 	g3     float64 // observed full 3D angle between the two rays
 	pi, pj mathx.Vec3
+	aij    float64 // X/Z squared distance between pi and pj (Figure 12's d(ki,kj))
+	// c3lo/c3hi bound, in cosine space, the window of 3D angles within
+	// residualCap of g3. A trial whose ray cosine falls outside
+	// [c3lo, c3hi] provably yields a capped residual, so residual can
+	// return residualCap without evaluating either Acos (see residual).
+	c3lo, c3hi float64
+}
+
+// capCosMargin absorbs the worst-case error of the precomputed math.Cos
+// bounds and the hot path's math.Acos (both correctly rounded to ~1 ulp,
+// absolute error < 1e-15 here): a raw cosine must clear the bound by this
+// much before the Acos-free capped path may be taken. Values inside the
+// margin band fall through to the full computation, which is always exact,
+// so the fast path never changes a result — it only skips work that is
+// guaranteed (with ~10^6x slack) to produce the cap.
+const capCosMargin = 1e-9
+
+// capAngleMargin keeps the cosine bounds away from the flat regions of cos
+// at 0 and pi, where a cosine-space margin stops implying an angle-space
+// margin. Windows that close to the domain edge simply don't get a bound
+// on that side.
+const capAngleMargin = 1e-4
+
+func newPairGeometry(gx, g3 float64, pi, pj mathx.Vec3) pairGeometry {
+	pg := pairGeometry{
+		gx: gx, g3: g3, pi: pi, pj: pj,
+		aij:  dsq2(pi.X, pi.Z, pj.X, pj.Z),
+		c3lo: math.Inf(-1),
+		c3hi: math.Inf(1),
+	}
+	// cos is strictly decreasing on [0, pi]: angles above g3+cap have
+	// cosines below cos(g3+cap), angles below g3-cap have cosines above
+	// cos(g3-cap). Each bound exists only when the window edge stays
+	// inside (0, pi) by capAngleMargin.
+	if g3+residualCap <= math.Pi-capAngleMargin {
+		pg.c3lo = math.Cos(g3+residualCap) - capCosMargin
+	}
+	if g3 >= residualCap+capAngleMargin {
+		pg.c3hi = math.Cos(g3-residualCap) + capCosMargin
+	}
+	return pg
 }
 
 // dsq2 is Figure 12's d(): squared Euclidean distance in a 2D plane.
@@ -75,6 +129,18 @@ const residualCap = 0.5
 
 // residual returns the truncated angular error for a hypothesized camera
 // position: full-3D-angle term plus the paper's azimuthal (X/Z plane) term.
+// The camera-to-point deltas are computed once and reused for both terms
+// ((a-x)^2 equals (x-a)^2 exactly in IEEE arithmetic, so ai/aj match the
+// d() formulation bit for bit — pinned by TestResidualMatchesReference).
+//
+// Both terms add up to at least residualCap whenever the 3D-angle error
+// alone reaches the cap, so positions whose ray cosine falls outside the
+// precomputed [c3lo, c3hi] window return the cap without evaluating
+// math.Acos at all — the dominant cost of this function. For the
+// mismatched correspondences that survive clustering (and for most trials
+// of a not-yet-converged population) this short-circuit carries the bulk
+// of the evaluations; TestResidualMatchesReference pins it against the
+// unconditional formula across both paths.
 func (pg *pairGeometry) residual(x, y, z float64) float64 {
 	// Full 3D angle via the law of cosines on the two point ranges.
 	dix, diy, diz := pg.pi.X-x, pg.pi.Y-y, pg.pi.Z-z
@@ -83,17 +149,26 @@ func (pg *pairGeometry) residual(x, y, z float64) float64 {
 	dj := djx*djx + djy*djy + djz*djz
 	e3 := math.Pi // worst case when degenerate
 	if di > 1e-12 && dj > 1e-12 {
-		dot := dix*djx + diy*djy + diz*djz
-		cosv := mathx.Clamp(dot/math.Sqrt(di*dj), -1, 1)
-		e3 = math.Abs(math.Acos(cosv) - pg.g3)
+		cosv := (dix*djx + diy*djy + diz*djz) / math.Sqrt(di*dj)
+		if cosv <= pg.c3lo || cosv >= pg.c3hi {
+			// The 3D angle is more than residualCap away from g3 (by at
+			// least the margins' slack), so e3 >= residualCap and the sum
+			// caps regardless of the azimuthal term.
+			return residualCap
+		}
+		e3 = math.Abs(math.Acos(mathx.Clamp(cosv, -1, 1)) - pg.g3)
 	}
-	// Azimuthal (X/Z plane) term, as in Figure 12.
-	ai := dsq2(x, z, pg.pi.X, pg.pi.Z)
-	aj := dsq2(x, z, pg.pj.X, pg.pj.Z)
-	aij := dsq2(pg.pi.X, pg.pi.Z, pg.pj.X, pg.pj.Z)
+	if e3 >= residualCap {
+		// ex >= 0, so the sum caps; skip the azimuthal Acos and sqrts.
+		return residualCap
+	}
+	// Azimuthal (X/Z plane) term, as in Figure 12; aij was precomputed at
+	// pair construction.
+	ai := dix*dix + diz*diz
+	aj := djx*djx + djz*djz
 	ex := math.Pi
 	if ai > 1e-12 && aj > 1e-12 {
-		cosv := mathx.Clamp((ai+aj-aij)/(2*math.Sqrt(ai)*math.Sqrt(aj)), -1, 1)
+		cosv := mathx.Clamp((ai+aj-pg.aij)/(2*math.Sqrt(ai)*math.Sqrt(aj)), -1, 1)
 		ex = math.Abs(math.Acos(cosv) - pg.gx)
 	}
 	e := e3 + 0.5*ex
@@ -119,6 +194,19 @@ type Options struct {
 	MaxPairs int
 	// Seed makes the search deterministic.
 	Seed int64
+	// Workers bounds the pool evaluating each generation's trials.
+	// 0 uses GOMAXPROCS; 1 evaluates inline. All RNG draws are serial
+	// regardless, so the result is identical at any worker count
+	// (pinned by TestLocalizeWorkerCountBitIdentical).
+	Workers int
+	// Tol stops the search once the population has converged: after a
+	// generation's selection, if std(cost) <= Tol*|mean(cost)| the
+	// remaining generations cannot meaningfully improve the answer and
+	// are skipped. This is the convergence criterion of scipy's
+	// differential_evolution (its default is 0.01; we default to a more
+	// conservative 0.001). <= 0 disables the check and always runs the
+	// full MaxIterations budget.
+	Tol float64
 }
 
 // DefaultOptions returns solver settings tuned for indoor venues.
@@ -131,6 +219,7 @@ func DefaultOptions() Options {
 		CR:            0.9,
 		MaxPairs:      300,
 		Seed:          1,
+		Tol:           0.001,
 	}
 }
 
@@ -140,6 +229,26 @@ type Result struct {
 	Residual float64 // mean angular residual (radians per pair)
 	Evals    int
 	Yaw      float64 // estimated heading (radians)
+}
+
+// objectiveLimited sums the pair residuals for trial v, aborting as soon as
+// the partial sum reaches limit. Residuals are non-negative and IEEE float
+// addition of non-negative terms is monotonic, so an aborted evaluation's
+// full sum would also have been >= limit; callers that compare the return
+// value against limit with a strict < therefore decide exactly as if the
+// full sum had been computed, while a typical late-generation losing trial
+// costs a fraction of a full evaluation. Winning trials (sum stays below
+// limit throughout) are summed in full, in pair order — bit-identical to
+// the unconditional evaluation.
+func objectiveLimited(pairs []pairGeometry, v [3]float64, limit float64) float64 {
+	var s float64
+	for k := range pairs {
+		s += pairs[k].residual(v[0], v[1], v[2])
+		if s >= limit {
+			return s
+		}
+	}
+	return s
 }
 
 // Localize estimates the camera position from correspondences within the
@@ -157,6 +266,9 @@ func Localize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Opt
 	if opt.MaxIterations <= 0 {
 		opt.MaxIterations = 100
 	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	// Precompute pair geometry. Pixel rays in the camera frame: square
@@ -166,34 +278,24 @@ func Localize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Opt
 	ray := func(px, py float64) mathx.Vec3 {
 		return mathx.Vec3{X: (px - cx) / focal, Y: -(py - cy) / focal, Z: 1}.Normalize()
 	}
-	var pairs []pairGeometry
+	pairs := make([]pairGeometry, 0, len(corr)*(len(corr)-1)/2)
 	for i := 0; i < len(corr); i++ {
 		ri := ray(corr[i].Px, corr[i].Py)
 		gi := gamma(corr[i].Px, cx, intr.FovX, float64(intr.W))
 		for j := i + 1; j < len(corr); j++ {
 			rj := ray(corr[j].Px, corr[j].Py)
 			gj := gamma(corr[j].Px, cx, intr.FovX, float64(intr.W))
-			pairs = append(pairs, pairGeometry{
-				gx: math.Abs(gi - gj),
-				g3: math.Acos(mathx.Clamp(ri.Dot(rj), -1, 1)),
-				pi: corr[i].P,
-				pj: corr[j].P,
-			})
+			pairs = append(pairs, newPairGeometry(
+				math.Abs(gi-gj),
+				math.Acos(mathx.Clamp(ri.Dot(rj), -1, 1)),
+				corr[i].P,
+				corr[j].P,
+			))
 		}
 	}
 	if opt.MaxPairs > 0 && len(pairs) > opt.MaxPairs {
 		rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
 		pairs = pairs[:opt.MaxPairs]
-	}
-
-	evals := 0
-	objective := func(v [3]float64) float64 {
-		evals++
-		var s float64
-		for k := range pairs {
-			s += pairs[k].residual(v[0], v[1], v[2])
-		}
-		return s
 	}
 
 	span := [3]float64{hi.X - lo.X, hi.Y - lo.Y, hi.Z - lo.Z}
@@ -206,13 +308,22 @@ func Localize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Opt
 		}
 	}
 
-	// Differential evolution (rand/1/bin).
+	// Differential evolution, synchronous-generation rand/1/bin: trials are
+	// derived from the generation-start population with all RNG draws in
+	// serial index order, then evaluated (possibly in parallel), then
+	// selected. Each trial's evaluation is an independent serial summation,
+	// so the outcome does not depend on the worker count.
+	evals := 0
 	pop := make([][3]float64, opt.PopSize)
 	cost := make([]float64, opt.PopSize)
 	for i := range pop {
 		pop[i] = sample()
-		cost[i] = objective(pop[i])
+		cost[i] = objectiveLimited(pairs, pop[i], math.Inf(1))
 	}
+	evals += opt.PopSize
+	trials := make([][3]float64, opt.PopSize)
+	trialCost := make([]float64, opt.PopSize)
+	evaluate := newBatchEvaluator(opt.Workers, pairs, trials, trialCost, cost)
 	start := time.Now()
 	for iter := 0; iter < opt.MaxIterations; iter++ {
 		if opt.Deadline > 0 && time.Since(start) > opt.Deadline {
@@ -230,9 +341,20 @@ func Localize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Opt
 				}
 				trial[d] = mathx.Clamp(trial[d], lov[d], lov[d]+span[d])
 			}
-			if tc := objective(trial); tc < cost[i] {
-				pop[i], cost[i] = trial, tc
+			trials[i] = trial
+		}
+		evaluate()
+		evals += opt.PopSize
+		for i := range pop {
+			// A trial whose evaluation aborted returns a partial sum that is
+			// >= cost[i] by construction, so the strict < rejects it exactly
+			// as the full sum would have.
+			if trialCost[i] < cost[i] {
+				pop[i], cost[i] = trials[i], trialCost[i]
 			}
+		}
+		if opt.Tol > 0 && converged(cost, opt.Tol) {
+			break
 		}
 	}
 	best := 0
@@ -249,6 +371,62 @@ func Localize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Opt
 		Yaw:      EstimateYaw(corr, intr, pos),
 	}
 	return res, nil
+}
+
+// newBatchEvaluator returns a function that fills trialCost[i] =
+// objectiveLimited(pairs, trials[i], cost[i]) for every i, splitting the
+// population across at most workers goroutines. Each index is evaluated by
+// exactly one worker against the generation-start cost snapshot, so the
+// filled values are identical at any worker count.
+func newBatchEvaluator(workers int, pairs []pairGeometry, trials [][3]float64, trialCost, cost []float64) func() {
+	n := len(trials)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return func() {
+			for i := 0; i < n; i++ {
+				trialCost[i] = objectiveLimited(pairs, trials[i], cost[i])
+			}
+		}
+	}
+	return func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					trialCost[i] = objectiveLimited(pairs, trials[i], cost[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+}
+
+// converged reports whether the population's cost spread has collapsed
+// below the relative tolerance: std(cost) <= tol*|mean(cost)| — the same
+// criterion scipy's differential_evolution uses. Costs hold only fully
+// evaluated (never aborted) sums, so the decision depends on true
+// objective values and is identical at any worker count.
+func converged(cost []float64, tol float64) bool {
+	var mean float64
+	for _, c := range cost {
+		mean += c
+	}
+	mean /= float64(len(cost))
+	var s2 float64
+	for _, c := range cost {
+		d := c - mean
+		s2 += d * d
+	}
+	return math.Sqrt(s2/float64(len(cost))) <= tol*math.Abs(mean)
 }
 
 // EstimateYaw recovers the camera heading given its position: for each

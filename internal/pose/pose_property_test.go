@@ -29,7 +29,7 @@ func TestResidualZeroAtTruePosition(t *testing.T) {
 		ai := math.Atan2(pi.X-cam.X, pi.Z-cam.Z)
 		aj := math.Atan2(pj.X-cam.X, pj.Z-cam.Z)
 		gx := math.Abs(math.Mod(ai-aj+3*math.Pi, 2*math.Pi) - math.Pi)
-		pg := pairGeometry{gx: gx, g3: g3, pi: pi, pj: pj}
+		pg := newPairGeometry(gx, g3, pi, pj)
 		if r := pg.residual(cam.X, cam.Y, cam.Z); r > 1e-9 {
 			t.Fatalf("trial %d: residual %g at the true position", trial, r)
 		}
@@ -39,11 +39,9 @@ func TestResidualZeroAtTruePosition(t *testing.T) {
 // TestResidualPositiveElsewhere: the residual grows away from the true
 // position (no spurious global zero for a generic pair).
 func TestResidualNonNegativeAndCapped(t *testing.T) {
-	pg := pairGeometry{
-		gx: 0.2, g3: 0.3,
-		pi: mathx.Vec3{X: 1, Y: 1, Z: 5},
-		pj: mathx.Vec3{X: -2, Y: 1.5, Z: 6},
-	}
+	pg := newPairGeometry(0.2, 0.3,
+		mathx.Vec3{X: 1, Y: 1, Z: 5},
+		mathx.Vec3{X: -2, Y: 1.5, Z: 6})
 	f := func(x, y, z float64) bool {
 		r := pg.residual(math.Mod(x, 50), math.Mod(y, 5), math.Mod(z, 50))
 		return r >= 0 && r <= residualCap

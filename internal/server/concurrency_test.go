@@ -344,6 +344,74 @@ func TestV1ClientAgainstV2Server(t *testing.T) {
 	}
 }
 
+// TestConcurrentOracleFilteringAndIngest: the gated oracle readers
+// (Database.SelectUnique / Database.Uniqueness) must be safe against
+// concurrent Ingest — the hazard the raw Oracle() accessor documents. Run
+// with -race (make verify does): the readers take the database read lock
+// for the whole oracle query, so filter reads can never interleave with
+// Ingest's counter writes.
+func TestConcurrentOracleFilteringAndIngest(t *testing.T) {
+	db, ms := syntheticDB(t, 57, 0, 48, 40)
+	kps := queryFromMappings(ms, 0, 32)
+
+	const readers = 3
+	const iters = 40
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if w%2 == 0 {
+					sel, err := db.SelectUnique(kps, 10)
+					if err != nil {
+						errc <- fmt.Errorf("SelectUnique: %v", err)
+						return
+					}
+					if len(sel) != 10 {
+						errc <- fmt.Errorf("SelectUnique returned %d keypoints, want 10", len(sel))
+						return
+					}
+				} else {
+					if _, err := db.Uniqueness(ms[i%len(ms)].Desc[:]); err != nil {
+						errc <- fmt.Errorf("Uniqueness: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(58))
+		for i := 0; i < iters; i++ {
+			batch := make([]Mapping, 4)
+			for b := range batch {
+				for j := range batch[b].Desc {
+					batch[b].Desc[j] = byte(rng.Intn(256))
+				}
+				batch[b].Pos = mathx.Vec3{X: rng.Float64() * 12, Y: rng.Float64() * 3, Z: rng.Float64() * 9}
+			}
+			if err := db.Ingest(batch); err != nil {
+				errc <- fmt.Errorf("Ingest: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	// Every reader and the writer ran to completion; the oracle now reflects
+	// all inserts.
+	if got := db.Oracle().Inserts(); got != uint64(db.Len()) {
+		t.Errorf("oracle inserts %d != mappings %d", got, db.Len())
+	}
+}
+
 // TestContextCancellation: a context deadline must abort the response wait,
 // and an already-cancelled context must fail fast; the connection state
 // stays coherent for the demux loop.

@@ -345,12 +345,39 @@ func (db *Database) OracleDiff(sinceInserts uint64) (diff []byte, ok bool, err e
 	return d, true, nil
 }
 
-// Oracle exposes the live oracle for in-process use (benchmarks and the
-// public API's single-process mode).
+// Oracle exposes the live oracle for in-process use (the public API's
+// single-process mode).
+//
+// Contract: the returned pointer aliases the database's mutable state, and
+// the RLock taken here protects only the pointer read — NOT later calls
+// through it. A concurrent Ingest mutates the same filter words the
+// oracle's query path reads, which is a data race. Only hold the pointer
+// where no Ingest can run concurrently (e.g. the single-threaded wardrive
+// pipeline), or use the gated wrappers below — SelectUnique and
+// Uniqueness — which run the oracle read entirely under the database's
+// read lock and are what the in-process benchmarks use.
 func (db *Database) Oracle() *core.Oracle {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.oracle
+}
+
+// SelectUnique runs the oracle's keypoint filtering (the client-side
+// fingerprint selection) against the live oracle under the database read
+// lock, so it is safe against concurrent Ingest — unlike calling
+// Oracle().SelectUnique directly.
+func (db *Database) SelectUnique(kps []sift.Keypoint, n int) ([]sift.Keypoint, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.oracle.SelectUnique(kps, n)
+}
+
+// Uniqueness queries the live oracle for one descriptor's estimated global
+// count under the database read lock (see SelectUnique).
+func (db *Database) Uniqueness(desc []byte) (uint32, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.oracle.Uniqueness(desc)
 }
 
 // DBStats is the server-state report behind the Stats RPC.
@@ -420,24 +447,26 @@ type locateCand struct {
 const parallelLocateThreshold = 32
 
 // candidatesFor retrieves the distance-gated LSH candidates of one query
-// keypoint. Callers must hold db.mu (read side); the LSH index read path is
-// safe for concurrent queries.
-func (db *Database) candidatesFor(kp sift.Keypoint) ([]locateCand, error) {
-	res, err := db.index.Query(kp.Desc[:], lsh.QueryOptions{
+// keypoint, appending them to dst. scratch is a reusable candidate buffer
+// (returned with whatever capacity it grew to) — with a warm scratch the
+// whole retrieval is allocation-free, which is what keeps the steady-state
+// Locate fan-out off the heap. Callers must hold db.mu (read side); the
+// LSH index read path is safe for concurrent queries.
+func (db *Database) candidatesFor(kp sift.Keypoint, scratch []lsh.Candidate, dst []locateCand) ([]lsh.Candidate, []locateCand, error) {
+	scratch, err := db.index.QueryInto(kp.Desc[:], lsh.QueryOptions{
 		MaxCandidates: db.cfg.NeighborsPerKeypoint,
 		MultiProbe:    true,
-	})
+	}, scratch)
 	if err != nil {
-		return nil, err
+		return scratch, dst, err
 	}
-	var out []locateCand
-	for _, c := range res {
+	for _, c := range scratch {
 		if db.cfg.MaxMatchDistSq > 0 && c.DistSq > db.cfg.MaxMatchDistSq {
 			continue
 		}
-		out = append(out, locateCand{px: kp.X, py: kp.Y, p: db.positions[c.ID]})
+		dst = append(dst, locateCand{px: kp.X, py: kp.Y, p: db.positions[c.ID]})
 	}
-	return out, nil
+	return scratch, dst, nil
 }
 
 // gatherCandidates produces the |K| * n candidate list, fanning the
@@ -455,12 +484,13 @@ func (db *Database) gatherCandidates(kps []sift.Keypoint) ([]locateCand, error) 
 	}
 	if len(kps) < parallelLocateThreshold || workers <= 1 {
 		var cands []locateCand
+		var scratch []lsh.Candidate
+		var err error
 		for i := range kps {
-			cs, err := db.candidatesFor(kps[i])
+			scratch, cands, err = db.candidatesFor(kps[i], scratch, cands)
 			if err != nil {
 				return nil, err
 			}
-			cands = append(cands, cs...)
 		}
 		return cands, nil
 	}
@@ -475,12 +505,15 @@ func (db *Database) gatherCandidates(kps []sift.Keypoint) ([]locateCand, error) 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var scratch []lsh.Candidate // reused across this worker's keypoints
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(kps) {
 					return
 				}
-				cs, err := db.candidatesFor(kps[i])
+				var cs []locateCand
+				var err error
+				scratch, cs, err = db.candidatesFor(kps[i], scratch, nil)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
