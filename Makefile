@@ -1,6 +1,6 @@
 # VisualPrint build/verify targets.
 
-.PHONY: build test verify bench bench-short clean
+.PHONY: build test verify bench bench-short bench-check clean
 
 build:
 	go build ./...
@@ -25,6 +25,14 @@ bench:
 # compute, keeping BENCH_locate.json generation exercised on every push.
 bench-short:
 	go run ./cmd/vpbench -exp locate -scale quick -locate-json BENCH_locate_short.json
+
+# CI regression gate: run the short locate workload into bench_current.json
+# (left as a build artifact, never committed) and fail if ns/op regressed
+# more than 2x against the checked-in BENCH_locate_short.json baseline.
+bench-check:
+	go run ./cmd/vpbench -exp locate -scale quick \
+		-locate-json bench_current.json \
+		-baseline BENCH_locate_short.json -max-regress 2.0
 
 # Remove built binaries and any data directories left by manual testing.
 # Test-created data dirs live under the test tempdir and clean themselves up.

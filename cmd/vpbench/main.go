@@ -32,6 +32,9 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	locateJSON := flag.String("locate-json", "", "file to write the locate benchmark result as JSON (BENCH_locate.json)")
+	obsOn := flag.Bool("obs", false, "enable observability instrumentation on the benchmark database (measures tracer overhead)")
+	baseline := flag.String("baseline", "", "baseline locate JSON (e.g. BENCH_locate_short.json) to compare ns/op against")
+	maxRegress := flag.Float64("max-regress", 2.0, "with -baseline: fail (exit 1) if ns/op exceeds baseline by this factor")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -138,6 +141,7 @@ func main() {
 		if *scaleName == "full" {
 			cfg, iters, perClient = bench.DefaultLocateWorkload(), 10, 4
 		}
+		cfg.EnableObs = *obsOn
 		res, err := bench.RunLocateBenchmark(cfg, iters, []int{1, 2, 4}, perClient)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "locate: %v\n", err)
@@ -151,6 +155,12 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "locate-json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *baseline != "" {
+			if err := checkRegression(*baseline, *maxRegress, res); err != nil {
+				fmt.Fprintf(os.Stderr, "locate regression check: %v\n", err)
 				os.Exit(1)
 			}
 		}
@@ -193,6 +203,32 @@ func main() {
 			fmt.Printf("  %-16s   measured: %s\n", "", r.Measured)
 		}
 	}
+}
+
+// checkRegression compares a fresh locate result against a recorded
+// baseline JSON file (BENCH_locate.json schema) and errors if ns/op
+// regressed by more than maxRegress. The threshold is deliberately loose
+// (2x by default): it is a CI tripwire for catastrophic slowdowns on
+// shared runners, not a precision gate.
+func checkRegression(path string, maxRegress float64, res *bench.LocateBenchResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base bench.LocateBenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if base.NsPerOp <= 0 {
+		return fmt.Errorf("%s has no ns_per_op", path)
+	}
+	ratio := res.NsPerOp / base.NsPerOp
+	fmt.Printf("  regression check: %.1f ms/op vs baseline %.1f ms/op (%s) = %.2fx (limit %.2fx)\n",
+		res.NsPerOp/1e6, base.NsPerOp/1e6, base.Recorded, ratio, maxRegress)
+	if ratio > maxRegress {
+		return fmt.Errorf("ns/op regressed %.2fx over baseline %s (limit %.2fx)", ratio, path, maxRegress)
+	}
+	return nil
 }
 
 // printLocate prints the Locate microbenchmark summary.

@@ -10,8 +10,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"visualprint"
@@ -24,6 +29,7 @@ func main() {
 	queries := flag.Int("queries", 5, "number of query viewpoints")
 	selectN := flag.Int("select", 200, "most-unique keypoints to upload per query")
 	stats := flag.Bool("stats", false, "print server state (size, persistence) and exit")
+	metrics := flag.Bool("metrics", false, "print server observability report (counters, latency quantiles, slow log) and exit")
 	flag.Parse()
 
 	var world *visualprint.World
@@ -48,6 +54,10 @@ func main() {
 
 	if *stats {
 		printStats(client)
+		return
+	}
+	if *metrics {
+		printMetrics(client)
 		return
 	}
 
@@ -84,6 +94,70 @@ func main() {
 	}
 	log.Printf("%d/%d queries localized; %.1f KB uploaded total",
 		success, *queries, float64(client.BytesSent())/1024)
+}
+
+// printMetrics fetches and prints the server's observability report:
+// counters and gauges sorted by name, latency histograms as quantiles,
+// and the slow-request log with per-stage breakdowns.
+func printMetrics(client *visualprint.Client) {
+	rep, err := client.Metrics(context.Background())
+	if err != nil {
+		if errors.Is(err, visualprint.ErrMetricsUnsupported) {
+			log.Fatalf("server does not support the metrics RPC (old binary, or observability disabled): %v", err)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("uptime: %s\n", (time.Duration(rep.UptimeSeconds * float64(time.Second))).Round(time.Second))
+
+	fmt.Println("\ncounters:")
+	for _, name := range sortedKeys(rep.Counters) {
+		fmt.Printf("  %-28s %d\n", name, rep.Counters[name])
+	}
+	fmt.Println("\ngauges:")
+	for _, name := range sortedKeys(rep.Gauges) {
+		fmt.Printf("  %-28s %d\n", name, rep.Gauges[name])
+	}
+	fmt.Println("\nlatency (p50 / p90 / p99 / max):")
+	for _, name := range sortedKeys(rep.Histograms) {
+		h := rep.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		// Histograms are nanosecond-valued by convention except the few
+		// counting ones (e.g. wal_batch_records), which print raw.
+		render := ns
+		if !strings.HasSuffix(name, "_ns") {
+			render = func(v int64) string { return strconv.FormatInt(v, 10) }
+		}
+		fmt.Printf("  %-28s %9s %9s %9s %9s  (n=%d)\n", name,
+			render(h.P50), render(h.P90), render(h.P99), render(h.Max), h.Count)
+	}
+	if len(rep.Slow) > 0 {
+		fmt.Println("\nslow requests (newest first):")
+		for _, s := range rep.Slow {
+			fmt.Printf("  %s %s total %s", time.Unix(0, s.UnixNano).Format(time.RFC3339), s.Op, ns(s.TotalNs))
+			for _, stage := range sortedKeys(s.StageNs) {
+				fmt.Printf("  %s=%s", stage, ns(s.StageNs[stage]))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// sortedKeys returns m's keys in lexical order, so the report is stable
+// run to run.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ns renders a nanosecond quantity at a human scale.
+func ns(v int64) string {
+	return time.Duration(v).Round(time.Microsecond).String()
 }
 
 // printStats fetches and prints the server's full state report.

@@ -22,8 +22,13 @@ import (
 func main() {
 	listen := flag.String("listen", ":7310", "listen address")
 	data := flag.String("data", "", "data directory for durable storage (empty: in-memory)")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug listen address serving /debug/metrics and /debug/pprof/ (empty: disabled)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 
+	if err := visualprint.SetLogLevel(*logLevel); err != nil {
+		log.Fatal(err)
+	}
 	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -39,6 +44,13 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("visualprint server listening on %s", addr)
+	if *debugAddr != "" {
+		dAddr, err := srv.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		log.Printf("debug endpoints on http://%s/debug/metrics", dAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

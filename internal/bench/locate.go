@@ -140,6 +140,12 @@ type LocateWorkloadConfig struct {
 	MaxIterations int
 	// Seed fixes the synthetic corpus and the solver.
 	Seed int64
+	// EnableObs turns on the database's observability instrumentation
+	// (counters, stage tracer) for the measured loop, so the tracer's
+	// overhead can be quantified against an uninstrumented run. A config
+	// with EnableObs set is not comparable against the recorded baseline,
+	// so no baseline is attached to its result.
+	EnableObs bool `json:"enable_obs,omitempty"`
 }
 
 // DefaultLocateWorkload is the standard measurement configuration: a
@@ -236,6 +242,9 @@ func NewLocateWorkload(cfg LocateWorkloadConfig) (*LocateWorkload, error) {
 		}
 		ms = append(ms, m)
 	}
+	if cfg.EnableObs {
+		db.EnableObs()
+	}
 	if err := db.Ingest(ms); err != nil {
 		return nil, err
 	}
@@ -291,7 +300,7 @@ func (w *LocateWorkload) QPS(clients, perClient int) (float64, error) {
 		return 0, err
 	}
 	srv := server.Serve(ln, w.DB)
-	srv.Logf = nil
+	srv.Log = nil
 	defer srv.Close()
 	return measureLocateQPS(srv.Addr().String(), w, clients, perClient)
 }

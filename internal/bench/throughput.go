@@ -92,7 +92,7 @@ func QueryThroughput(sc Scale, maxClients, queriesPerClient int) (*Experiment, e
 		return nil, err
 	}
 	srv := server.Serve(ln, run.db)
-	srv.Logf = nil
+	srv.Log = nil
 	defer srv.Close()
 
 	for clients := 1; clients <= maxClients; clients *= 2 {

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeHTTP serves the registry's Report as indented JSON, making a
+// *Registry mountable on any mux. This is what vpserver's -debug-addr
+// listener exposes at /debug/metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(r.Report()) //nolint:errcheck // a failed write is the client's problem
+}
+
+// DebugMux returns the standard debug surface over a registry: JSON
+// metrics at /debug/metrics and the runtime profiles under /debug/pprof/
+// (index, cmdline, profile, symbol, trace — the net/http/pprof set).
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", r)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

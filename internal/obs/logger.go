@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync/atomic"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// levelOff is above every real level; a logger with this minimum
+	// drops everything (see Discard).
+	levelOff
+)
+
+// Tag returns the level's log-line prefix.
+func (l Level) Tag() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return "?"
+	}
+}
+
+// ParseLevel parses a level name (debug, info, warn, error) as written on
+// a command line.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// Logger is a leveled logger. It exists to give the server, the database
+// and the store ONE logging seam: each held a private
+// `func(format string, args ...any)` defaulting to log.Printf, so a
+// process had to configure (or a test silence) three loggers separately.
+// Now they all default to the process logger (Default/SetDefault), and
+// vpserver configures logging exactly once.
+//
+// A nil *Logger drops everything, so plumbing code can log
+// unconditionally through an optional logger field.
+type Logger struct {
+	min  Level
+	sink func(lv Level, format string, args ...any)
+}
+
+// Discard drops every message — the explicit "silence this component"
+// logger tests use.
+var Discard = &Logger{min: levelOff}
+
+// New returns a logger writing level-tagged, timestamped lines to w,
+// dropping messages below min.
+func New(w io.Writer, min Level) *Logger {
+	lg := log.New(w, "", log.LstdFlags)
+	return &Logger{min: min, sink: func(lv Level, format string, args ...any) {
+		lg.Printf(lv.Tag()+" "+format, args...)
+	}}
+}
+
+// FuncLogger adapts a Printf-shaped function into a Logger that forwards
+// every level. It is the bridge for tests that capture log output
+// (obs.FuncLogger(t.Logf)) and for pre-existing Printf-style plumbing.
+func FuncLogger(f func(format string, args ...any)) *Logger {
+	return &Logger{min: LevelDebug, sink: func(_ Level, format string, args ...any) {
+		f(format, args...)
+	}}
+}
+
+// logf is the single filtered emission path.
+func (l *Logger) logf(lv Level, format string, args ...any) {
+	if l == nil || l.sink == nil || lv < l.min {
+		return
+	}
+	l.sink(lv, format, args...)
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+// defaultLogger is the process-wide default, routed through the standard
+// log package so it composes with log.SetOutput / log.SetFlags.
+var defaultLogger atomic.Pointer[Logger]
+
+func init() {
+	defaultLogger.Store(&Logger{min: LevelInfo, sink: func(lv Level, format string, args ...any) {
+		log.Printf(lv.Tag()+" "+format, args...)
+	}})
+}
+
+// Default returns the process-wide logger that every component falls back
+// to when its owner never configured one.
+func Default() *Logger { return defaultLogger.Load() }
+
+// SetDefault replaces the process-wide logger (nil restores silence-free
+// behavior is NOT provided: pass Discard to silence). vpserver calls this
+// once at startup with the level chosen on its command line.
+func SetDefault(l *Logger) {
+	if l == nil {
+		l = Discard
+	}
+	defaultLogger.Store(l)
+}

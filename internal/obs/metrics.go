@@ -1,0 +1,380 @@
+// Package obs is the observability subsystem: lock-free counters and
+// gauges, log-bucketed latency histograms with quantile estimation, a
+// per-request stage tracer with a slow-request ring buffer, a leveled
+// logger, and an HTTP debug handler. It is dependency-free (stdlib only)
+// and shared by the server, the store and the CLIs.
+//
+// Two properties shape every type here:
+//
+//   - The record path is zero-allocation and lock-free (atomic ops only),
+//     pinned by testing.AllocsPerRun tests, so instruments can sit on the
+//     Locate and ingest hot paths without disturbing what they measure.
+//   - Every method is nil-receiver safe: a nil *Counter, *Gauge,
+//     *Histogram, *Tracer or *Registry is a no-op. Code can therefore be
+//     instrumented unconditionally and pay nothing — not even a branch
+//     past the nil check — when observability is disabled.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of a Histogram: bucket 0 holds values
+// <= 0 and bucket i (1..63) holds [2^(i-1), 2^i). Power-of-two bucketing
+// needs no configuration, covers the full int64 range (nanoseconds to
+// ~292 years), and keeps the relative quantile-estimation error bounded by
+// the bucket ratio (a factor of 2 worst case, typically far less after
+// intra-bucket interpolation).
+const histBuckets = 64
+
+// Histogram is a log-bucketed distribution, designed for latencies in
+// nanoseconds (any non-negative int64 works). Observe is lock-free and
+// allocation-free; quantiles are estimated at read time by linear
+// interpolation inside the power-of-two bucket holding the target rank.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index: 0 for v <= 0, else
+// floor(log2(v)) + 1.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketBounds returns the inclusive value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i == histBuckets-1 {
+		return lo, math.MaxInt64
+	}
+	return lo, lo*2 - 1
+}
+
+// Observe records one value. Negative values count as zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the nanoseconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Nanoseconds())
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded values:
+// the bucket holding the target rank is located by a cumulative scan, and
+// the value is interpolated linearly inside it. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	var buckets [histBuckets]uint64
+	var count uint64
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+		count += buckets[i]
+	}
+	return quantileFrom(&buckets, count, q, h.max.Load())
+}
+
+// quantileFrom estimates a quantile from a loaded bucket array. max caps
+// the estimate so a top-bucket interpolation never reports a value beyond
+// anything actually observed.
+func quantileFrom(buckets *[histBuckets]uint64, count uint64, q float64, max int64) int64 {
+	if count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > count {
+		target = count
+	}
+	var cum uint64
+	for i, b := range buckets {
+		if b == 0 {
+			continue
+		}
+		if cum+b >= target {
+			lo, hi := bucketBounds(i)
+			frac := float64(target-cum) / float64(b)
+			v := lo + int64(frac*float64(hi-lo))
+			if max > 0 && v > max {
+				v = max
+			}
+			return v
+		}
+		cum += b
+	}
+	return max
+}
+
+// HistogramStats is a read-time summary of a Histogram — the form
+// histograms take in a Report (and therefore in the msgMetrics payload
+// and the HTTP debug endpoint).
+type HistogramStats struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Max   int64  `json:"max"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
+}
+
+// Stats summarizes the histogram. The three quantiles are estimated from
+// one consistent bucket load.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	var buckets [histBuckets]uint64
+	var count uint64
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+		count += buckets[i]
+	}
+	max := h.max.Load()
+	return HistogramStats{
+		Count: count,
+		Sum:   h.sum.Load(),
+		Max:   max,
+		P50:   quantileFrom(&buckets, count, 0.50, max),
+		P90:   quantileFrom(&buckets, count, 0.90, max),
+		P99:   quantileFrom(&buckets, count, 0.99, max),
+	}
+}
+
+// Registry is a named collection of instruments. Registration (the
+// Counter/Gauge/Histogram getters) is idempotent and mutex-guarded —
+// it happens at setup, not on hot paths; reading an instrument held by
+// the caller is lock-free.
+type Registry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracers  []*Tracer
+}
+
+// NewRegistry creates an empty registry; its uptime clock starts now.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// attachTracer adds t's slow-request log to the registry's reports.
+func (r *Registry) attachTracer(t *Tracer) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracers = append(r.tracers, t)
+}
+
+// Report is a point-in-time summary of every instrument in a registry.
+// It is the JSON schema of both the msgMetrics RPC payload and the HTTP
+// /debug/metrics endpoint, so a Report marshals and unmarshals cleanly.
+type Report struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Counters      map[string]uint64         `json:"counters"`
+	Gauges        map[string]int64          `json:"gauges"`
+	Histograms    map[string]HistogramStats `json:"histograms"`
+	// Slow lists recent requests over the tracer's slow threshold,
+	// newest first, with per-stage duration breakdowns.
+	Slow []SlowRequest `json:"slow_requests,omitempty"`
+}
+
+// Report summarizes every registered instrument. A nil registry returns a
+// zero Report.
+func (r *Registry) Report() Report {
+	if r == nil {
+		return Report{}
+	}
+	r.mu.Lock()
+	rep := Report{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Counters:      make(map[string]uint64, len(r.counters)),
+		Gauges:        make(map[string]int64, len(r.gauges)),
+		Histograms:    make(map[string]HistogramStats, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		rep.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		rep.Gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	tracers := append([]*Tracer(nil), r.tracers...)
+	r.mu.Unlock()
+	// Histogram summaries outside the registry lock: Stats loads 64
+	// atomics per histogram and must not stall registration-free readers.
+	for name, h := range hists {
+		rep.Histograms[name] = h.Stats()
+	}
+	for _, t := range tracers {
+		rep.Slow = append(rep.Slow, t.Slow()...)
+	}
+	sort.Slice(rep.Slow, func(i, j int) bool { return rep.Slow[i].UnixNano > rep.Slow[j].UnixNano })
+	return rep
+}

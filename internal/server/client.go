@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -11,6 +14,7 @@ import (
 
 	"visualprint/internal/codec"
 	"visualprint/internal/core"
+	"visualprint/internal/obs"
 	"visualprint/internal/pose"
 	"visualprint/internal/sift"
 )
@@ -61,7 +65,7 @@ func NewClient(conn net.Conn) *Client {
 	if err := writePreamble(conn); err != nil {
 		// Surface the broken transport through the demux path so every
 		// call fails with it rather than hanging.
-		c.readErr = err
+		c.failAll(err)
 		return c
 	}
 	c.sent.Add(preambleSize)
@@ -151,8 +155,19 @@ func (c *Client) demux() {
 	}
 }
 
+// ErrConnectionLost marks calls that failed because the transport died
+// underneath them — the server closed (or crashed) with the request in
+// flight, or the connection broke before the response arrived. It wraps
+// the underlying read error; match with errors.Is.
+var ErrConnectionLost = errors.New("visualprint client: connection lost")
+
 // failAll marks the client broken and unblocks every waiter.
 func (c *Client) failAll(err error) {
+	// EOF and friends are transport deaths, not server answers; tag them
+	// so callers can distinguish "server said no" from "server went away".
+	if err != nil && !errors.Is(err, ErrConnectionLost) {
+		err = fmt.Errorf("%w: %w", ErrConnectionLost, err)
+	}
 	c.mu.Lock()
 	c.readErr = err
 	for id, ch := range c.pending {
@@ -368,6 +383,34 @@ func (c *Client) StatsFull(ctx context.Context) (DBStats, error) {
 		return DBStats{}, errRemote{msg: err.Error()}
 	}
 	return s, nil
+}
+
+// ErrMetricsUnsupported marks a Metrics call against a server that cannot
+// answer it — a binary predating the metrics RPC, or one running with
+// observability disabled. It wraps the server's rejection; match with
+// errors.Is.
+var ErrMetricsUnsupported = errors.New("visualprint client: server does not support the metrics RPC")
+
+// Metrics fetches the server's observability report: request counters,
+// latency histograms with quantile summaries (locate and its pipeline
+// stages, WAL fsync, snapshots), gauges, and the slow-request log. Calls
+// against servers without the RPC return ErrMetricsUnsupported.
+func (c *Client) Metrics(ctx context.Context) (obs.Report, error) {
+	resp, err := c.roundTrip(ctx, msgGetMetrics, nil, msgMetricsResult)
+	if err != nil {
+		if IsRemote(err) {
+			// An old server rejects the unknown message type (and a
+			// metrics-disabled one rejects the request): either way the
+			// RPC is unavailable, reported as the typed sentinel.
+			return obs.Report{}, fmt.Errorf("%w: %w", ErrMetricsUnsupported, err)
+		}
+		return obs.Report{}, err
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(resp, &rep); err != nil {
+		return obs.Report{}, errRemote{msg: "bad metrics payload: " + err.Error()}
+	}
+	return rep, nil
 }
 
 // QueryUploadBytes returns the v2 wire size of a query with the given

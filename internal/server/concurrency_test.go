@@ -146,7 +146,7 @@ func TestPipelinedResponseRouting(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := Serve(ln, db)
-	s.Logf = nil
+	s.Log = nil
 	defer s.Close()
 
 	queries := [][]sift.Keypoint{
@@ -200,7 +200,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := Serve(ln, db)
-	s.Logf = nil
+	s.Log = nil
 	defer s.Close()
 
 	const clients = 4
@@ -275,7 +275,7 @@ func TestV1ClientAgainstV2Server(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := Serve(ln, db)
-	s.Logf = nil
+	s.Log = nil
 	defer s.Close()
 	conn, err := net.Dial("tcp", s.Addr().String())
 	if err != nil {

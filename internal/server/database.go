@@ -7,17 +7,18 @@
 package server
 
 import (
-	"log"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"visualprint/internal/bloom"
 	"visualprint/internal/cluster"
 	"visualprint/internal/core"
 	"visualprint/internal/lsh"
 	"visualprint/internal/mathx"
+	"visualprint/internal/obs"
 	"visualprint/internal/pose"
 	"visualprint/internal/scene"
 	"visualprint/internal/sift"
@@ -91,14 +92,14 @@ func DefaultDatabaseConfig() DatabaseConfig {
 type Database struct {
 	cfg DatabaseConfig
 
-	mu        sync.RWMutex
-	// userLogf receives persistence and resource warnings (WAL
-	// truncation, oracle-snapshot budget overruns); set via SetLogf, nil
-	// means log.Printf. Serve wires it to the server's logger when still
-	// unset. Every logf call site already holds mu, so SetLogf taking the
-	// write lock keeps late wiring race-free.
-	userLogf  func(format string, args ...any)
-	logfSet   bool
+	mu sync.RWMutex
+	// log receives persistence and resource warnings (WAL truncation,
+	// oracle-snapshot budget overruns); set via SetLogger, defaulting to
+	// the process logger (obs.Default). Serve wires it to the server's
+	// logger when still unset. Every logf call site already holds mu, so
+	// SetLogger taking the write lock keeps late wiring race-free.
+	log       *obs.Logger
+	logSet    bool
 	index     *lsh.Index
 	positions []mathx.Vec3
 	oracle    *core.Oracle
@@ -119,34 +120,44 @@ type Database struct {
 	snapKick chan struct{}
 	quit     chan struct{}
 	snapDone chan struct{}
+
+	// Observability (nil until EnableObs; see obs.go). Installed once,
+	// never swapped, read under mu (either side).
+	met        *dbMetrics
+	recoverDur time.Duration
 }
 
-// SetLogf routes the database's persistence and resource warnings through
-// f (nil silences them). Defaults to log.Printf when never called.
-func (db *Database) SetLogf(f func(format string, args ...any)) {
+// SetLogger routes the database's persistence and resource warnings
+// through l (nil silences them). Defaults to the process logger
+// (obs.Default) when never called.
+func (db *Database) SetLogger(l *obs.Logger) {
+	if l == nil {
+		l = obs.Discard
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.userLogf = f
-	db.logfSet = true
+	db.log = l
+	db.logSet = true
 }
 
-// setLogfDefault wires f only when SetLogf has never been called.
-func (db *Database) setLogfDefault(f func(format string, args ...any)) {
+// setLoggerDefault wires l only when SetLogger has never been called.
+func (db *Database) setLoggerDefault(l *obs.Logger) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if !db.logfSet {
-		db.userLogf = f
-		db.logfSet = true
+	if !db.logSet {
+		db.log = l
+		db.logSet = true
 	}
 }
 
 // logf logs one warning. Callers must hold db.mu (either side).
 func (db *Database) logf(format string, args ...any) {
-	switch {
-	case db.userLogf != nil:
-		db.userLogf(format, args...)
-	case !db.logfSet:
-		log.Printf(format, args...)
+	if db.log != nil {
+		db.log.Warnf(format, args...)
+		return
+	}
+	if !db.logSet {
+		obs.Default().Warnf(format, args...)
 	}
 }
 
@@ -197,13 +208,27 @@ type Mapping struct {
 // after the lock is released, so concurrent ingests batch into shared
 // group commits instead of serializing on the disk.
 func (db *Database) Ingest(ms []Mapping) error {
+	start := time.Now()
+	m, err := db.ingest(ms)
+	m.ingests.Inc()
+	m.ingestNs.ObserveSince(start)
+	if err != nil {
+		m.ingestErrors.Inc()
+	}
+	return err
+}
+
+// ingest is the body of Ingest. It returns the instrument set it resolved
+// under the lock so the wrapper can book the outcome after unlocking.
+func (db *Database) ingest(ms []Mapping) (*dbMetrics, error) {
 	db.mu.Lock()
+	m := db.metrics()
 	// Reject dimension mismatches before the WAL reservation: applyLocked
 	// must not be able to fail after the record is logged, or replay would
 	// diverge from the live state.
 	if db.cfg.LSH.Dim != sift.DescriptorSize || db.cfg.Oracle.LSH.Dim != sift.DescriptorSize {
 		db.mu.Unlock()
-		return errRemote{msg: "database descriptor dimension mismatch"}
+		return m, errRemote{msg: "database descriptor dimension mismatch"}
 	}
 	var commit *store.Commit
 	var st *store.Store
@@ -213,15 +238,21 @@ func (db *Database) Ingest(ms []Mapping) error {
 		commit = st.Append(encodeMappings(ms))
 	}
 	err := db.applyLocked(ms)
+	if err == nil {
+		m.mappings.Set(int64(len(db.positions)))
+	}
 	db.mu.Unlock()
 	if err != nil {
-		return err
+		return m, err
 	}
 	if commit == nil {
-		return nil
+		return m, nil
 	}
-	if err := commit.Wait(); err != nil {
-		return err
+	tWait := time.Now()
+	err = commit.Wait()
+	m.trace.ObserveStage(obs.StageWALAppend, time.Since(tWait))
+	if err != nil {
+		return m, err
 	}
 	if st.WALBytes() >= db.cfg.WALCompactBytes {
 		select {
@@ -229,7 +260,7 @@ func (db *Database) Ingest(ms []Mapping) error {
 		default: // a compaction is already queued
 		}
 	}
-	return nil
+	return m, nil
 }
 
 // applyLocked incorporates mappings into the in-memory structures. It is
@@ -369,7 +400,10 @@ func (db *Database) Oracle() *core.Oracle {
 func (db *Database) SelectUnique(kps []sift.Keypoint, n int) ([]sift.Keypoint, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.oracle.SelectUnique(kps, n)
+	start := time.Now()
+	sel, err := db.oracle.SelectUnique(kps, n)
+	db.metrics().trace.ObserveStage(obs.StageOracleScore, time.Since(start))
+	return sel, err
 }
 
 // Uniqueness queries the live oracle for one descriptor's estimated global
@@ -377,7 +411,10 @@ func (db *Database) SelectUnique(kps []sift.Keypoint, n int) ([]sift.Keypoint, e
 func (db *Database) Uniqueness(desc []byte) (uint32, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.oracle.Uniqueness(desc)
+	start := time.Now()
+	u, err := db.oracle.Uniqueness(desc)
+	db.metrics().trace.ObserveStage(obs.StageOracleScore, time.Since(start))
+	return u, err
 }
 
 // DBStats is the server-state report behind the Stats RPC.
@@ -546,10 +583,26 @@ func (db *Database) gatherCandidates(kps []sift.Keypoint) ([]locateCand, error) 
 func (db *Database) Locate(kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	m := db.metrics()
+	tr := m.trace.Begin("locate")
+	res, err := db.locateLocked(kps, intr, tr)
+	m.locateNs.Observe(m.trace.End(tr))
+	m.locates.Inc()
+	if err != nil {
+		m.locateErrors.Inc()
+	}
+	return res, err
+}
+
+// locateLocked is the pipeline body; tr (nil when observability is off)
+// receives the per-stage breakdown. Callers hold db.mu (read side).
+func (db *Database) locateLocked(kps []sift.Keypoint, intr pose.Intrinsics, tr *obs.Trace) (LocateResult, error) {
 	if len(db.positions) == 0 {
 		return LocateResult{}, ErrEmptyDatabase
 	}
+	t0 := time.Now()
 	cands, err := db.gatherCandidates(kps)
+	tr.StageSince(obs.StageLSHQuery, t0)
 	if err != nil {
 		return LocateResult{}, err
 	}
@@ -561,7 +614,9 @@ func (db *Database) Locate(kps []sift.Keypoint, intr pose.Intrinsics) (LocateRes
 	for i, c := range cands {
 		pts[i] = c.p
 	}
+	t0 = time.Now()
 	largest, ok, err := cluster.Largest(pts, db.cfg.Cluster)
+	tr.StageSince(obs.StageCluster, t0)
 	if err != nil {
 		return LocateResult{}, err
 	}
@@ -577,7 +632,9 @@ func (db *Database) Locate(kps []sift.Keypoint, intr pose.Intrinsics) (LocateRes
 	// camera position through the wall plane, which a box clipped to the
 	// venue interior excludes.
 	pad := mathx.Vec3{X: 0.3, Y: 0.3, Z: 0.3}
+	t0 = time.Now()
 	res, err := pose.Localize(corr, intr, db.lo.Sub(pad), db.hi.Add(pad), db.cfg.Pose)
+	tr.StageSince(obs.StagePoseSolve, t0)
 	if err != nil {
 		return LocateResult{}, err
 	}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"time"
+
+	"visualprint/internal/obs"
+	"visualprint/internal/store"
+)
+
+// Observability wiring. The database and server are instrumented
+// unconditionally — every hot path records through internal/obs handles —
+// but pay nothing until EnableObs installs real instruments: a nil
+// *dbMetrics resolves to the shared zero instance below, whose nil
+// instrument pointers make every record call a no-op. Serve enables
+// observability automatically, so any networked server answers the
+// metrics RPC; a Database used directly as a library (wardrive pipeline,
+// micro-benchmarks) stays uninstrumented unless the owner opts in.
+
+// slowRequestThreshold is the tracer's cutoff for the slow-request ring:
+// a locate, ingest or compaction slower than this is captured with its
+// per-stage breakdown. 100 ms is ~7x the simulated-scale Locate median —
+// rare enough to keep the ring meaningful, common enough to catch real
+// stalls (compaction pauses, lock convoys).
+const slowRequestThreshold = 100 * time.Millisecond
+
+// dbMetrics is the database's instrument set.
+type dbMetrics struct {
+	reg   *obs.Registry
+	trace *obs.Tracer
+
+	locateNs     *obs.Histogram
+	ingestNs     *obs.Histogram
+	locates      *obs.Counter
+	locateErrors *obs.Counter
+	ingests      *obs.Counter
+	ingestErrors *obs.Counter
+	mappings     *obs.Gauge
+}
+
+// noDBMetrics is the disabled instrument set: all-nil instruments, every
+// record call a no-op. Shared, immutable.
+var noDBMetrics = &dbMetrics{}
+
+// metrics returns the active instrument set. Callers must hold db.mu
+// (either side); the returned pointer is safe to use after unlocking —
+// EnableObs installs it once and never swaps it.
+func (db *Database) metrics() *dbMetrics {
+	if db.met != nil {
+		return db.met
+	}
+	return noDBMetrics
+}
+
+// EnableObs turns on metrics and tracing for this database, returning its
+// registry. Idempotent: subsequent calls return the same registry. Serve
+// calls it for every networked server; library users opt in explicitly.
+func (db *Database) EnableObs() *obs.Registry {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.met != nil {
+		return db.met.reg
+	}
+	r := obs.NewRegistry()
+	m := &dbMetrics{
+		reg:          r,
+		trace:        obs.NewTracer(r, slowRequestThreshold),
+		locateNs:     r.Histogram("locate_ns"),
+		ingestNs:     r.Histogram("ingest_ns"),
+		locates:      r.Counter("locates"),
+		locateErrors: r.Counter("locate_errors"),
+		ingests:      r.Counter("ingests"),
+		ingestErrors: r.Counter("ingest_errors"),
+		mappings:     r.Gauge("mappings"),
+	}
+	m.mappings.Set(int64(len(db.positions)))
+	if db.recoverDur > 0 {
+		r.Gauge("recovery_ns").Set(int64(db.recoverDur))
+	}
+	db.met = m
+	if db.store != nil {
+		db.store.SetMetrics(storeMetrics(r))
+	}
+	return r
+}
+
+// storeMetrics builds the store's instrument set on r. Split out so Open
+// can wire a store attached after EnableObs and vice versa.
+func storeMetrics(r *obs.Registry) store.Metrics {
+	return store.Metrics{
+		FsyncNs:       r.Histogram("wal_fsync_ns"),
+		BatchRecords:  r.Histogram("wal_batch_records"),
+		SnapshotNs:    r.Histogram("snapshot_write_ns"),
+		SnapshotBytes: r.Gauge("snapshot_bytes"),
+		Snapshots:     r.Counter("snapshots_written"),
+		WALBytes:      r.Gauge("wal_bytes"),
+	}
+}
+
+// srvMetrics is the wire-level instrument set: per-message-type request
+// counts and latencies, payload bytes in each direction, the in-flight
+// handler gauge, and error counts by wire code.
+type srvMetrics struct {
+	inflight *obs.Gauge
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+
+	// Indexed by request message type (< len); unknown or out-of-range
+	// types fall through to reqUnknown with no latency histogram.
+	reqCount   [16]*obs.Counter
+	reqNs      [16]*obs.Histogram
+	reqUnknown *obs.Counter
+
+	// Indexed by wire error code; codes past the known range count as
+	// generic.
+	errCodes [4]*obs.Counter
+}
+
+// requestTypeNames maps request message types to metric name suffixes.
+// Response types never reach dispatch, so they are absent.
+var requestTypeNames = map[byte]string{
+	msgGetOracle:  "get_oracle",
+	msgIngest:     "ingest",
+	msgQuery:      "query",
+	msgStats:      "stats",
+	msgGetDiff:    "get_diff",
+	msgStatsFull:  "stats_full",
+	msgGetMetrics: "metrics",
+}
+
+// errCodeNames maps wire error codes to metric name suffixes.
+var errCodeNames = [4]string{"generic", "empty_database", "too_few_matches", "no_consensus"}
+
+func newSrvMetrics(r *obs.Registry) *srvMetrics {
+	m := &srvMetrics{
+		inflight: r.Gauge("inflight"),
+		bytesIn:  r.Counter("bytes_in"),
+		bytesOut: r.Counter("bytes_out"),
+
+		reqUnknown: r.Counter("requests_unknown"),
+	}
+	for typ, name := range requestTypeNames {
+		m.reqCount[typ] = r.Counter("requests_" + name)
+		m.reqNs[typ] = r.Histogram("request_" + name + "_ns")
+	}
+	for code, name := range errCodeNames {
+		m.errCodes[code] = r.Counter("errors_" + name)
+	}
+	return m
+}
+
+// record books one completed request: counts, latency, response bytes and
+// — for msgError responses — the wire error code (payload byte 0, the
+// same byte decodeErrorPayload reads on the client).
+func (m *srvMetrics) record(typ byte, start time.Time, rt byte, resp []byte) {
+	if int(typ) < len(m.reqCount) && m.reqCount[typ] != nil {
+		m.reqCount[typ].Inc()
+		m.reqNs[typ].ObserveSince(start)
+	} else {
+		m.reqUnknown.Inc()
+	}
+	m.bytesOut.Add(uint64(len(resp)))
+	if rt == msgError {
+		code := byte(0)
+		if len(resp) > 0 {
+			code = resp[0]
+		}
+		if int(code) >= len(m.errCodes) {
+			code = errCodeGeneric
+		}
+		m.errCodes[code].Inc()
+	}
+}

@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"io"
 
+	"time"
+
 	"visualprint/internal/core"
 	"visualprint/internal/lsh"
 	"visualprint/internal/mathx"
+	"visualprint/internal/obs"
 	"visualprint/internal/store"
 )
 
@@ -45,10 +48,11 @@ func (db *Database) Open(dir string) error {
 	if len(db.positions) != 0 {
 		return errors.New("server: Open requires an empty database")
 	}
-	st, err := store.Open(dir, store.Options{Logf: db.logf})
+	st, err := store.Open(dir, store.Options{Log: obs.FuncLogger(db.logf)})
 	if err != nil {
 		return err
 	}
+	recoverStart := time.Now()
 	err = st.Recover(
 		func(r io.Reader) error { return db.loadStateLocked(r) },
 		func(payload []byte) error {
@@ -63,10 +67,18 @@ func (db *Database) Open(dir string) error {
 		st.Close()
 		return err
 	}
+	db.recoverDur = time.Since(recoverStart)
 	db.store = st
 	db.snapKick = make(chan struct{}, 1)
 	db.quit = make(chan struct{})
 	db.snapDone = make(chan struct{})
+	if db.met != nil {
+		// Observability was enabled before the directory was attached:
+		// wire the store's instruments and publish the recovery cost now.
+		st.SetMetrics(storeMetrics(db.met.reg))
+		db.met.reg.Gauge("recovery_ns").Set(int64(db.recoverDur))
+		db.met.mappings.Set(int64(len(db.positions)))
+	}
 	go db.snapshotter()
 	return nil
 }
@@ -109,7 +121,21 @@ func (db *Database) Compact() error {
 	// Holding the read lock excludes Ingest (whose WAL reservation needs
 	// the write lock) for the duration, so the serialized state is exactly
 	// the state at the log head. Locates proceed concurrently.
-	return db.store.Snapshot(func(w io.Writer) error { return db.writeStateLocked(w) })
+	return db.snapshotLockedR(db.store)
+}
+
+// snapshotLockedR folds the state into a durable snapshot with tracing: a
+// compaction slower than the tracer's threshold lands in the slow-request
+// ring with its duration attributed to the snapshot stage. Callers hold
+// db.mu (read side).
+func (db *Database) snapshotLockedR(st *store.Store) error {
+	m := db.metrics()
+	tr := m.trace.Begin("compact")
+	t0 := time.Now()
+	err := st.Snapshot(func(w io.Writer) error { return db.writeStateLocked(w) })
+	tr.StageSince(obs.StageSnapshot, t0)
+	m.trace.End(tr)
+	return err
 }
 
 // snapshotter runs WAL compactions in the background, one at a time, when
@@ -125,7 +151,7 @@ func (db *Database) snapshotter() {
 			st := db.store
 			var err error
 			if st != nil {
-				err = st.Snapshot(func(w io.Writer) error { return db.writeStateLocked(w) })
+				err = db.snapshotLockedR(st)
 			}
 			if err != nil {
 				db.logf("server: background wal compaction: %v", err)

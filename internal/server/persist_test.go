@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"visualprint/internal/obs"
 	"visualprint/internal/pose"
 	"visualprint/internal/scene"
 	"visualprint/internal/sift"
@@ -35,7 +36,7 @@ func newTestDB(t testing.TB, cfg DatabaseConfig) *Database {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db.SetLogf(t.Logf)
+	db.SetLogger(obs.FuncLogger(t.Logf))
 	return db
 }
 
@@ -107,6 +108,9 @@ func TestKillAndRestartRecoversIdenticalMap(t *testing.T) {
 	}
 	// NO Close, NO Compact: every acknowledged ingest must already be on
 	// disk. db1 is abandoned exactly as a killed process would leave it.
+	// (Its background goroutines are reaped after the test — Close at
+	// cleanup time adds nothing to disk, every Ingest already returned.)
+	t.Cleanup(func() { db1.Close() })
 
 	db2 := newTestDB(t, persistTestConfig())
 	if err := db2.Open(dir); err != nil {
@@ -158,6 +162,7 @@ func TestRecoveryFromSnapshotPlusTail(t *testing.T) {
 	if err := db1.Open(dir); err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { db1.Close() }) // abandoned mid-test as a crash; reaped after
 	if err := db1.Ingest(ms[:half]); err != nil {
 		t.Fatal(err)
 	}
@@ -225,11 +230,11 @@ func TestCorruptWALTailTruncatedNotFatal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db2.SetLogf(func(format string, args ...any) {
+	db2.SetLogger(obs.FuncLogger(func(format string, args ...any) {
 		mu.Lock()
 		warnings = append(warnings, fmt.Sprintf(format, args...))
 		mu.Unlock()
-	})
+	}))
 	if err := db2.Open(dir); err != nil {
 		t.Fatalf("recovery after tail corruption: %v", err)
 	}
@@ -335,7 +340,7 @@ func TestStatsRPCExtendedFields(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := Serve(ln, db)
-	s.Logf = nil
+	s.Log = nil
 	defer s.Close()
 	c, err := Dial(s.Addr().String())
 	if err != nil {
@@ -388,11 +393,11 @@ func TestOracleSnapshotBudgetWarning(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var warnings []string
-	db.SetLogf(func(format string, args ...any) {
+	db.SetLogger(obs.FuncLogger(func(format string, args ...any) {
 		mu.Lock()
 		warnings = append(warnings, fmt.Sprintf(format, args...))
 		mu.Unlock()
-	})
+	}))
 
 	if err := db.Ingest([]Mapping{{}}); err != nil {
 		t.Fatal(err)

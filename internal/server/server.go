@@ -2,13 +2,16 @@ package server
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"runtime"
 	"sync"
+	"time"
+
+	"visualprint/internal/obs"
 )
 
 // Server accepts VisualPrint protocol connections and serves a Database.
@@ -32,8 +35,15 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
-	// Logf receives connection-level errors; defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// Log receives connection-level errors; Serve defaults it to the
+	// process logger (obs.Default); nil silences.
+	Log *obs.Logger
+
+	// Observability, wired by Serve (nil on a bare Server, e.g. direct
+	// ServeConn construction in tests — instrumentation then no-ops and
+	// the metrics RPC reports it disabled).
+	reg *obs.Registry
+	met *srvMetrics
 }
 
 // DefaultMaxInFlight returns the default bound on concurrently executing
@@ -45,17 +55,26 @@ func DefaultMaxInFlight() int { return 4 * runtime.GOMAXPROCS(0) }
 // stops the accept loop and all connections.
 func Serve(ln net.Listener, db *Database) *Server {
 	s := &Server{
-		db: db, ln: ln, conns: make(map[net.Conn]struct{}), Logf: log.Printf,
+		db: db, ln: ln, conns: make(map[net.Conn]struct{}), Log: obs.Default(),
 		sem: make(chan struct{}, DefaultMaxInFlight()),
 	}
 	// Route the database's own warnings (persistence, resource budgets)
 	// through the server's logger so one knob silences or redirects both —
-	// unless the owner already chose a logger.
-	db.setLogfDefault(s.logf)
+	// unless the owner already chose a logger. The indirection through
+	// s.logf keeps a later `s.Log = nil` effective for both.
+	db.setLoggerDefault(obs.FuncLogger(s.logf))
+	// A networked server is always observable: requests are counted and
+	// traced, and the metrics RPC answers from this registry.
+	s.reg = db.EnableObs()
+	s.met = newSrvMetrics(s.reg)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
 }
+
+// Registry returns the server's metrics registry (nil when the server was
+// not built by Serve). The debug HTTP listener mounts it.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ListenAndServe listens on addr (TCP) and serves db.
 func ListenAndServe(addr string, db *Database) (*Server, error) {
@@ -113,9 +132,7 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) logf(format string, args ...any) {
-	if s.Logf != nil {
-		s.Logf(format, args...)
-	}
+	s.Log.Warnf(format, args...)
 }
 
 func (s *Server) acquire() {
@@ -228,8 +245,26 @@ func (s *Server) serveV2(conn net.Conn) {
 
 // handle executes one request and returns the response frame type and
 // payload. Framing and request IDs belong to the caller; handle never
-// fails — request errors become msgError responses.
+// fails — request errors become msgError responses. It wraps dispatch
+// with the wire-level instrumentation: request counts and latency per
+// message type, payload bytes in each direction, the in-flight gauge and
+// error-code counters.
 func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
+	m := s.met
+	if m == nil {
+		return s.dispatch(typ, payload)
+	}
+	m.inflight.Add(1)
+	m.bytesIn.Add(uint64(len(payload)))
+	start := time.Now()
+	rt, resp := s.dispatch(typ, payload)
+	m.record(typ, start, rt, resp)
+	m.inflight.Add(-1)
+	return rt, resp
+}
+
+// dispatch routes one request to the database.
+func (s *Server) dispatch(typ byte, payload []byte) (byte, []byte) {
 	switch typ {
 	case msgGetOracle:
 		blob, err := s.db.OracleBlob()
@@ -288,6 +323,15 @@ func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
 		return msgStatsResult, ack
 	case msgStatsFull:
 		return msgStatsResult, encodeDBStats(s.db.Stats())
+	case msgGetMetrics:
+		if s.reg == nil {
+			return errorResponse(errors.New("metrics not enabled on this server"))
+		}
+		blob, err := json.Marshal(s.reg.Report())
+		if err != nil {
+			return errorResponse(err)
+		}
+		return msgMetricsResult, blob
 	default:
 		return errorResponse(fmt.Errorf("unknown message type %d", typ))
 	}

@@ -64,7 +64,7 @@ func startServer(t testing.TB) (*Server, *Database) {
 		t.Fatal(err)
 	}
 	s := Serve(ln, db)
-	s.Logf = nil
+	s.Log = nil
 	t.Cleanup(func() { s.Close() })
 	return s, db
 }

@@ -19,18 +19,20 @@ import (
 // carry many in-flight requests; responses carry the ID of the request they
 // answer.
 const (
-	msgGetOracle   byte = 1 // -> gzip oracle blob
-	msgIngest      byte = 2 // mappings -> uint32 total count
-	msgQuery       byte = 3 // intrinsics + keypoints -> locate result
-	msgStats       byte = 4 // -> uint64 mapping count
-	msgOracleBlob  byte = 5
-	msgIngestAck   byte = 6
-	msgQueryResult byte = 7
-	msgStatsResult byte = 8
-	msgGetDiff     byte = 9  // client's oracle version -> diff or full blob
-	msgDiffBlob    byte = 10 // incremental oracle update
-	msgStatsFull   byte = 11 // -> extended DBStats payload
-	msgError       byte = 0x7f
+	msgGetOracle     byte = 1 // -> gzip oracle blob
+	msgIngest        byte = 2 // mappings -> uint32 total count
+	msgQuery         byte = 3 // intrinsics + keypoints -> locate result
+	msgStats         byte = 4 // -> uint64 mapping count
+	msgOracleBlob    byte = 5
+	msgIngestAck     byte = 6
+	msgQueryResult   byte = 7
+	msgStatsResult   byte = 8
+	msgGetDiff       byte = 9  // client's oracle version -> diff or full blob
+	msgDiffBlob      byte = 10 // incremental oracle update
+	msgStatsFull     byte = 11 // -> extended DBStats payload
+	msgGetMetrics    byte = 12 // -> JSON obs.Report (metrics, quantiles, slow log)
+	msgMetricsResult byte = 13
+	msgError         byte = 0x7f
 )
 
 // maxFrameSize bounds a single protocol frame (oracle blobs dominate).

@@ -36,22 +36,48 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
+
+	"visualprint/internal/obs"
 )
 
 // Options configures a Store.
 type Options struct {
-	// Logf receives recovery warnings (torn-tail truncation, discarded
-	// temp files, invalid snapshots). Defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// Log receives recovery warnings (torn-tail truncation, discarded
+	// temp files, invalid snapshots). Defaults to the process logger
+	// (obs.Default); pass obs.Discard to silence.
+	Log *obs.Logger
 	// NoSync skips every fsync. Only for benchmarks and tests that model a
 	// lossy disk; a NoSync store offers no durability past the OS cache.
 	NoSync bool
+	// Metrics wires the store's instruments (WAL fsync latency,
+	// group-commit batch size, snapshot duration and size). The zero
+	// value records nothing; individual instruments may be nil.
+	Metrics Metrics
+}
+
+// Metrics is the store's instrument set. Every field is optional: nil
+// instruments are no-ops (see internal/obs), so the store can be run
+// fully, partially or not at all instrumented.
+type Metrics struct {
+	// FsyncNs observes the latency of each group-commit write+fsync.
+	FsyncNs *obs.Histogram
+	// BatchRecords observes how many records shared each group commit —
+	// the batching win over one-fsync-per-record.
+	BatchRecords *obs.Histogram
+	// SnapshotNs observes the duration of each snapshot write (payload
+	// serialization through WAL rotation).
+	SnapshotNs *obs.Histogram
+	// SnapshotBytes holds the size of the newest snapshot file.
+	SnapshotBytes *obs.Gauge
+	// Snapshots counts snapshots written.
+	Snapshots *obs.Counter
+	// WALBytes tracks the active WAL segment size.
+	WALBytes *obs.Gauge
 }
 
 // Store is a WAL + snapshot persistence engine rooted at one directory.
@@ -60,7 +86,7 @@ type Options struct {
 // concurrent Appends (the server holds its database lock for both).
 type Store struct {
 	dir    string
-	logf   func(format string, args ...any)
+	log    *obs.Logger
 	noSync bool
 
 	wal     *wal
@@ -73,6 +99,7 @@ type Store struct {
 	snapMu sync.Mutex
 
 	mu             sync.Mutex
+	met            Metrics
 	snapSeq        uint64 // records covered by the newest snapshot
 	haveSnap       bool
 	lastCompaction time.Time
@@ -87,9 +114,9 @@ type Store struct {
 // discarding leftovers of a crashed snapshot. Recover must be called before
 // Append.
 func Open(dir string, opt Options) (*Store, error) {
-	logf := opt.Logf
-	if logf == nil {
-		logf = log.Printf
+	lg := opt.Log
+	if lg == nil {
+		lg = obs.Default()
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -98,13 +125,13 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, logf: logf, noSync: opt.NoSync}
+	s := &Store{dir: dir, log: lg, noSync: opt.NoSync}
 	for _, e := range entries {
 		name := e.Name()
 		switch {
 		case filepath.Ext(name) == ".tmp":
 			// A snapshot that was being written when the process died.
-			logf("store: removing incomplete temp file %s", name)
+			lg.Warnf("store: removing incomplete temp file %s", name)
 			if err := os.Remove(filepath.Join(dir, name)); err != nil {
 				return nil, err
 			}
@@ -118,8 +145,26 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 	sort.Slice(s.recoverSnaps, func(i, j int) bool { return s.recoverSnaps[i] > s.recoverSnaps[j] })
 	sort.Slice(s.recoverSegs, func(i, j int) bool { return s.recoverSegs[i] < s.recoverSegs[j] })
-	s.wal = newWAL(dir, opt.NoSync, logf)
+	s.wal = newWAL(dir, opt.NoSync, lg)
+	s.SetMetrics(opt.Metrics)
 	return s, nil
+}
+
+// SetMetrics swaps the store's instrument set. It may be called at any
+// time — the owner typically opens the store first and enables
+// observability later — and is safe against concurrent Appends.
+func (s *Store) SetMetrics(m Metrics) {
+	s.mu.Lock()
+	s.met = m
+	s.mu.Unlock()
+	s.wal.setMetrics(m.FsyncNs, m.BatchRecords, m.WALBytes)
+}
+
+// metrics returns the current instrument set.
+func (s *Store) metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.met
 }
 
 // Recover rebuilds the owner's state: load receives the payload of the
@@ -138,7 +183,7 @@ func (s *Store) Recover(load func(r io.Reader) error, replay func(payload []byte
 	for _, seq := range s.recoverSnaps {
 		path := filepath.Join(s.dir, snapshotName(seq))
 		if err := validateSnapshot(path, seq); err != nil {
-			s.logf("store: ignoring invalid snapshot %s: %v", snapshotName(seq), err)
+			s.log.Warnf("store: ignoring invalid snapshot %s: %v", snapshotName(seq), err)
 			continue
 		}
 		if err := loadSnapshot(path, load); err != nil {
@@ -166,7 +211,7 @@ func (s *Store) Recover(load func(r io.Reader) error, replay func(payload []byte
 		if i > 0 && firstSeq != nextSeq {
 			return fmt.Errorf("store: wal segment gap: %s follows record %d", segmentName(firstSeq), nextSeq)
 		}
-		segNext, err := replaySegment(path, firstSeq, isLast, base, s.noSync, replay, s.logf)
+		segNext, err := replaySegment(path, firstSeq, isLast, base, s.noSync, replay, s.log)
 		if err != nil {
 			return err
 		}
@@ -240,11 +285,19 @@ func (s *Store) Snapshot(write func(w io.Writer) error) error {
 	if already {
 		return nil // nothing logged since the last snapshot
 	}
-	if _, err := writeSnapshot(s.dir, seq, write, s.noSync); err != nil {
+	met := s.metrics()
+	start := time.Now()
+	path, err := writeSnapshot(s.dir, seq, write, s.noSync)
+	if err != nil {
 		return err
 	}
 	if err := s.wal.rotate(); err != nil {
 		return err
+	}
+	met.SnapshotNs.ObserveSince(start)
+	met.Snapshots.Inc()
+	if info, err := os.Stat(path); err == nil {
+		met.SnapshotBytes.Set(info.Size())
 	}
 	s.mu.Lock()
 	s.snapSeq = seq
@@ -261,7 +314,7 @@ func (s *Store) Snapshot(write func(w io.Writer) error) error {
 func (s *Store) removeObsolete(seq uint64) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		s.logf("store: compaction cleanup: %v", err)
+		s.log.Warnf("store: compaction cleanup: %v", err)
 		return
 	}
 	for _, e := range entries {
@@ -276,7 +329,7 @@ func (s *Store) removeObsolete(seq uint64) {
 		}
 		if stale {
 			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
-				s.logf("store: compaction cleanup %s: %v", name, err)
+				s.log.Warnf("store: compaction cleanup %s: %v", name, err)
 			}
 		}
 	}

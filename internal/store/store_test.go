@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"visualprint/internal/obs"
 )
 
 // logCapture collects warnings so tests can assert on recovery behavior.
@@ -39,7 +41,7 @@ func (l *logCapture) contains(sub string) bool {
 // also returning any snapshot payload seen.
 func openAndRecover(t *testing.T, dir string, logf func(string, ...any)) (*Store, []byte, [][]byte) {
 	t.Helper()
-	s, err := Open(dir, Options{Logf: logf})
+	s, err := Open(dir, Options{Log: obs.FuncLogger(logf)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +318,7 @@ func TestCorruptSnapshotWithRotatedWALIsUnrecoverable(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s2, err := Open(dir, Options{Logf: lc.logf})
+	s2, err := Open(dir, Options{Log: obs.FuncLogger(lc.logf)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,7 +443,7 @@ func TestGroupCommitSharesFsyncs(t *testing.T) {
 }
 
 func TestAppendBeforeRecoverFails(t *testing.T) {
-	s, err := Open(t.TempDir(), Options{Logf: func(string, ...any) {}})
+	s, err := Open(t.TempDir(), Options{Log: obs.Discard})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"visualprint/internal/obs"
 )
 
 // WAL file layout. A segment file is named wal-<firstSeq:016x>.log and
@@ -65,7 +67,13 @@ func failedCommit(err error) *Commit {
 type wal struct {
 	dir    string
 	noSync bool
-	logf   func(format string, args ...any)
+	log    *obs.Logger
+
+	// Instruments, set via setMetrics under mu and snapshotted by the
+	// committer at the top of each batch; nil instruments are no-ops.
+	fsyncNs      *obs.Histogram
+	batchRecords *obs.Histogram
+	walBytes     *obs.Gauge
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast on batch completion and close
@@ -87,10 +95,18 @@ type wal struct {
 	testSyncDelay time.Duration
 }
 
-func newWAL(dir string, noSync bool, logf func(string, ...any)) *wal {
-	w := &wal{dir: dir, noSync: noSync, logf: logf, done: make(chan struct{})}
+func newWAL(dir string, noSync bool, lg *obs.Logger) *wal {
+	w := &wal{dir: dir, noSync: noSync, log: lg, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	return w
+}
+
+// setMetrics installs (or clears) the wal's instruments.
+func (w *wal) setMetrics(fsyncNs, batchRecords *obs.Histogram, walBytes *obs.Gauge) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fsyncNs, w.batchRecords, w.walBytes = fsyncNs, batchRecords, walBytes
+	w.walBytes.Set(w.size)
 }
 
 func segmentName(firstSeq uint64) string {
@@ -178,6 +194,7 @@ func (w *wal) append(payload []byte) *Commit {
 	w.pending = append(w.pending, rec)
 	w.nextSeq++
 	w.size += int64(len(rec))
+	w.walBytes.Set(w.size)
 	w.cond.Broadcast() // wake the committer
 	return &Commit{b: w.cur}
 }
@@ -202,6 +219,7 @@ func (w *wal) run() {
 		w.busy = true
 		delay := w.testSyncDelay
 		stickyErr := w.err
+		fsyncH, batchH := w.fsyncNs, w.batchRecords
 		w.mu.Unlock()
 
 		err := stickyErr
@@ -219,10 +237,13 @@ func (w *wal) run() {
 					buf = append(buf, r...)
 				}
 			}
+			commitStart := time.Now()
 			_, err = f.Write(buf)
 			if err == nil && !w.noSync {
 				err = f.Sync()
 			}
+			fsyncH.ObserveSince(commitStart)
+			batchH.Observe(int64(len(recs)))
 			if delay > 0 {
 				time.Sleep(delay)
 			}
@@ -275,6 +296,7 @@ func (w *wal) rotate() error {
 	w.f, w.path = f, path
 	w.firstSeq = w.nextSeq
 	w.size = walHeaderSize
+	w.walBytes.Set(w.size)
 	return nil
 }
 
@@ -324,7 +346,7 @@ func (w *wal) syncCount() int64 {
 // would silently drop records that later segments build on).
 //
 // It returns the sequence after the last intact record.
-func replaySegment(path string, firstSeq uint64, isLast bool, base uint64, noSync bool, replay func(payload []byte) error, logf func(string, ...any)) (nextSeq uint64, err error) {
+func replaySegment(path string, firstSeq uint64, isLast bool, base uint64, noSync bool, replay func(payload []byte) error, lg *obs.Logger) (nextSeq uint64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -355,7 +377,7 @@ func replaySegment(path string, firstSeq uint64, isLast bool, base uint64, noSyn
 		if !isLast {
 			return fmt.Errorf("store: wal segment %s corrupt at offset %d (%s) with later segments present", filepath.Base(path), offset, reason)
 		}
-		logf("store: truncating wal %s at offset %d (%s): dropping %d trailing bytes",
+		lg.Warnf("store: truncating wal %s at offset %d (%s): dropping %d trailing bytes",
 			filepath.Base(path), offset, reason, fileSize-offset)
 		f.Close()
 		if err := os.Truncate(path, offset); err != nil {

@@ -3,7 +3,10 @@ package visualprint
 import (
 	"context"
 	"net"
+	"net/http"
+	"os"
 
+	"visualprint/internal/obs"
 	"visualprint/internal/server"
 	"visualprint/internal/sift"
 )
@@ -18,8 +21,9 @@ func DefaultServerConfig() ServerConfig { return server.DefaultDatabaseConfig() 
 // table, the uniqueness oracle, and the localization pipeline, served over
 // a length-prefixed binary TCP protocol.
 type Server struct {
-	db  *server.Database
-	srv *server.Server
+	db    *server.Database
+	srv   *server.Server
+	debug *http.Server
 }
 
 // NewServer creates a cloud service with an empty database.
@@ -56,12 +60,37 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return srv.Addr(), nil
 }
 
-// Close stops the network listener (if any) and, for a durable server,
-// flushes and closes the data directory.
+// ServeDebug starts an HTTP debug listener on addr serving the metrics
+// report as JSON at /debug/metrics and the standard pprof handlers under
+// /debug/pprof/. It returns the bound address; Close stops the listener.
+// Enables observability on the database if nothing has yet.
+func (s *Server) ServeDebug(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.debug = &http.Server{Handler: obs.DebugMux(s.db.EnableObs())}
+	go s.debug.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Metrics returns the server's observability report directly (in-process).
+// Enables observability on the database if nothing has yet.
+func (s *Server) Metrics() MetricsReport {
+	return s.db.EnableObs().Report()
+}
+
+// Close stops the network listener (if any), the debug listener (if any)
+// and, for a durable server, flushes and closes the data directory.
 func (s *Server) Close() error {
 	var err error
 	if s.srv != nil {
 		err = s.srv.Close()
+	}
+	if s.debug != nil {
+		if dErr := s.debug.Close(); err == nil {
+			err = dErr
+		}
 	}
 	if dbErr := s.db.Close(); err == nil {
 		err = dbErr
@@ -105,6 +134,34 @@ var (
 // IsRemoteError reports whether err was diagnosed by the server (as opposed
 // to a transport failure).
 func IsRemoteError(err error) bool { return server.IsRemote(err) }
+
+// MetricsReport is the server's observability report: uptime, counters,
+// gauges, latency histograms with quantile summaries, and the slow-request
+// log with per-stage breakdowns. Client.Metrics returns it over the wire;
+// Server.Metrics and the debug HTTP endpoint produce the same report.
+type MetricsReport = obs.Report
+
+// Observability error sentinels, re-exported for errors.Is.
+var (
+	// ErrMetricsUnsupported: the dialed server predates the metrics RPC
+	// or runs with observability disabled.
+	ErrMetricsUnsupported = server.ErrMetricsUnsupported
+	// ErrConnectionLost: the transport died with requests in flight.
+	ErrConnectionLost = server.ErrConnectionLost
+)
+
+// SetLogLevel replaces the process-wide default logger (used by servers,
+// databases and stores whose owner never installed one) with one writing
+// level-tagged lines to stderr at the given minimum level: "debug",
+// "info", "warn" or "error".
+func SetLogLevel(level string) error {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	obs.SetDefault(obs.New(os.Stderr, lv))
+	return nil
+}
 
 // QueryUploadBytes returns the wire size of a localization query carrying n
 // keypoints — 200 keypoints cost ~29 KB, in line with the paper's "short
