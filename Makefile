@@ -1,6 +1,6 @@
 # VisualPrint build/verify targets.
 
-.PHONY: build test verify bench bench-short bench-check clean
+.PHONY: build test verify chaos bench bench-short bench-check clean
 
 build:
 	go build ./...
@@ -9,9 +9,19 @@ build:
 test:
 	go build ./... && go test ./...
 
-# Full gate: vet + build + the whole suite under the race detector.
+# Full gate: vet + build + the whole suite under the race detector,
+# including the chaos/fault-injection lifecycle tests.
 verify:
 	sh scripts/verify.sh
+
+# The request-lifecycle chaos suite alone, full-length, under -race:
+# fault-injection proxy (latency, partitions, blackhole, refused dials)
+# against live clients with deadlines, retries and reconnects. `go test
+# -short` runs an abbreviated round as part of the normal suite.
+chaos:
+	go test -race -count=1 -v -run \
+		'TestChaos|TestShutdown|TestShedUnderBurst|TestCancelFreesServerSlot|TestDeadlineEnforcedServerSide|TestProxy' \
+		./internal/server/ ./internal/netsim/
 
 # Full measurement run: Go benchmarks once through, then the standard
 # Locate workload with the machine-readable result in BENCH_locate.json

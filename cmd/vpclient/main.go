@@ -30,6 +30,8 @@ func main() {
 	selectN := flag.Int("select", 200, "most-unique keypoints to upload per query")
 	stats := flag.Bool("stats", false, "print server state (size, persistence) and exit")
 	metrics := flag.Bool("metrics", false, "print server observability report (counters, latency quantiles, slow log) and exit")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (propagated to the server)")
+	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "TCP connect timeout")
 	flag.Parse()
 
 	var world *visualprint.World
@@ -46,22 +48,31 @@ func main() {
 		log.Fatalf("unknown venue %q", *venue)
 	}
 
-	client, err := visualprint.Connect(*serverAddr)
+	// Retries cover transient overload and lost connections; the per-call
+	// contexts below bound each request end to end, server included.
+	client, err := visualprint.Connect(*serverAddr,
+		visualprint.WithDialTimeout(*dialTimeout),
+		visualprint.WithRetryPolicy(visualprint.DefaultRetryPolicy()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	reqCtx := func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(context.Background(), *timeout)
+	}
 
 	if *stats {
-		printStats(client)
+		printStats(client, reqCtx)
 		return
 	}
 	if *metrics {
-		printMetrics(client)
+		printMetrics(client, reqCtx)
 		return
 	}
 
-	oracle, blobSize, err := client.FetchOracle(context.Background())
+	ctx, cancel := reqCtx()
+	oracle, blobSize, err := client.FetchOracle(ctx)
+	cancel()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +94,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := client.Query(context.Background(), sel, visualprint.IntrinsicsOf(cam))
+		qctx, qcancel := reqCtx()
+		res, err := client.Query(qctx, sel, visualprint.IntrinsicsOf(cam))
+		qcancel()
 		if err != nil {
 			log.Printf("query %d: %v", q, err)
 			continue
@@ -99,8 +112,10 @@ func main() {
 // printMetrics fetches and prints the server's observability report:
 // counters and gauges sorted by name, latency histograms as quantiles,
 // and the slow-request log with per-stage breakdowns.
-func printMetrics(client *visualprint.Client) {
-	rep, err := client.Metrics(context.Background())
+func printMetrics(client *visualprint.Client, reqCtx func() (context.Context, context.CancelFunc)) {
+	ctx, cancel := reqCtx()
+	defer cancel()
+	rep, err := client.Metrics(ctx)
 	if err != nil {
 		if errors.Is(err, visualprint.ErrMetricsUnsupported) {
 			log.Fatalf("server does not support the metrics RPC (old binary, or observability disabled): %v", err)
@@ -161,8 +176,10 @@ func ns(v int64) string {
 }
 
 // printStats fetches and prints the server's full state report.
-func printStats(client *visualprint.Client) {
-	s, err := client.StatsFull(context.Background())
+func printStats(client *visualprint.Client, reqCtx func() (context.Context, context.CancelFunc)) {
+	ctx, cancel := reqCtx()
+	defer cancel()
+	s, err := client.StatsFull(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"visualprint"
 )
@@ -24,12 +26,23 @@ func main() {
 	data := flag.String("data", "", "data directory for durable storage (empty: in-memory)")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listen address serving /debug/metrics and /debug/pprof/ (empty: disabled)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	maxInFlight := flag.Int("max-in-flight", 0, "max concurrently executing requests (0: default, 4x GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", -1, "max requests queued for a slot before shedding with overloaded (-1: default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before canceling them")
 	flag.Parse()
 
 	if err := visualprint.SetLogLevel(*logLevel); err != nil {
 		log.Fatal(err)
 	}
-	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig())
+	var opts []visualprint.ServerOption
+	if *maxInFlight > 0 {
+		opts = append(opts, visualprint.WithMaxInFlight(*maxInFlight))
+	}
+	if *queueDepth >= 0 {
+		opts = append(opts, visualprint.WithQueueDepth(*queueDepth))
+	}
+	opts = append(opts, visualprint.WithDrainTimeout(*drainTimeout))
+	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig(), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,14 +68,25 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down (%d mappings served)", srv.Database().Len())
+	log.Printf("draining (%d mappings served); second signal forces exit", srv.Database().Len())
+	// A second signal skips the drain: cut everything off immediately.
+	go func() {
+		<-sig
+		log.Print("forced shutdown")
+		srv.Close() //nolint:errcheck // exiting either way
+		os.Exit(1)
+	}()
 	if *data != "" {
 		// Fold the WAL into a snapshot so the next start recovers fast.
 		if err := srv.Database().Compact(); err != nil {
 			log.Printf("final compaction: %v", err)
 		}
 	}
-	if err := srv.Close(); err != nil {
-		log.Fatal(err)
+	// Graceful drain: stop accepting, refuse new requests with the typed
+	// shutting-down error, let in-flight work finish (bounded by
+	// -drain-timeout), flush the WAL, then exit.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatalf("shutdown: %v", err)
 	}
+	log.Print("drained cleanly")
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -67,7 +68,7 @@ func getVenueRuns(sc Scale) ([]*venueRun, error) {
 			copy(m.Desc[:], o.Keypoint.Desc[:])
 			ms = append(ms, m)
 		}
-		if err := db.Ingest(ms); err != nil {
+		if err := db.Ingest(context.Background(), ms); err != nil {
 			return nil, err
 		}
 		runs = append(runs, &venueRun{world: w, db: db, snaps: snaps})
@@ -119,7 +120,7 @@ func localizationErrors(run *venueRun, sc Scale) (errs []float64, axis [3][]floa
 			return nil, axis, serr
 		}
 		intr := pose.Intrinsics{W: cam.W, H: cam.H, FovX: cam.FovX, FovY: cam.FovY()}
-		res, qerr := run.db.Locate(sel, intr)
+		res, qerr := run.db.Locate(context.Background(), sel, intr)
 		if qerr != nil {
 			continue // no consensus: the paper's failure cases
 		}

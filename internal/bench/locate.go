@@ -245,7 +245,7 @@ func NewLocateWorkload(cfg LocateWorkloadConfig) (*LocateWorkload, error) {
 	if cfg.EnableObs {
 		db.EnableObs()
 	}
-	if err := db.Ingest(ms); err != nil {
+	if err := db.Ingest(context.Background(), ms); err != nil {
 		return nil, err
 	}
 	intr := pose.Intrinsics{W: 200, H: 150, FovX: 1.1, FovY: 0.85}
@@ -272,7 +272,7 @@ func NewLocateWorkload(cfg LocateWorkloadConfig) (*LocateWorkload, error) {
 	// Fail construction, not measurement, if the query cannot localize —
 	// and, at full solver budget, if it does not localize close to the
 	// true camera (the workload must measure a converging solve).
-	res, err := db.Locate(kps, w.Intr)
+	res, err := db.Locate(context.Background(), kps, w.Intr)
 	if err != nil {
 		return nil, fmt.Errorf("bench: locate workload query does not localize: %w", err)
 	}
@@ -287,7 +287,7 @@ func NewLocateWorkload(cfg LocateWorkloadConfig) (*LocateWorkload, error) {
 
 // Run performs one Locate — the benchmark body.
 func (w *LocateWorkload) Run() error {
-	_, err := w.DB.Locate(w.KPs, w.Intr)
+	_, err := w.DB.Locate(context.Background(), w.KPs, w.Intr)
 	return err
 }
 

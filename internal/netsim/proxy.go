@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a fault-injection TCP proxy for tests: it forwards byte streams
+// to a real listener while letting the test inject the network pathologies
+// a mobile AR client actually sees — added latency, a blackholed link
+// (bytes vanish but the connection looks alive), refused connections, and
+// abrupt severing of everything in flight. Where Link and VariableLink
+// model transfer times analytically, Proxy degrades a real TCP stream, so
+// it exercises the client and server's actual failure handling.
+//
+// The proxy operates purely at the transport layer; it understands nothing
+// about the VisualPrint protocol, which keeps the injected chaos
+// independent of the code under test. Create with NewProxy, point clients
+// at Addr, and flip faults on and off at any time: settings apply to
+// traffic already in flight, not just new connections.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu        sync.Mutex
+	latency   time.Duration
+	blackhole bool
+	refuse    bool
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to target (a
+// "host:port" the real server listens on).
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetLatency adds a per-chunk delay in each direction (a request/response
+// round trip pays roughly twice d).
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+}
+
+// SetBlackhole makes the proxy silently discard all traffic in both
+// directions while keeping connections open — the network looks alive but
+// nothing arrives, the failure mode request deadlines exist for.
+func (p *Proxy) SetBlackhole(v bool) {
+	p.mu.Lock()
+	p.blackhole = v
+	p.mu.Unlock()
+}
+
+// SetRefuse makes the proxy accept and immediately close new connections,
+// as a crashed-but-port-bound server would. Existing connections are
+// unaffected.
+func (p *Proxy) SetRefuse(v bool) {
+	p.mu.Lock()
+	p.refuse = v
+	p.mu.Unlock()
+}
+
+// Sever abruptly closes every active connection (both sides), leaving the
+// proxy accepting new ones — a transient network partition.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+}
+
+// Close stops the proxy: the listener and every active connection close,
+// and all pump goroutines are joined.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		refuse := p.refuse || p.closed
+		p.mu.Unlock()
+		if refuse {
+			conn.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			up.Close()
+			continue
+		}
+		p.conns[conn] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pump(conn, up)
+		go p.pump(up, conn)
+	}
+}
+
+// pump copies src to dst chunk by chunk, applying the latency and
+// blackhole settings in force as each chunk passes. Either side failing
+// tears down both.
+func (p *Proxy) pump(src, dst net.Conn) {
+	defer p.wg.Done()
+	defer p.drop(src)
+	defer p.drop(dst)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			lat, bh := p.latency, p.blackhole
+			p.mu.Unlock()
+			if lat > 0 {
+				time.Sleep(lat)
+			}
+			if !bh {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// drop closes c and removes it from the active set.
+func (p *Proxy) drop(c net.Conn) {
+	c.Close()
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c) //nolint:errcheck // test echo
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestProxyForwards(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	msg := []byte("hello through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+}
+
+func TestProxySever(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	p.Sever()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded after Sever; want connection error")
+	}
+	// The proxy must still accept fresh connections after a partition.
+	c2 := dialProxy(t, p)
+	if _, err := c2.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatalf("proxy dead after Sever: %v", err)
+	}
+}
+
+func TestProxyRefuse(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetRefuse(true)
+	c, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		// The accept-then-close race may let the dial succeed; the first
+		// read must then fail immediately.
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, rerr := c.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("refused connection served traffic")
+		}
+		c.Close()
+	}
+	p.SetRefuse(false)
+	c2 := dialProxy(t, p)
+	if _, err := c2.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatalf("proxy dead after refuse lifted: %v", err)
+	}
+}
+
+func TestProxyBlackhole(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	p.SetBlackhole(true)
+	if _, err := c.Write([]byte("swallowed")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read returned data through a blackholed proxy")
+	}
+}

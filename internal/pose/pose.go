@@ -24,6 +24,7 @@
 package pose
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -252,8 +253,20 @@ func objectiveLimited(pairs []pairGeometry, v [3]float64, limit float64) float64
 }
 
 // Localize estimates the camera position from correspondences within the
-// axis-aligned search box [lo, hi].
+// axis-aligned search box [lo, hi]. It is LocalizeContext without
+// cancellation.
 func Localize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Options) (Result, error) {
+	return LocalizeContext(context.Background(), corr, intr, lo, hi, opt)
+}
+
+// LocalizeContext is Localize with cooperative cancellation: the context is
+// checked once per DE generation, so a canceled or expired request stops
+// burning CPU within one generation (~PopSize objective evaluations) instead
+// of running out its full iteration/deadline budget. A cancellation before
+// the first generation completes returns ctx.Err(); the search otherwise
+// proceeds exactly as Localize — the context check consumes no randomness,
+// so a context that never fires leaves results bit-identical.
+func LocalizeContext(ctx context.Context, corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Options) (Result, error) {
 	if len(corr) < 3 {
 		return Result{}, errors.New("pose: need at least 3 correspondences")
 	}
@@ -313,6 +326,9 @@ func Localize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Opt
 	// serial index order, then evaluated (possibly in parallel), then
 	// selected. Each trial's evaluation is an independent serial summation,
 	// so the outcome does not depend on the worker count.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	evals := 0
 	pop := make([][3]float64, opt.PopSize)
 	cost := make([]float64, opt.PopSize)
@@ -328,6 +344,11 @@ func Localize(corr []Correspondence, intr Intrinsics, lo, hi mathx.Vec3, opt Opt
 	for iter := 0; iter < opt.MaxIterations; iter++ {
 		if opt.Deadline > 0 && time.Since(start) > opt.Deadline {
 			break
+		}
+		// Cooperative cancellation, once per generation: the caller's
+		// request died or expired, so the remaining budget is wasted work.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
 		}
 		for i := range pop {
 			a, b, c := rng.Intn(opt.PopSize), rng.Intn(opt.PopSize), rng.Intn(opt.PopSize)

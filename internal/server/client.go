@@ -7,7 +7,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,29 +26,128 @@ func decodeKeypoints(data []byte) ([]sift.Keypoint, error) {
 	return codec.UnmarshalKeypoints(data)
 }
 
+// RetryPolicy controls client-side retries: exponential backoff with
+// jitter, applied only to errors that are provably safe to retry.
+// ErrOverloaded is always retryable — the server shed the request before
+// doing any work. A lost connection is retried only for idempotent
+// requests, and only when the client can redial (it was built by Dial).
+// Request-level failures — ErrNoConsensus, ErrTooFewMatches, a deadline —
+// are answers, not faults, and are never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values <= 1 disable retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry. Each subsequent
+	// retry multiplies it by Multiplier (default 2), capped at MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	Multiplier float64
+	// Jitter randomizes each delay within ±(Jitter/2) of its nominal
+	// value, in [0, 1]; it decorrelates clients retrying a shared server.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is a reasonable interactive-use policy: four attempts
+// spanning roughly a quarter second of backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.5,
+	}
+}
+
+// delay returns the jittered backoff before retry number n (1-based).
+func (p RetryPolicy) delay(n int) time.Duration {
+	d := float64(p.BaseDelay)
+	mult := p.Multiplier
+	if mult <= 0 {
+		mult = 2
+	}
+	for i := 1; i < n; i++ {
+		d *= mult
+	}
+	if max := float64(p.MaxDelay); max > 0 && d > max {
+		d = max
+	}
+	if j := p.Jitter; j > 0 {
+		d *= 1 + j*(rand.Float64()-0.5)
+	}
+	return time.Duration(d)
+}
+
+// dialConfig collects the options shared by Dial, DialContext and
+// NewClient.
+type dialConfig struct {
+	timeout time.Duration
+	retry   RetryPolicy
+	log     *obs.Logger
+}
+
+// DialOption configures a client at construction.
+type DialOption func(*dialConfig)
+
+// WithDialTimeout bounds each TCP dial — the initial connect and any
+// automatic reconnect. Zero means no bound beyond the caller's context.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithRetryPolicy enables client-side retries. The zero policy (the
+// default) disables them: every error surfaces on the first attempt.
+func WithRetryPolicy(p RetryPolicy) DialOption {
+	return func(c *dialConfig) { c.retry = p }
+}
+
+// WithLogger routes the client's connection-lifecycle messages (redials,
+// retry exhaustion) to l; the default is the process logger. Nil silences.
+func WithLogger(l *obs.Logger) DialOption {
+	return func(c *dialConfig) { c.log = l }
+}
+
 // Client is a VisualPrint protocol client. It is safe for concurrent use:
 // requests are multiplexed over the single connection with uint32 request
 // IDs (wire protocol v2), so concurrent calls overlap on the wire and on
 // the server instead of queueing behind a lock. A demux goroutine routes
 // each response frame to the caller whose request it answers.
 //
-// Every method takes a context: its deadline is mapped onto the
-// connection's write deadline, and cancellation abandons the response wait
-// (a late response is discarded by the demux loop). The byte counters feed
-// the Figure 14 bandwidth accounting.
+// Every method takes a context, and the context is honored end to end: a
+// deadline travels to the server inside a msgRequestEx envelope (the
+// server abandons the pipeline when it expires), and cancellation both
+// abandons the local wait and sends a msgCancel frame so the server stops
+// working on the request. Against a server predating the envelope the
+// client transparently falls back to plain requests and enforces the
+// deadline locally. The byte counters feed the Figure 14 bandwidth
+// accounting.
 type Client struct {
-	conn net.Conn
-	v1   bool // legacy ID-less framing; responses route in FIFO order
+	v1 bool // legacy ID-less framing; responses route in FIFO order
+
+	// dialFn redials the server after a lost connection; nil (NewClient
+	// over an existing conn) disables automatic reconnection.
+	dialFn func(context.Context) (net.Conn, error)
+	retry  RetryPolicy
+	log    *obs.Logger
+
+	// deadlineOK tracks whether the server accepts msgRequestEx deadline
+	// envelopes; cleared on the first "unknown message type" rejection so
+	// a session against an old server pays the round trip once.
+	deadlineOK atomic.Bool
 
 	// writeMu serializes frame writes; for v1 it also pins FIFO
-	// registration to wire order.
+	// registration to wire order. Reconnection swaps the conn under
+	// writeMu+mu, so a write under writeMu never races the swap.
 	writeMu sync.Mutex
 	lastID  uint32 // v2 request ID source, guarded by writeMu
 
 	mu      sync.Mutex
+	conn    net.Conn
+	gen     int                       // bumped per reconnect; stale demux loops exit
+	closed  bool                      // Close called; no further reconnects
 	pending map[uint32]chan rpcResult // v2 in-flight requests by ID
 	fifo    []chan rpcResult          // v1 in-flight requests in send order
-	readErr error                     // terminal demux error, sticky
+	readErr error                     // terminal demux error, sticky until reconnect
 
 	sent, received atomic.Int64
 }
@@ -59,48 +160,81 @@ type rpcResult struct {
 }
 
 // NewClient wraps an established connection (TCP or net.Pipe), announcing
-// protocol v2 and starting the response demux loop.
-func NewClient(conn net.Conn) *Client {
-	c := &Client{conn: conn, pending: make(map[uint32]chan rpcResult)}
+// protocol v2 and starting the response demux loop. Options configure
+// retries and logging; without a dialer (use Dial for that) a lost
+// connection is not reconnectable.
+func NewClient(conn net.Conn, opts ...DialOption) *Client {
+	cfg := dialConfig{log: obs.Default()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Client{
+		conn: conn, pending: make(map[uint32]chan rpcResult),
+		retry: cfg.retry, log: cfg.log,
+	}
+	c.deadlineOK.Store(true)
 	if err := writePreamble(conn); err != nil {
 		// Surface the broken transport through the demux path so every
 		// call fails with it rather than hanging.
-		c.failAll(err)
+		c.failGen(err, 0)
 		return c
 	}
 	c.sent.Add(preambleSize)
-	go c.demux()
+	go c.demux(conn, 0)
 	return c
 }
 
 // NewClientV1 wraps a connection speaking the legacy v1 (ID-less) framing,
 // as an old client binary would. The server handles a v1 connection
 // sequentially, so responses arrive in request order and are routed FIFO;
-// calls pipeline on the wire but cannot overlap server-side.
+// calls pipeline on the wire but cannot overlap server-side. v1 carries no
+// deadline envelope and no cancel frames: contexts are enforced locally.
 func NewClientV1(conn net.Conn) *Client {
-	c := &Client{conn: conn, v1: true, pending: make(map[uint32]chan rpcResult)}
-	go c.demux()
+	c := &Client{conn: conn, v1: true, pending: make(map[uint32]chan rpcResult), log: obs.Default()}
+	go c.demux(conn, 0)
 	return c
 }
 
-// Dial connects to a VisualPrint server over TCP.
-func Dial(addr string) (*Client, error) {
-	return DialContext(context.Background(), addr)
+// Dial connects to a VisualPrint server over TCP. With a retry policy
+// configured, a client built by Dial also redials automatically when the
+// connection is lost mid-call (idempotent requests only).
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
 }
 
-// DialContext connects to a VisualPrint server over TCP, honoring the
-// context's deadline and cancellation for the dial itself.
-func DialContext(ctx context.Context, addr string) (*Client, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+// DialContext is Dial honoring ctx for the initial connection.
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{log: obs.Default()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	dialFn := func(ctx context.Context) (net.Conn, error) {
+		if cfg.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+			defer cancel()
+		}
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
+	}
+	conn, err := dialFn(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn, opts...)
+	c.dialFn = dialFn
+	return c, nil
 }
 
-// Close closes the connection; in-flight calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection; in-flight calls fail and no reconnection is
+// attempted.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Close()
+}
 
 // BytesSent returns the total bytes uploaded (including framing and the
 // version preamble).
@@ -116,10 +250,15 @@ func (c *Client) frameOverhead() int64 {
 	return frameOverheadV2
 }
 
-// demux reads response frames and routes each to its waiting caller — by
-// request ID on v2, in FIFO order on v1. A read error is terminal: it fails
-// every in-flight and future call.
-func (c *Client) demux() {
+func (c *Client) logf(format string, args ...any) {
+	c.log.Warnf(format, args...)
+}
+
+// demux reads response frames from conn and routes each to its waiting
+// caller — by request ID on v2, in FIFO order on v1. A read error is
+// terminal for this connection generation: it fails every in-flight call
+// and, absent a reconnect, every future one.
+func (c *Client) demux(conn net.Conn, gen int) {
 	for {
 		var (
 			id      uint32
@@ -128,16 +267,22 @@ func (c *Client) demux() {
 			err     error
 		)
 		if c.v1 {
-			typ, payload, err = readFrame(c.conn)
+			typ, payload, err = readFrame(conn)
 		} else {
-			id, typ, payload, err = readFrameV2(c.conn)
+			id, typ, payload, err = readFrameV2(conn)
 		}
 		if err != nil {
-			c.failAll(err)
+			c.failGen(err, gen)
 			return
 		}
 		c.received.Add(int64(len(payload)) + c.frameOverhead())
 		c.mu.Lock()
+		if c.gen != gen {
+			// The connection was replaced while this read was in flight;
+			// the response belongs to a dead generation.
+			c.mu.Unlock()
+			return
+		}
 		var ch chan rpcResult
 		if c.v1 {
 			if len(c.fifo) > 0 {
@@ -161,14 +306,19 @@ func (c *Client) demux() {
 // the underlying read error; match with errors.Is.
 var ErrConnectionLost = errors.New("visualprint client: connection lost")
 
-// failAll marks the client broken and unblocks every waiter.
-func (c *Client) failAll(err error) {
+// failGen marks connection generation gen broken and unblocks every
+// waiter. A stale generation (already replaced by a reconnect) is a no-op.
+func (c *Client) failGen(err error, gen int) {
 	// EOF and friends are transport deaths, not server answers; tag them
 	// so callers can distinguish "server said no" from "server went away".
 	if err != nil && !errors.Is(err, ErrConnectionLost) {
 		err = fmt.Errorf("%w: %w", ErrConnectionLost, err)
 	}
 	c.mu.Lock()
+	if gen != c.gen {
+		c.mu.Unlock()
+		return
+	}
 	c.readErr = err
 	for id, ch := range c.pending {
 		delete(c.pending, id)
@@ -181,12 +331,140 @@ func (c *Client) failAll(err error) {
 	c.mu.Unlock()
 }
 
-// call sends one request and waits for its routed response, returning the
-// raw response type and payload (msgError is already converted to error).
+// reconnect replaces a dead connection with a freshly dialed one, bumping
+// the generation so late frames from the old connection are discarded. It
+// is a no-op when the connection is healthy (another caller already
+// reconnected) and an error when the client was closed or has no dialer.
+func (c *Client) reconnect(ctx context.Context) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: client closed", ErrConnectionLost)
+	}
+	if c.readErr == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.dialFn == nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return err
+	}
+	old := c.conn
+	c.mu.Unlock()
+
+	conn, err := c.dialFn(ctx)
+	if err != nil {
+		return fmt.Errorf("%w: redial: %w", ErrConnectionLost, err)
+	}
+	if err := writePreamble(conn); err != nil {
+		conn.Close()
+		return fmt.Errorf("%w: redial: %w", ErrConnectionLost, err)
+	}
+	c.sent.Add(preambleSize)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("%w: client closed", ErrConnectionLost)
+	}
+	old.Close()
+	c.conn = conn
+	c.gen++
+	gen := c.gen
+	c.readErr = nil
+	c.mu.Unlock()
+	c.logf("visualprint client: reconnected")
+	go c.demux(conn, gen)
+	return nil
+}
+
+// retryable reports whether err is safe to retry. Shed requests always are
+// (the server did no work); a lost connection only for idempotent requests
+// on a client that can redial. Typed request outcomes — no consensus, a
+// deadline, a draining server — are answers, not transient faults.
+func (c *Client) retryable(err error, idempotent bool) bool {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return true
+	case errors.Is(err, ErrConnectionLost):
+		return idempotent && c.dialFn != nil
+	}
+	return false
+}
+
+// invoke is call plus the retry loop: jittered exponential backoff on
+// retryable errors, reconnecting first when the transport died.
+func (c *Client) invoke(ctx context.Context, typ byte, payload []byte, idempotent bool) (byte, []byte, error) {
+	rt, resp, err := c.call(ctx, typ, payload)
+	for attempt := 1; err != nil && attempt < c.retry.MaxAttempts && c.retryable(err, idempotent); attempt++ {
+		select {
+		case <-time.After(c.retry.delay(attempt)):
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+		if errors.Is(err, ErrConnectionLost) {
+			if rerr := c.reconnect(ctx); rerr != nil {
+				return 0, nil, rerr
+			}
+		}
+		rt, resp, err = c.call(ctx, typ, payload)
+	}
+	return rt, resp, err
+}
+
+// deadlineMillis converts a context deadline to the wire's relative-millis
+// encoding: at least 1 (an already-tight deadline should expire on the
+// server, typed), clamped to the field width.
+func deadlineMillis(d time.Time) uint32 {
+	ms := time.Until(d).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > int64(deadlineWireMax) {
+		ms = int64(deadlineWireMax)
+	}
+	return uint32(ms)
+}
+
+// isUnknownTypeErr detects an old server rejecting a message type it does
+// not know — the generic-code error its dispatcher returns. Used to fall
+// back from the msgRequestEx envelope.
+func isUnknownTypeErr(err error) bool {
+	var r errRemote
+	return errors.As(err, &r) && r.code == errCodeGeneric &&
+		strings.Contains(r.msg, "unknown message type")
+}
+
+// call sends one request and waits for its routed response. On v2, a
+// context deadline rides to the server as a msgRequestEx envelope; if the
+// server predates the envelope (it rejects the unknown type), the client
+// falls back to a plain resend and remembers, enforcing deadlines locally
+// from then on.
 func (c *Client) call(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
+	if !c.v1 && c.deadlineOK.Load() {
+		if d, ok := ctx.Deadline(); ok {
+			rt, resp, err := c.exchange(ctx, msgRequestEx, wrapRequestEx(deadlineMillis(d), typ, payload))
+			if err != nil && isUnknownTypeErr(err) {
+				c.deadlineOK.Store(false)
+				c.logf("visualprint client: server predates deadline envelopes; enforcing deadlines locally")
+				return c.exchange(ctx, typ, payload)
+			}
+			return rt, resp, err
+		}
+	}
+	return c.exchange(ctx, typ, payload)
+}
+
+// exchange performs one wire round trip: register, write, await the demuxed
+// response (msgError is already converted to error).
+func (c *Client) exchange(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
 	ch := make(chan rpcResult, 1)
 	c.writeMu.Lock()
 	c.mu.Lock()
@@ -196,6 +474,7 @@ func (c *Client) call(ctx context.Context, typ byte, payload []byte) (byte, []by
 		c.writeMu.Unlock()
 		return 0, nil, err
 	}
+	conn := c.conn
 	var id uint32
 	if c.v1 {
 		c.fifo = append(c.fifo, ch)
@@ -209,15 +488,15 @@ func (c *Client) call(ctx context.Context, typ byte, payload []byte) (byte, []by
 	// enforced by the ctx.Done select below (the demux read itself is
 	// shared across requests and cannot carry a per-request deadline).
 	if d, ok := ctx.Deadline(); ok {
-		c.conn.SetWriteDeadline(d)
+		conn.SetWriteDeadline(d)
 	} else {
-		c.conn.SetWriteDeadline(time.Time{})
+		conn.SetWriteDeadline(time.Time{})
 	}
 	var err error
 	if c.v1 {
-		err = writeFrame(c.conn, typ, payload)
+		err = writeFrame(conn, typ, payload)
 	} else {
-		err = writeFrameV2(c.conn, id, typ, payload)
+		err = writeFrameV2(conn, id, typ, payload)
 	}
 	if err == nil {
 		c.sent.Add(int64(len(payload)) + c.frameOverhead())
@@ -225,7 +504,12 @@ func (c *Client) call(ctx context.Context, typ byte, payload []byte) (byte, []by
 	c.writeMu.Unlock()
 	if err != nil {
 		c.forget(id, ch)
-		return 0, nil, err
+		// A failed write is a dead transport — unless the context expired
+		// mid-write (the write deadline mirrors it), which is an answer.
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, cerr
+		}
+		return 0, nil, fmt.Errorf("%w: %w", ErrConnectionLost, err)
 	}
 	select {
 	case r := <-ch:
@@ -238,6 +522,7 @@ func (c *Client) call(ctx context.Context, typ byte, payload []byte) (byte, []by
 		return r.typ, r.payload, nil
 	case <-ctx.Done():
 		c.forget(id, ch)
+		c.sendCancel(id)
 		return 0, nil, ctx.Err()
 	}
 }
@@ -258,9 +543,36 @@ func (c *Client) forget(id uint32, ch chan rpcResult) {
 	c.mu.Unlock()
 }
 
-// roundTrip is call plus a response-type check.
+// sendCancel tells the server to stop working on request id. Best-effort
+// and fire-and-forget: the server never answers a cancel, and an old
+// server's unknown-type error response is discarded by the demux loop
+// because the ID is already forgotten.
+func (c *Client) sendCancel(id uint32) {
+	if c.v1 {
+		return
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.mu.Lock()
+	conn := c.conn
+	dead := c.readErr != nil
+	c.mu.Unlock()
+	if dead {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	if writeFrameV2(conn, id, msgCancel, nil) == nil {
+		c.sent.Add(frameOverheadV2)
+	}
+}
+
+// roundTrip is invoke plus a response-type check, for idempotent requests.
 func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte, wantType byte) ([]byte, error) {
-	rt, resp, err := c.call(ctx, typ, payload)
+	return c.roundTripIdem(ctx, typ, payload, wantType, true)
+}
+
+func (c *Client) roundTripIdem(ctx context.Context, typ byte, payload []byte, wantType byte, idempotent bool) ([]byte, error) {
+	rt, resp, err := c.invoke(ctx, typ, payload, idempotent)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +608,7 @@ func (c *Client) FetchOracle(ctx context.Context) (o *core.Oracle, blobSize int6
 func (c *Client) RefreshOracle(ctx context.Context, o *core.Oracle) (updated *core.Oracle, transferBytes int64, incremental bool, err error) {
 	req := make([]byte, 8)
 	binary.LittleEndian.PutUint64(req, o.Inserts())
-	rt, resp, err := c.call(ctx, msgGetDiff, req)
+	rt, resp, err := c.invoke(ctx, msgGetDiff, req, true)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -322,9 +634,11 @@ func (c *Client) RefreshOracle(ctx context.Context, o *core.Oracle) (updated *co
 }
 
 // Ingest uploads wardriven keypoint-to-3D mappings; it returns the server's
-// total mapping count after the batch.
+// total mapping count after the batch. Ingest is not idempotent (a batch
+// applied twice doubles its mappings), so the retry policy applies only to
+// shed requests — never to a connection lost with the batch in flight.
 func (c *Client) Ingest(ctx context.Context, ms []Mapping) (total int, err error) {
-	resp, err := c.roundTrip(ctx, msgIngest, encodeMappings(ms), msgIngestAck)
+	resp, err := c.roundTripIdem(ctx, msgIngest, encodeMappings(ms), msgIngestAck, false)
 	if err != nil {
 		return 0, err
 	}

@@ -61,7 +61,7 @@ func syntheticDB(t testing.TB, seed int64, parallelism, nCluster, nScatter int) 
 		}
 		ms = append(ms, m)
 	}
-	if err := db.Ingest(ms); err != nil {
+	if err := db.Ingest(context.Background(), ms); err != nil {
 		t.Fatal(err)
 	}
 	return db, ms
@@ -97,8 +97,8 @@ func TestParallelLocateMatchesSerial(t *testing.T) {
 		{40, 40}, // straddles cluster and scatter descriptors
 	} {
 		kps := queryFromMappings(ms, q.from, q.n)
-		rs, errS := serial.Locate(kps, testIntrinsics())
-		rp, errP := parallel.Locate(kps, testIntrinsics())
+		rs, errS := serial.Locate(context.Background(), kps, testIntrinsics())
+		rp, errP := parallel.Locate(context.Background(), kps, testIntrinsics())
 		if (errS == nil) != (errP == nil) || (errS != nil && errS.Error() != errP.Error()) {
 			t.Fatalf("query %+v: serial err %v, parallel err %v", q, errS, errP)
 		}
@@ -109,7 +109,7 @@ func TestParallelLocateMatchesSerial(t *testing.T) {
 	// Sanity: the comparison exercised the full pipeline, not just an
 	// early error path.
 	kps := queryFromMappings(ms, 0, 48)
-	res, err := serial.Locate(kps, testIntrinsics())
+	res, err := serial.Locate(context.Background(), kps, testIntrinsics())
 	if err != nil {
 		t.Fatalf("cluster query failed outright: %v", err)
 	}
@@ -125,8 +125,8 @@ func TestSmallQueryStaysDeterministic(t *testing.T) {
 	serial, ms := syntheticDB(t, 9, 1, 40, 20)
 	parallel, _ := syntheticDB(t, 9, 4, 40, 20)
 	kps := queryFromMappings(ms, 0, parallelLocateThreshold-2)
-	rs, errS := serial.Locate(kps, testIntrinsics())
-	rp, errP := parallel.Locate(kps, testIntrinsics())
+	rs, errS := serial.Locate(context.Background(), kps, testIntrinsics())
+	rp, errP := parallel.Locate(context.Background(), kps, testIntrinsics())
 	if (errS == nil) != (errP == nil) {
 		t.Fatalf("serial err %v, parallel err %v", errS, errP)
 	}
@@ -157,7 +157,7 @@ func TestPipelinedResponseRouting(t *testing.T) {
 	want := make([]LocateResult, len(queries))
 	wantErr := make([]error, len(queries))
 	for i, q := range queries {
-		want[i], wantErr[i] = db.Locate(q, testIntrinsics())
+		want[i], wantErr[i] = db.Locate(context.Background(), q, testIntrinsics())
 	}
 
 	const clients = 3
@@ -394,7 +394,7 @@ func TestConcurrentOracleFilteringAndIngest(t *testing.T) {
 				}
 				batch[b].Pos = mathx.Vec3{X: rng.Float64() * 12, Y: rng.Float64() * 3, Z: rng.Float64() * 9}
 			}
-			if err := db.Ingest(batch); err != nil {
+			if err := db.Ingest(context.Background(), batch); err != nil {
 				errc <- fmt.Errorf("Ingest: %v", err)
 				return
 			}

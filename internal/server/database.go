@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -207,7 +208,16 @@ type Mapping struct {
 // to apply order and makes recovery bit-identical; the fsync wait happens
 // after the lock is released, so concurrent ingests batch into shared
 // group commits instead of serializing on the disk.
-func (db *Database) Ingest(ms []Mapping) error {
+//
+// The context gates admission only: a batch whose context is already dead
+// is rejected up front (typed ErrCanceled/ErrDeadlineExceeded), but once
+// the batch has been logged and applied the ingest runs to completion —
+// aborting between the WAL append and the ack would leave the caller
+// unable to tell whether the batch survives a crash.
+func (db *Database) Ingest(ctx context.Context, ms []Mapping) error {
+	if err := ctx.Err(); err != nil {
+		return ctxError(err)
+	}
 	start := time.Now()
 	m, err := db.ingest(ms)
 	m.ingests.Inc()
@@ -506,12 +516,20 @@ func (db *Database) candidatesFor(kp sift.Keypoint, scratch []lsh.Candidate, dst
 	return scratch, dst, nil
 }
 
+// ctxCheckStride is how many keypoints the LSH gather processes between
+// context checks: often enough that cancellation lands within a fraction of
+// a millisecond, rarely enough that the (mutex-guarded) ctx.Err stays off
+// the per-candidate hot path.
+const ctxCheckStride = 16
+
 // gatherCandidates produces the |K| * n candidate list, fanning the
 // per-keypoint LSH lookups across a bounded worker pool for large queries.
 // Each worker fills a disjoint per-keypoint slot, so flattening in keypoint
 // order yields exactly the serial path's candidate sequence — clustering
-// and pose results are bit-identical either way.
-func (db *Database) gatherCandidates(kps []sift.Keypoint) ([]locateCand, error) {
+// and pose results are bit-identical either way. The context is checked
+// every ctxCheckStride keypoints (per worker on the parallel path);
+// cancellation returns the raw context error for the caller to classify.
+func (db *Database) gatherCandidates(ctx context.Context, kps []sift.Keypoint) ([]locateCand, error) {
 	workers := db.cfg.LocateParallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -524,6 +542,11 @@ func (db *Database) gatherCandidates(kps []sift.Keypoint) ([]locateCand, error) 
 		var scratch []lsh.Candidate
 		var err error
 		for i := range kps {
+			if i%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			scratch, cands, err = db.candidatesFor(kps[i], scratch, cands)
 			if err != nil {
 				return nil, err
@@ -543,10 +566,20 @@ func (db *Database) gatherCandidates(kps []sift.Keypoint) ([]locateCand, error) 
 		go func() {
 			defer wg.Done()
 			var scratch []lsh.Candidate // reused across this worker's keypoints
-			for {
+			for n := 0; ; n++ {
 				i := int(next.Add(1)) - 1
 				if i >= len(kps) {
 					return
+				}
+				if n%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
 				}
 				var cs []locateCand
 				var err error
@@ -580,12 +613,18 @@ func (db *Database) gatherCandidates(kps []sift.Keypoint) ([]locateCand, error) 
 // points, largest-cluster filtering, and the Figure 12 optimization over
 // the surviving correspondences. Failures return the typed sentinels
 // ErrEmptyDatabase, ErrTooFewMatches and ErrNoConsensus.
-func (db *Database) Locate(kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
+//
+// The context is checked at every stage boundary and once per DE
+// generation inside the pose solve, so a canceled or expired request stops
+// burning CPU mid-pipeline; those failures return ErrCanceled or
+// ErrDeadlineExceeded (which also match context.Canceled and
+// context.DeadlineExceeded under errors.Is).
+func (db *Database) Locate(ctx context.Context, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	m := db.metrics()
 	tr := m.trace.Begin("locate")
-	res, err := db.locateLocked(kps, intr, tr)
+	res, err := db.locateLocked(ctx, kps, intr, tr)
 	m.locateNs.Observe(m.trace.End(tr))
 	m.locates.Inc()
 	if err != nil {
@@ -596,18 +635,24 @@ func (db *Database) Locate(kps []sift.Keypoint, intr pose.Intrinsics) (LocateRes
 
 // locateLocked is the pipeline body; tr (nil when observability is off)
 // receives the per-stage breakdown. Callers hold db.mu (read side).
-func (db *Database) locateLocked(kps []sift.Keypoint, intr pose.Intrinsics, tr *obs.Trace) (LocateResult, error) {
+func (db *Database) locateLocked(ctx context.Context, kps []sift.Keypoint, intr pose.Intrinsics, tr *obs.Trace) (LocateResult, error) {
 	if len(db.positions) == 0 {
 		return LocateResult{}, ErrEmptyDatabase
 	}
+	if err := ctx.Err(); err != nil {
+		return LocateResult{}, ctxError(err)
+	}
 	t0 := time.Now()
-	cands, err := db.gatherCandidates(kps)
+	cands, err := db.gatherCandidates(ctx, kps)
 	tr.StageSince(obs.StageLSHQuery, t0)
 	if err != nil {
-		return LocateResult{}, err
+		return LocateResult{}, ctxError(err)
 	}
 	if len(cands) < 3 {
 		return LocateResult{}, ErrTooFewMatches
+	}
+	if err := ctx.Err(); err != nil {
+		return LocateResult{}, ctxError(err)
 	}
 	// Largest spatial cluster filters out scattered false matches.
 	pts := make([]mathx.Vec3, len(cands))
@@ -623,6 +668,9 @@ func (db *Database) locateLocked(kps []sift.Keypoint, intr pose.Intrinsics, tr *
 	if !ok || len(largest.Indices) < 3 {
 		return LocateResult{}, ErrNoConsensus
 	}
+	if err := ctx.Err(); err != nil {
+		return LocateResult{}, ctxError(err)
+	}
 	corr := make([]pose.Correspondence, 0, len(largest.Indices))
 	for _, i := range largest.Indices {
 		corr = append(corr, pose.Correspondence{Px: cands[i].px, Py: cands[i].py, P: cands[i].p})
@@ -633,10 +681,10 @@ func (db *Database) locateLocked(kps []sift.Keypoint, intr pose.Intrinsics, tr *
 	// venue interior excludes.
 	pad := mathx.Vec3{X: 0.3, Y: 0.3, Z: 0.3}
 	t0 = time.Now()
-	res, err := pose.Localize(corr, intr, db.lo.Sub(pad), db.hi.Add(pad), db.cfg.Pose)
+	res, err := pose.LocalizeContext(ctx, corr, intr, db.lo.Sub(pad), db.hi.Add(pad), db.cfg.Pose)
 	tr.StageSince(obs.StagePoseSolve, t0)
 	if err != nil {
-		return LocateResult{}, err
+		return LocateResult{}, ctxError(err)
 	}
 	return LocateResult{
 		Position: res.Position,

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"strings"
 )
@@ -21,17 +22,70 @@ var (
 	ErrNoConsensus = errors.New("server: no spatial consensus among matches")
 )
 
+// Request-lifecycle failures. Like the localization sentinels they travel
+// as stable wire codes, so errors.Is works identically for an in-process
+// Database call and a networked Query.
+var (
+	// ErrOverloaded: the server's dispatch queue was full and the request
+	// was shed before any work was done. Always safe to retry (after
+	// backoff) — the request never executed.
+	ErrOverloaded = errors.New("server: overloaded, request shed")
+	// ErrShuttingDown: the server is draining; it finishes in-flight work
+	// but accepts nothing new. Not retryable against the same server.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrDeadlineExceeded: the request's deadline expired before the
+	// pipeline finished; the server abandoned the remaining work.
+	// errors.Is(err, context.DeadlineExceeded) also matches, locally and
+	// across the wire.
+	ErrDeadlineExceeded error = &ctxSentinel{msg: "server: request deadline exceeded", match: context.DeadlineExceeded}
+	// ErrCanceled: the request was canceled (client cancel message,
+	// connection death, or a canceled local context) mid-pipeline.
+	// errors.Is(err, context.Canceled) also matches.
+	ErrCanceled error = &ctxSentinel{msg: "server: request canceled", match: context.Canceled}
+)
+
+// ctxSentinel is a sentinel that additionally matches the context error it
+// stands for, so callers using the standard library's identities keep
+// working: errors.Is(err, context.DeadlineExceeded) is true for a
+// wire-decoded ErrDeadlineExceeded.
+type ctxSentinel struct {
+	msg   string
+	match error
+}
+
+func (e *ctxSentinel) Error() string { return e.msg }
+
+func (e *ctxSentinel) Is(target error) bool { return target == e.match }
+
+// ctxError converts a non-nil context error into its typed request
+// lifecycle sentinel; other errors pass through.
+func ctxError(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	}
+	return err
+}
+
 // Wire error codes: the first byte of every msgError payload, followed by
 // the human-readable message. Codes are append-only and stable across
 // protocol versions.
 const (
-	errCodeGeneric       byte = 0
-	errCodeEmptyDatabase byte = 1
-	errCodeTooFewMatches byte = 2
-	errCodeNoConsensus   byte = 3
+	errCodeGeneric          byte = 0
+	errCodeEmptyDatabase    byte = 1
+	errCodeTooFewMatches    byte = 2
+	errCodeNoConsensus      byte = 3
+	errCodeOverloaded       byte = 4
+	errCodeDeadlineExceeded byte = 5
+	errCodeShuttingDown     byte = 6
+	errCodeCanceled         byte = 7
 )
 
-// errorCode maps a server-side error to its wire code.
+// errorCode maps a server-side error to its wire code. Raw context errors
+// are classified alongside the typed sentinels so a handler can return
+// ctx.Err() unconverted and still cross the wire typed.
 func errorCode(err error) byte {
 	switch {
 	case errors.Is(err, ErrEmptyDatabase):
@@ -40,6 +94,14 @@ func errorCode(err error) byte {
 		return errCodeTooFewMatches
 	case errors.Is(err, ErrNoConsensus):
 		return errCodeNoConsensus
+	case errors.Is(err, ErrOverloaded):
+		return errCodeOverloaded
+	case errors.Is(err, ErrShuttingDown):
+		return errCodeShuttingDown
+	case errors.Is(err, context.DeadlineExceeded):
+		return errCodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return errCodeCanceled
 	default:
 		return errCodeGeneric
 	}
@@ -55,6 +117,14 @@ func sentinelFor(code byte) error {
 		return ErrTooFewMatches
 	case errCodeNoConsensus:
 		return ErrNoConsensus
+	case errCodeOverloaded:
+		return ErrOverloaded
+	case errCodeDeadlineExceeded:
+		return ErrDeadlineExceeded
+	case errCodeShuttingDown:
+		return ErrShuttingDown
+	case errCodeCanceled:
+		return ErrCanceled
 	default:
 		return nil
 	}

@@ -116,7 +116,7 @@ func TestFailureModeDriftedMapDegradesGracefully(t *testing.T) {
 		copy(m.Desc[:], o.Keypoint.Desc[:])
 		ms = append(ms, m)
 	}
-	if err := db.Ingest(ms); err != nil {
+	if err := db.Ingest(context.Background(), ms); err != nil {
 		t.Fatal(err)
 	}
 	pois := w.POIsOfKind(scene.POIUnique)
@@ -129,7 +129,7 @@ func TestFailureModeDriftedMapDegradesGracefully(t *testing.T) {
 			t.Fatal(err)
 		}
 		kps := sift.Detect(fr.Image, sc)
-		res, err := db.Locate(kps, IntrinsicsForTest(cam))
+		res, err := db.Locate(context.Background(), kps, IntrinsicsForTest(cam))
 		if err != nil {
 			continue // acceptable: no consensus under severe drift
 		}

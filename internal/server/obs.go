@@ -112,7 +112,14 @@ type srvMetrics struct {
 
 	// Indexed by wire error code; codes past the known range count as
 	// generic.
-	errCodes [4]*obs.Counter
+	errCodes [8]*obs.Counter
+
+	// Request-lifecycle events: requests shed by admission control,
+	// requests aborted by a client cancel frame, and the current depth of
+	// the dispatch queue.
+	shed       *obs.Counter
+	canceled   *obs.Counter
+	queueDepth *obs.Gauge
 }
 
 // requestTypeNames maps request message types to metric name suffixes.
@@ -128,7 +135,10 @@ var requestTypeNames = map[byte]string{
 }
 
 // errCodeNames maps wire error codes to metric name suffixes.
-var errCodeNames = [4]string{"generic", "empty_database", "too_few_matches", "no_consensus"}
+var errCodeNames = [8]string{
+	"generic", "empty_database", "too_few_matches", "no_consensus",
+	"overloaded", "deadline_exceeded", "shutting_down", "canceled",
+}
 
 func newSrvMetrics(r *obs.Registry) *srvMetrics {
 	m := &srvMetrics{
@@ -137,6 +147,10 @@ func newSrvMetrics(r *obs.Registry) *srvMetrics {
 		bytesOut: r.Counter("bytes_out"),
 
 		reqUnknown: r.Counter("requests_unknown"),
+
+		shed:       r.Counter("requests_shed"),
+		canceled:   r.Counter("requests_canceled"),
+		queueDepth: r.Gauge("queue_depth"),
 	}
 	for typ, name := range requestTypeNames {
 		m.reqCount[typ] = r.Counter("requests_" + name)

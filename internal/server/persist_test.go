@@ -66,8 +66,8 @@ func queryKeypoints(t testing.TB, w *scene.World) ([]sift.Keypoint, pose.Intrins
 // answers (including equal failures).
 func requireIdenticalLocate(t *testing.T, a, b *Database, kps []sift.Keypoint, intr pose.Intrinsics) {
 	t.Helper()
-	ra, errA := a.Locate(kps, intr)
-	rb, errB := b.Locate(kps, intr)
+	ra, errA := a.Locate(context.Background(), kps, intr)
+	rb, errB := b.Locate(context.Background(), kps, intr)
 	if (errA == nil) != (errB == nil) || (errA != nil && errA.Error() != errB.Error()) {
 		t.Fatalf("locate errors diverge: %v vs %v", errA, errB)
 	}
@@ -102,7 +102,7 @@ func TestKillAndRestartRecoversIdenticalMap(t *testing.T) {
 		if end > len(ms) {
 			end = len(ms)
 		}
-		if err := db1.Ingest(ms[i:end]); err != nil {
+		if err := db1.Ingest(context.Background(), ms[i:end]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -163,13 +163,13 @@ func TestRecoveryFromSnapshotPlusTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { db1.Close() }) // abandoned mid-test as a crash; reaped after
-	if err := db1.Ingest(ms[:half]); err != nil {
+	if err := db1.Ingest(context.Background(), ms[:half]); err != nil {
 		t.Fatal(err)
 	}
 	if err := db1.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	if err := db1.Ingest(ms[half:]); err != nil {
+	if err := db1.Ingest(context.Background(), ms[half:]); err != nil {
 		t.Fatal(err)
 	}
 	st := db1.Stats()
@@ -203,7 +203,7 @@ func TestCorruptWALTailTruncatedNotFatal(t *testing.T) {
 		ms[i].Desc[0] = byte(i)
 		ms[i].Pos.X = float64(i)
 	}
-	if err := db1.Ingest(ms); err != nil {
+	if err := db1.Ingest(context.Background(), ms); err != nil {
 		t.Fatal(err)
 	}
 	if err := db1.Close(); err != nil {
@@ -257,7 +257,7 @@ func TestCorruptWALTailTruncatedNotFatal(t *testing.T) {
 
 func TestOpenRequiresEmptyDatabase(t *testing.T) {
 	db := newTestDB(t, persistTestConfig())
-	if err := db.Ingest([]Mapping{{}}); err != nil {
+	if err := db.Ingest(context.Background(), []Mapping{{}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := db.Open(t.TempDir()); err == nil {
@@ -291,7 +291,7 @@ func TestCloseIsIdempotentAndInMemoryNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A closed durable database keeps serving in-memory.
-	if err := db.Ingest([]Mapping{{}}); err != nil {
+	if err := db.Ingest(context.Background(), []Mapping{{}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -314,7 +314,7 @@ func TestBackgroundCompaction(t *testing.T) {
 			ms[i].Desc[0], ms[i].Desc[1] = byte(round), byte(i)
 			ms[i].Pos.X = float64(round*100 + i)
 		}
-		if err := db.Ingest(ms); err != nil {
+		if err := db.Ingest(context.Background(), ms); err != nil {
 			t.Fatal(err)
 		}
 		if db.Stats().SnapshotSeq > 0 {
@@ -399,7 +399,7 @@ func TestOracleSnapshotBudgetWarning(t *testing.T) {
 		mu.Unlock()
 	}))
 
-	if err := db.Ingest([]Mapping{{}}); err != nil {
+	if err := db.Ingest(context.Background(), []Mapping{{}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := db.OracleBlob(); err != nil { // snapshots a clone

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"visualprint/internal/obs"
@@ -18,23 +20,56 @@ import (
 //
 // Connections negotiate a protocol version at open (see wire.go). On a v2
 // connection every request carries a uint32 ID and is dispatched on its own
-// goroutine — bounded by a server-wide semaphore — while a single writer
-// goroutine serializes the responses, so one slow localization query does
-// not stall the pipelined requests behind it. Legacy v1 connections keep
-// the original sequential read-dispatch-write loop, which preserves their
-// implicit response ordering.
+// goroutine while a single writer goroutine serializes the responses, so
+// one slow localization query does not stall the pipelined requests behind
+// it. Legacy v1 connections keep the original sequential
+// read-dispatch-write loop, which preserves their implicit response
+// ordering.
+//
+// Every request is a first-class cancellable object: it runs under a
+// context derived from its connection (severed connection → context
+// canceled → the pipeline stops mid-solve), bounded by the wire deadline
+// if the client sent one, and cancellable early by a msgCancel frame.
+// Admission control bounds the work the server accepts: at most
+// maxInFlight requests execute at once, at most maxQueue more wait, and
+// anything beyond that is shed immediately with the typed ErrOverloaded —
+// a saturated server answers in microseconds instead of queueing
+// unboundedly. Shutdown drains gracefully: new work is refused with
+// ErrShuttingDown while in-flight requests finish (or, past the drain
+// deadline, are canceled).
 type Server struct {
 	db *Database
 	ln net.Listener
 
 	// sem bounds concurrently executing request handlers across all
-	// connections; nil means unbounded (direct ServeConn use).
-	sem chan struct{}
+	// connections; nil means unbounded (direct ServeConn use, or
+	// WithMaxInFlight(0)).
+	sem         chan struct{}
+	maxInFlight int
+	// maxQueue bounds requests waiting for an execution slot; beyond it
+	// admit sheds with ErrOverloaded. queued is the current waiter count.
+	maxQueue int
+	queued   atomic.Int64
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// baseCtx parents every request context; baseCancel fires on Close and
+	// on a drain-deadline overrun, aborting in-flight pipelines. Nil on a
+	// bare Server (direct ServeConn construction) — base() substitutes
+	// context.Background().
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	drainTimeout time.Duration
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	// nreq counts admitted in-flight requests; idle, when non-nil, is
+	// closed by the request that brings nreq to zero (Shutdown's drain
+	// barrier).
+	nreq int
+	idle chan struct{}
+	wg   sync.WaitGroup
 	// Log receives connection-level errors; Serve defaults it to the
 	// process logger (obs.Default); nil silences.
 	Log *obs.Logger
@@ -46,18 +81,69 @@ type Server struct {
 	met *srvMetrics
 }
 
+// Option configures a Server at construction (Serve / ListenAndServe).
+type Option func(*Server)
+
+// WithMaxInFlight bounds concurrently executing requests across all
+// connections. n <= 0 removes the bound (and with it, admission control).
+// Defaults to DefaultMaxInFlight.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) { s.maxInFlight = n }
+}
+
+// WithQueueDepth bounds requests waiting for an execution slot; arrivals
+// past the bound are shed immediately with ErrOverloaded. 0 sheds as soon
+// as every slot is busy. Defaults to DefaultQueueDepth of the in-flight
+// bound. Only meaningful with a positive in-flight bound.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) { s.maxQueue = n }
+}
+
+// WithDrainTimeout bounds how long Shutdown waits for in-flight requests
+// when its context carries no deadline of its own; past it, in-flight work
+// is canceled. 0 (the default) waits indefinitely.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(s *Server) { s.drainTimeout = d }
+}
+
 // DefaultMaxInFlight returns the default bound on concurrently executing
 // requests: enough to keep every core busy with headroom for requests
 // blocked on the database write lock.
 func DefaultMaxInFlight() int { return 4 * runtime.GOMAXPROCS(0) }
 
+// DefaultQueueDepth returns the default dispatch-queue bound for a given
+// in-flight bound. It is deliberately permissive — clients pipelining
+// bursts over a single connection were never shed before admission control
+// existed, and the default preserves that for any plausible burst — while
+// still bounding queue memory against a runaway or malicious load.
+// Latency-sensitive deployments should configure WithQueueDepth far lower.
+func DefaultQueueDepth(maxInFlight int) int {
+	const floor = 256
+	if n := 16 * maxInFlight; n > floor {
+		return n
+	}
+	return floor
+}
+
 // Serve starts accepting connections on ln. It returns immediately; Close
-// stops the accept loop and all connections.
-func Serve(ln net.Listener, db *Database) *Server {
+// stops the accept loop and all connections, Shutdown drains them
+// gracefully first.
+func Serve(ln net.Listener, db *Database, opts ...Option) *Server {
 	s := &Server{
 		db: db, ln: ln, conns: make(map[net.Conn]struct{}), Log: obs.Default(),
-		sem: make(chan struct{}, DefaultMaxInFlight()),
+		maxInFlight: DefaultMaxInFlight(),
+		maxQueue:    -1,
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.maxInFlight > 0 {
+		s.sem = make(chan struct{}, s.maxInFlight)
+	}
+	if s.maxQueue < 0 {
+		s.maxQueue = DefaultQueueDepth(s.maxInFlight)
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	// Route the database's own warnings (persistence, resource budgets)
 	// through the server's logger so one knob silences or redirects both —
 	// unless the owner already chose a logger. The indirection through
@@ -77,18 +163,30 @@ func Serve(ln net.Listener, db *Database) *Server {
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ListenAndServe listens on addr (TCP) and serves db.
-func ListenAndServe(addr string, db *Database) (*Server, error) {
+func ListenAndServe(addr string, db *Database, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return Serve(ln, db), nil
+	return Serve(ln, db, opts...), nil
 }
 
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the server and closes every open connection.
+// base returns the context parenting request contexts; a bare Server
+// (direct ServeConn construction) has none and falls back to Background.
+func (s *Server) base() context.Context {
+	if s.baseCtx != nil {
+		return s.baseCtx
+	}
+	return context.Background()
+}
+
+// Close stops the server immediately: the listener and every open
+// connection are closed and in-flight request contexts are canceled, so
+// abandoned pipelines stop burning CPU. For a graceful stop that lets
+// in-flight work finish, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -96,13 +194,114 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	err := s.ln.Close()
+	s.draining = true
+	if s.baseCancel != nil {
+		s.baseCancel()
+	}
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown drains the server gracefully: the listener closes, new requests
+// are refused with the typed ErrShuttingDown, and in-flight requests run
+// to completion — their responses are flushed before the connections
+// close. If ctx expires first (or, when ctx has no deadline, the
+// configured drain timeout does), the remaining in-flight requests are
+// canceled; their context-aware pipelines unwind within one DE generation
+// and answer ErrCanceled. Shutdown returns nil on a clean drain and
+// ctx.Err() on a forced one; either way the server is fully stopped on
+// return. Shutdown after Close (or a second Shutdown) is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.drainTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.drainTimeout)
+			defer cancel()
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	var lnErr error
+	if s.ln != nil {
+		lnErr = s.ln.Close()
+	}
+	var idle chan struct{}
+	if s.nreq > 0 {
+		idle = make(chan struct{})
+		s.idle = idle
+	}
+	s.mu.Unlock()
+
+	var forced error
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			// Drain deadline: cancel what's left. Context-checked stages
+			// unwind promptly and endRequest closes idle.
+			forced = ctx.Err()
+			if s.baseCancel != nil {
+				s.baseCancel()
+			}
+			<-idle
+		}
+	}
+	// Every admitted request has completed and queued its response. Fail
+	// the blocked read loops with a past read deadline — not Close — so
+	// each connection's writer flushes pending responses before the
+	// connection tears down on its own.
+	s.mu.Lock()
+	now := time.Now()
+	for c := range s.conns {
+		c.SetReadDeadline(now) //nolint:errcheck // best-effort unblock
+	}
+	s.mu.Unlock()
+	if s.baseCancel != nil {
+		s.baseCancel()
+	}
+	s.wg.Wait()
+	if forced != nil {
+		return forced
+	}
+	return lnErr
+}
+
+// beginRequest registers one admitted request against the drain barrier;
+// it returns false once the server is draining (the caller answers
+// ErrShuttingDown without dispatching).
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.nreq++
+	return true
+}
+
+// endRequest retires an admitted request, releasing Shutdown's drain
+// barrier when the last one finishes.
+func (s *Server) endRequest() {
+	s.mu.Lock()
+	s.nreq--
+	if s.nreq == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -135,9 +334,45 @@ func (s *Server) logf(format string, args ...any) {
 	s.Log.Warnf(format, args...)
 }
 
-func (s *Server) acquire() {
-	if s.sem != nil {
-		s.sem <- struct{}{}
+// admit applies admission control: it takes an execution slot, waits in
+// the bounded dispatch queue when none is free, and sheds with the typed
+// ErrOverloaded the moment the queue is full — a saturated server answers
+// in microseconds instead of queueing unboundedly. Waiting is
+// context-aware: a request whose deadline expires or whose connection dies
+// while queued leaves without ever executing.
+func (s *Server) admit(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return ctxError(err)
+	}
+	if s.sem == nil {
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	n := s.queued.Add(1)
+	if m := s.met; m != nil {
+		m.queueDepth.Set(n)
+	}
+	if n > int64(s.maxQueue) {
+		s.unqueue()
+		return ErrOverloaded
+	}
+	defer s.unqueue()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctxError(ctx.Err())
+	}
+}
+
+func (s *Server) unqueue() {
+	n := s.queued.Add(-1)
+	if m := s.met; m != nil {
+		m.queueDepth.Set(n)
 	}
 }
 
@@ -175,14 +410,18 @@ func (s *Server) ServeConn(conn net.Conn) {
 
 // serveV1 is the legacy sequential loop: one request, one response, in
 // order. firstLen is the already-consumed length prefix of the first frame.
+// Requests run under the connection's context (v1 carries no per-request
+// deadline or cancel) and pass through the same admission control as v2.
 func (s *Server) serveV1(conn net.Conn, firstLen uint32) {
+	ctx, cancel := context.WithCancel(s.base())
+	defer cancel()
 	n := firstLen
 	for {
 		typ, payload, err := readFrameBody(conn, n)
 		if err != nil {
 			return // EOF or broken connection
 		}
-		rt, resp := s.handle(typ, payload)
+		rt, resp := s.serveRequest(ctx, typ, payload)
 		if err := writeFrame(conn, rt, resp); err != nil {
 			s.logf("visualprint server: %v", err)
 			return
@@ -202,11 +441,56 @@ type v2Response struct {
 	payload []byte
 }
 
+// reqCancels tracks one connection's in-flight requests by ID so a
+// msgCancel frame can abort exactly the request it names.
+type reqCancels struct {
+	mu sync.Mutex
+	m  map[uint32]context.CancelFunc
+}
+
+func (r *reqCancels) add(id uint32, c context.CancelFunc) {
+	r.mu.Lock()
+	r.m[id] = c
+	r.mu.Unlock()
+}
+
+// cancel aborts the named request if it is still in flight.
+func (r *reqCancels) cancel(id uint32) bool {
+	r.mu.Lock()
+	c := r.m[id]
+	delete(r.m, id)
+	r.mu.Unlock()
+	if c != nil {
+		c()
+		return true
+	}
+	return false
+}
+
+// remove retires a finished request, releasing its context's timer.
+func (r *reqCancels) remove(id uint32) {
+	r.mu.Lock()
+	c := r.m[id]
+	delete(r.m, id)
+	r.mu.Unlock()
+	if c != nil {
+		c()
+	}
+}
+
 // serveV2 is the multiplexed loop: requests are dispatched concurrently
-// (bounded by the server semaphore) and responses are serialized through a
-// single writer goroutine, tagged with the ID of the request they answer.
-// Response order is therefore completion order, not request order.
+// and responses are serialized through a single writer goroutine, tagged
+// with the ID of the request they answer. Response order is therefore
+// completion order, not request order.
+//
+// The read loop never blocks on admission — every request gets a goroutine
+// immediately and admission control decides inside it — so cancel frames
+// and new requests are seen promptly even when the server is saturated.
+// Each request's context descends from the connection's: a dead connection
+// cancels everything it had in flight.
 func (s *Server) serveV2(conn net.Conn) {
+	connCtx, cancelConn := context.WithCancel(s.base())
+	defer cancelConn()
 	out := make(chan v2Response, 32)
 	writerDone := make(chan struct{})
 	go func() {
@@ -223,48 +507,99 @@ func (s *Server) serveV2(conn net.Conn) {
 			}
 		}
 	}()
+	inflight := &reqCancels{m: make(map[uint32]context.CancelFunc)}
 	var handlers sync.WaitGroup
 	for {
 		id, typ, payload, err := readFrameV2(conn)
 		if err != nil {
 			break // EOF or broken connection
 		}
-		s.acquire()
+		if typ == msgCancel {
+			if inflight.cancel(id) {
+				if m := s.met; m != nil {
+					m.canceled.Inc()
+				}
+			}
+			continue // fire-and-forget: no response
+		}
+		// Unwrap the deadline envelope before dispatch so the request
+		// context — and the instrumentation — see the inner request.
+		var deadline time.Duration
+		if typ == msgRequestEx {
+			dl, ityp, ipayload, uerr := unwrapRequestEx(payload)
+			if uerr != nil {
+				out <- v2Response{id: id, typ: msgError, payload: encodeErrorPayload(uerr)}
+				continue
+			}
+			deadline = time.Duration(dl) * time.Millisecond
+			typ, payload = ityp, ipayload
+		}
+		reqCtx, cancel := context.WithCancel(connCtx)
+		if deadline > 0 {
+			cancel()
+			reqCtx, cancel = context.WithTimeout(connCtx, deadline)
+		}
+		inflight.add(id, cancel)
 		handlers.Add(1)
-		go func(id uint32, typ byte, payload []byte) {
+		go func(ctx context.Context, id uint32, typ byte, payload []byte) {
 			defer handlers.Done()
-			defer s.release()
-			rt, resp := s.handle(typ, payload)
+			defer inflight.remove(id)
+			rt, resp := s.serveRequest(ctx, typ, payload)
 			out <- v2Response{id: id, typ: rt, payload: resp}
-		}(id, typ, payload)
+		}(reqCtx, id, typ, payload)
 	}
+	cancelConn() // the connection is gone: abort work queued on its behalf
 	handlers.Wait()
 	close(out)
 	<-writerDone
 }
 
-// handle executes one request and returns the response frame type and
-// payload. Framing and request IDs belong to the caller; handle never
-// fails — request errors become msgError responses. It wraps dispatch
-// with the wire-level instrumentation: request counts and latency per
-// message type, payload bytes in each direction, the in-flight gauge and
-// error-code counters.
-func (s *Server) handle(typ byte, payload []byte) (byte, []byte) {
+// serveRequest runs one request end to end: drain gate, instrumentation,
+// admission, dispatch. Framing and request IDs belong to the caller;
+// serveRequest never fails — request errors become msgError responses.
+func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
+	if !s.beginRequest() {
+		rt, resp := errorResponse(ErrShuttingDown)
+		if m := s.met; m != nil {
+			m.record(typ, time.Now(), rt, resp)
+		}
+		return rt, resp
+	}
+	defer s.endRequest()
+	return s.handle(ctx, typ, payload)
+}
+
+// handle wraps dispatch with the wire-level instrumentation: request
+// counts and latency per message type, payload bytes in each direction,
+// the in-flight gauge and error-code counters.
+func (s *Server) handle(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
 	m := s.met
 	if m == nil {
-		return s.dispatch(typ, payload)
+		return s.admitAndDispatch(ctx, typ, payload)
 	}
 	m.inflight.Add(1)
 	m.bytesIn.Add(uint64(len(payload)))
 	start := time.Now()
-	rt, resp := s.dispatch(typ, payload)
+	rt, resp := s.admitAndDispatch(ctx, typ, payload)
 	m.record(typ, start, rt, resp)
 	m.inflight.Add(-1)
 	return rt, resp
 }
 
+// admitAndDispatch applies admission control, then routes the request.
+func (s *Server) admitAndDispatch(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
+	if err := s.admit(ctx); err != nil {
+		if m := s.met; m != nil && errors.Is(err, ErrOverloaded) {
+			m.shed.Inc()
+		}
+		return errorResponse(err)
+	}
+	defer s.release()
+	return s.dispatch(ctx, typ, payload)
+}
+
 // dispatch routes one request to the database.
-func (s *Server) dispatch(typ byte, payload []byte) (byte, []byte) {
+func (s *Server) dispatch(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
 	switch typ {
 	case msgGetOracle:
 		blob, err := s.db.OracleBlob()
@@ -277,7 +612,7 @@ func (s *Server) dispatch(typ byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return errorResponse(err)
 		}
-		if err := s.db.Ingest(ms); err != nil {
+		if err := s.db.Ingest(ctx, ms); err != nil {
 			return errorResponse(err)
 		}
 		ack := make([]byte, 8)
@@ -292,7 +627,7 @@ func (s *Server) dispatch(typ byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return errorResponse(err)
 		}
-		res, err := s.db.Locate(kps, intr)
+		res, err := s.db.Locate(ctx, kps, intr)
 		if err != nil {
 			return errorResponse(err)
 		}

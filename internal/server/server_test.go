@@ -439,10 +439,10 @@ func TestStatsWireCompat(t *testing.T) {
 		ms[i].Desc[0] = byte(i)
 		ms[i].Pos = mathx.Vec3{X: float64(i)}
 	}
-	if err := db.Ingest(ms); err != nil {
+	if err := db.Ingest(context.Background(), ms); err != nil {
 		t.Fatal(err)
 	}
-	rt, resp := s.handle(msgStats, nil)
+	rt, resp := s.serveRequest(context.Background(), msgStats, nil)
 	if rt != msgStatsResult {
 		t.Fatalf("msgStats response type = %d", rt)
 	}
@@ -452,7 +452,7 @@ func TestStatsWireCompat(t *testing.T) {
 	if got := binary.LittleEndian.Uint64(resp); got != 7 {
 		t.Fatalf("msgStats count = %d, want 7", got)
 	}
-	rt, resp = s.handle(msgStatsFull, nil)
+	rt, resp = s.serveRequest(context.Background(), msgStatsFull, nil)
 	if rt != msgStatsResult {
 		t.Fatalf("msgStatsFull response type = %d", rt)
 	}

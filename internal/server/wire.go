@@ -32,8 +32,51 @@ const (
 	msgStatsFull     byte = 11 // -> extended DBStats payload
 	msgGetMetrics    byte = 12 // -> JSON obs.Report (metrics, quantiles, slow log)
 	msgMetricsResult byte = 13
+	msgRequestEx     byte = 14 // [uint32 deadline ms][inner type][inner payload]
+	msgCancel        byte = 15 // frame ID names the request to cancel; no payload, no response
 	msgError         byte = 0x7f
 )
+
+// Request lifecycle extensions (protocol v2, additive).
+//
+// Deadline: a client with a context deadline wraps its request in
+// msgRequestEx — a four-byte relative deadline in milliseconds followed by
+// the inner request. The server unwraps before dispatch and answers with
+// the inner request's normal response type, so the response path is
+// unchanged. A server predating the extension rejects msgRequestEx as an
+// unknown message type; the client detects that one generic error, marks
+// the connection deadline-incapable, and transparently resends the plain
+// request (see Client.call). The deadline is relative, not absolute, so
+// client/server clock skew never expires a request in flight.
+//
+// Cancel: msgCancel reuses the v2 frame's request-ID field to name the
+// request being canceled and carries no payload. It is fire-and-forget:
+// the server cancels the named request's context if it is still in flight
+// and never responds. (An old server answers with msgError for the unknown
+// type; the client has already forgotten the ID, so the demux loop drops
+// that response on the floor.)
+
+// deadlineWireMax caps the encodable relative deadline (~49.7 days); longer
+// deadlines are clamped, which is indistinguishable from no deadline at
+// request timescales.
+const deadlineWireMax = ^uint32(0)
+
+// wrapRequestEx builds a msgRequestEx payload around an inner request.
+func wrapRequestEx(deadlineMillis uint32, typ byte, payload []byte) []byte {
+	buf := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(buf, deadlineMillis)
+	buf[4] = typ
+	copy(buf[5:], payload)
+	return buf
+}
+
+// unwrapRequestEx parses a msgRequestEx payload.
+func unwrapRequestEx(payload []byte) (deadlineMillis uint32, typ byte, inner []byte, err error) {
+	if len(payload) < 5 {
+		return 0, 0, nil, errors.New("server: short requestEx payload")
+	}
+	return binary.LittleEndian.Uint32(payload), payload[4], payload[5:], nil
+}
 
 // maxFrameSize bounds a single protocol frame (oracle blobs dominate).
 const maxFrameSize = 1 << 30

@@ -13,4 +13,11 @@ echo "== go build =="
 go build ./...
 echo "== go test -race =="
 go test -race ./...
+echo "== chaos / fault-injection (race) =="
+# The request-lifecycle suite: deadline propagation, cancel, shed, drain,
+# plus the netsim fault-injection run. Already part of the full -race pass
+# above; re-run un-cached and verbose-on-failure so a flake names itself.
+go test -race -count=1 -run \
+	'TestChaos|TestShutdown|TestShedUnderBurst|TestCancelFreesServerSlot|TestDeadlineEnforcedServerSide|TestProxy' \
+	./internal/server/ ./internal/netsim/
 echo "verify: OK"

@@ -2,9 +2,12 @@ package visualprint
 
 import (
 	"context"
+	"errors"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"visualprint/internal/obs"
 	"visualprint/internal/server"
@@ -24,15 +27,36 @@ type Server struct {
 	db    *server.Database
 	srv   *server.Server
 	debug *http.Server
+	opts  []ServerOption
 }
 
-// NewServer creates a cloud service with an empty database.
-func NewServer(cfg ServerConfig) (*Server, error) {
+// ServerOption configures the network front end of a Server — admission
+// control bounds and drain behavior. Options are recorded by NewServer and
+// take effect at Listen.
+type ServerOption = server.Option
+
+// WithMaxInFlight bounds concurrently executing requests; n <= 0 removes
+// the bound (and with it, admission control and load shedding).
+func WithMaxInFlight(n int) ServerOption { return server.WithMaxInFlight(n) }
+
+// WithQueueDepth bounds requests waiting for an execution slot; arrivals
+// beyond the bound are shed immediately with ErrOverloaded. The default is
+// twice the in-flight bound.
+func WithQueueDepth(n int) ServerOption { return server.WithQueueDepth(n) }
+
+// WithDrainTimeout bounds how long Shutdown waits for in-flight requests
+// when its context has no deadline of its own; past it, remaining work is
+// canceled. 0 (the default) waits indefinitely.
+func WithDrainTimeout(d time.Duration) ServerOption { return server.WithDrainTimeout(d) }
+
+// NewServer creates a cloud service with an empty database. Options
+// configure the network front end once Listen starts it.
+func NewServer(cfg ServerConfig, opts ...ServerOption) (*Server, error) {
 	db, err := server.NewDatabase(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{db: db}, nil
+	return &Server{db: db, opts: opts}, nil
 }
 
 // OpenData makes the database durable, backed by the given directory: every
@@ -52,7 +76,7 @@ func (s *Server) OpenData(dir string) error {
 // Listen starts serving on addr ("host:port"; ":0" picks a free port) and
 // returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
-	srv, err := server.ListenAndServe(addr, s.db)
+	srv, err := server.ListenAndServe(addr, s.db, s.opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -69,8 +93,17 @@ func (s *Server) ServeDebug(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.debug = &http.Server{Handler: obs.DebugMux(s.db.EnableObs())}
-	go s.debug.Serve(ln)
+	s.debug = &http.Server{
+		Handler: obs.DebugMux(s.db.EnableObs()),
+		// A debug port must not let a stalled peer pin a connection
+		// forever while it sends its request header.
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func(srv *http.Server) {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			obs.Default().Warnf("visualprint debug listener: %v", err)
+		}
+	}(s.debug)
 	return ln.Addr(), nil
 }
 
@@ -82,10 +115,35 @@ func (s *Server) Metrics() MetricsReport {
 
 // Close stops the network listener (if any), the debug listener (if any)
 // and, for a durable server, flushes and closes the data directory.
+// In-flight requests are cut off; use Shutdown to drain them gracefully.
 func (s *Server) Close() error {
 	var err error
 	if s.srv != nil {
 		err = s.srv.Close()
+	}
+	if s.debug != nil {
+		if dErr := s.debug.Close(); err == nil {
+			err = dErr
+		}
+	}
+	if dbErr := s.db.Close(); err == nil {
+		err = dbErr
+	}
+	return err
+}
+
+// Shutdown stops the service gracefully: the listener closes, new requests
+// are refused with ErrShuttingDown, and in-flight requests run to
+// completion with their responses flushed. If ctx expires first (or the
+// WithDrainTimeout bound does, when ctx has no deadline), remaining
+// requests are canceled; their pipelines unwind promptly and answer
+// ErrCanceled. The write-ahead log is flushed and the data directory
+// closed either way, so an acknowledged ingest is durable across a forced
+// drain too. Returns nil on a clean drain, ctx.Err() on a forced one.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.srv != nil {
+		err = s.srv.Shutdown(ctx)
 	}
 	if s.debug != nil {
 		if dErr := s.debug.Close(); err == nil {
@@ -103,7 +161,16 @@ func (s *Server) Close() error {
 func (s *Server) Database() *server.Database { return s.db }
 
 // Ingest adds wardriven mappings directly (in-process).
-func (s *Server) Ingest(ms []Mapping) error { return s.db.Ingest(ms) }
+func (s *Server) Ingest(ms []Mapping) error {
+	return s.db.Ingest(context.Background(), ms)
+}
+
+// IngestContext is Ingest under a context: cancellation is honored before
+// the batch is logged; once the write-ahead log has accepted it, the batch
+// runs to completion so an acknowledgment always means durable.
+func (s *Server) IngestContext(ctx context.Context, ms []Mapping) error {
+	return s.db.Ingest(ctx, ms)
+}
 
 // DBStats is the server's state report: mapping and byte counts plus
 // persistence status (snapshot coverage, WAL size, last compaction). It is
@@ -113,13 +180,53 @@ type DBStats = server.DBStats
 // Client is a connection to a VisualPrint cloud service.
 type Client = server.Client
 
+// DialOption configures a client built by Connect or DialContext.
+type DialOption = server.DialOption
+
+// RetryPolicy controls client-side retries: exponential backoff with
+// jitter, applied only to errors that are provably safe to retry
+// (ErrOverloaded always; a lost connection only for idempotent requests).
+// Typed request outcomes — ErrNoConsensus, a deadline — are never retried.
+type RetryPolicy = server.RetryPolicy
+
+// DefaultRetryPolicy is a reasonable interactive-use policy: four attempts
+// spanning roughly a quarter second of backoff.
+func DefaultRetryPolicy() RetryPolicy { return server.DefaultRetryPolicy() }
+
+// WithDialTimeout bounds each TCP dial — the initial connect and any
+// automatic reconnect after a lost connection.
+func WithDialTimeout(d time.Duration) DialOption { return server.WithDialTimeout(d) }
+
+// WithRetryPolicy enables client-side retries; the default is none.
+func WithRetryPolicy(p RetryPolicy) DialOption { return server.WithRetryPolicy(p) }
+
+// WithClientLogger routes the client's connection-lifecycle messages
+// (redials, envelope fallback) to l; nil silences them.
+func WithClientLogger(l *Logger) DialOption { return server.WithLogger(l) }
+
+// Logger is the level-tagged logger used across the library; build one
+// with NewLogger or install a process-wide default with SetLogLevel.
+type Logger = obs.Logger
+
+// NewLogger builds a Logger writing level-tagged lines to w at the given
+// minimum level: "debug", "info", "warn" or "error".
+func NewLogger(w io.Writer, level string) (*Logger, error) {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.New(w, lv), nil
+}
+
 // Connect dials a VisualPrint server.
-func Connect(addr string) (*Client, error) { return server.Dial(addr) }
+func Connect(addr string, opts ...DialOption) (*Client, error) {
+	return server.Dial(addr, opts...)
+}
 
 // DialContext dials a VisualPrint server, honoring the context's deadline
 // and cancellation during connection establishment.
-func DialContext(ctx context.Context, addr string) (*Client, error) {
-	return server.DialContext(ctx, addr)
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	return server.DialContext(ctx, addr, opts...)
 }
 
 // Typed localization failures, re-exported so callers can errors.Is on a
@@ -129,6 +236,30 @@ var (
 	ErrEmptyDatabase = server.ErrEmptyDatabase
 	ErrTooFewMatches = server.ErrTooFewMatches
 	ErrNoConsensus   = server.ErrNoConsensus
+)
+
+// Typed request-lifecycle failures. Like the localization sentinels they
+// cross the wire as stable one-byte codes, so errors.Is(err, sentinel)
+// holds identically whether the call was in-process or through a networked
+// Client — the round trip is part of the API contract. The context
+// sentinels additionally satisfy errors.Is against their standard-library
+// counterparts: errors.Is(err, context.DeadlineExceeded) is true for a
+// wire-decoded ErrDeadlineExceeded, and errors.Is(err, context.Canceled)
+// for ErrCanceled.
+var (
+	// ErrOverloaded: the server's dispatch queue was full and the request
+	// was shed before any work was done; always safe to retry after
+	// backoff (WithRetryPolicy does so automatically).
+	ErrOverloaded = server.ErrOverloaded
+	// ErrShuttingDown: the server is draining; it finishes in-flight work
+	// but accepts nothing new.
+	ErrShuttingDown = server.ErrShuttingDown
+	// ErrDeadlineExceeded: the request's deadline expired mid-pipeline and
+	// the server abandoned the remaining work.
+	ErrDeadlineExceeded = server.ErrDeadlineExceeded
+	// ErrCanceled: the request was canceled — client-side cancel,
+	// connection death, or server drain cutoff — mid-pipeline.
+	ErrCanceled = server.ErrCanceled
 )
 
 // IsRemoteError reports whether err was diagnosed by the server (as opposed
@@ -246,16 +377,30 @@ type QueryStats struct {
 // localization pipeline. It is the end-to-end client flow of the paper's
 // Figure 7 without the network in between.
 func (p *Pipeline) Localize(cam Camera) (LocateResult, QueryStats, error) {
+	return p.LocalizeContext(context.Background(), cam)
+}
+
+// LocalizeContext is Localize under a context: cancellation or an expired
+// deadline stops the localization pipeline at its next stage boundary
+// (LSH retrieval, clustering, each pose-solver generation) and returns
+// ErrCanceled or ErrDeadlineExceeded.
+func (p *Pipeline) LocalizeContext(ctx context.Context, cam Camera) (LocateResult, QueryStats, error) {
 	fr, err := Render(p.World, cam)
 	if err != nil {
 		return LocateResult{}, QueryStats{}, err
 	}
-	return p.LocalizeFrame(fr)
+	return p.LocalizeFrameContext(ctx, fr)
 }
 
 // LocalizeFrame runs the client flow on an already-rendered frame. Frames
 // failing the blur gate return ErrFrameBlurred without any extraction work.
 func (p *Pipeline) LocalizeFrame(fr *Frame) (LocateResult, QueryStats, error) {
+	return p.LocalizeFrameContext(context.Background(), fr)
+}
+
+// LocalizeFrameContext is LocalizeFrame under a context (see
+// LocalizeContext for the cancellation semantics).
+func (p *Pipeline) LocalizeFrameContext(ctx context.Context, fr *Frame) (LocateResult, QueryStats, error) {
 	if p.BlurThreshold > 0 && BlurScore(fr.Image) < p.BlurThreshold {
 		return LocateResult{}, QueryStats{}, ErrFrameBlurred
 	}
@@ -273,7 +418,7 @@ func (p *Pipeline) LocalizeFrame(fr *Frame) (LocateResult, QueryStats, error) {
 		UploadedKeypoints:  len(sel),
 		UploadBytes:        QueryUploadBytes(len(sel)),
 	}
-	res, err := p.Server.Database().Locate(sel, IntrinsicsOf(fr.Cam))
+	res, err := p.Server.Database().Locate(ctx, sel, IntrinsicsOf(fr.Cam))
 	if err != nil {
 		return LocateResult{}, stats, err
 	}
