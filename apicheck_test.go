@@ -1,0 +1,226 @@
+package visualprint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// apiUpdate regenerates testdata/api.txt from the current source instead of
+// diffing against it:
+//
+//	go test . -run TestPublicAPISnapshot -update-api
+var apiUpdate = flag.Bool("update-api", false, "rewrite testdata/api.txt with the current exported API")
+
+const apiSnapshotFile = "testdata/api.txt"
+
+// TestPublicAPISnapshot is the API-compatibility gate: the exported surface
+// of package visualprint is rendered to a canonical text form and diffed
+// against the checked-in snapshot. Any drift — a removed function, a changed
+// signature, a renamed field — fails `make verify` until the snapshot is
+// deliberately regenerated with -update-api and the change reviewed as an
+// intentional API break (or addition).
+func TestPublicAPISnapshot(t *testing.T) {
+	got := renderPublicAPI(t)
+	if *apiUpdate {
+		if err := os.MkdirAll(filepath.Dir(apiSnapshotFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiSnapshotFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d declarations)", apiSnapshotFile, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(apiSnapshotFile)
+	if err != nil {
+		t.Fatalf("missing API snapshot (run `go test . -run TestPublicAPISnapshot -update-api` to create it): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotL, wantL := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	gotSet, wantSet := map[string]bool{}, map[string]bool{}
+	for _, l := range gotL {
+		gotSet[l] = true
+	}
+	for _, l := range wantL {
+		wantSet[l] = true
+	}
+	var diff []string
+	for _, l := range wantL {
+		if l != "" && !gotSet[l] {
+			diff = append(diff, "- "+l)
+		}
+	}
+	for _, l := range gotL {
+		if l != "" && !wantSet[l] {
+			diff = append(diff, "+ "+l)
+		}
+	}
+	t.Fatalf("public API drifted from %s (-removed/changed +added):\n%s\n\nIf intentional, regenerate with: go test . -run TestPublicAPISnapshot -update-api",
+		apiSnapshotFile, strings.Join(diff, "\n"))
+}
+
+// renderPublicAPI parses the package in the current directory and returns a
+// sorted, one-declaration-per-line rendering of everything exported:
+// funcs and methods as signatures, types with their exported fields, and
+// const/var names with declared types.
+func renderPublicAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["visualprint"]
+	if !ok {
+		t.Fatalf("package visualprint not found (got %v)", pkgs)
+	}
+
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		// Collapse to one line so each declaration is exactly one snapshot
+		// entry and diffs stay per-declaration.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+
+	var files []string
+	for name := range pkg.Files {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		for _, decl := range pkg.Files[name].Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedReceiver(d.Recv) {
+					continue
+				}
+				fn := *d
+				fn.Body = nil
+				fn.Doc = nil
+				add("%s", render(&fn))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						for _, id := range s.Names {
+							if !id.IsExported() {
+								continue
+							}
+							if s.Type != nil {
+								add("%s %s %s", d.Tok, id.Name, render(s.Type))
+							} else {
+								add("%s %s", d.Tok, id.Name)
+							}
+						}
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						ts := *s
+						ts.Doc = nil
+						ts.Comment = nil
+						ts.Type = stripUnexportedFields(ts.Type)
+						eq := ""
+						if ts.Assign != token.NoPos {
+							eq = "= "
+						}
+						add("type %s %s%s", ts.Name.Name, eq, render(ts.Type))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the public API unless the
+// type escapes through an exported alias — which the snapshot of the alias
+// itself covers).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if idx, ok := typ.(*ast.IndexExpr); ok { // generic receiver
+		typ = idx.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// stripUnexportedFields returns a copy of a struct type without its
+// unexported fields, so internal layout changes don't churn the snapshot.
+// Non-struct types pass through unchanged.
+func stripUnexportedFields(typ ast.Expr) ast.Expr {
+	st, ok := typ.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return typ
+	}
+	kept := &ast.FieldList{}
+	for _, f := range st.Fields.List {
+		nf := *f
+		nf.Doc = nil
+		nf.Comment = nil
+		nf.Tag = nil
+		if len(f.Names) == 0 {
+			// Embedded field: part of the API iff the embedded type is.
+			e := f.Type
+			if star, ok := e.(*ast.StarExpr); ok {
+				e = star.X
+			}
+			if sel, ok := e.(*ast.SelectorExpr); ok {
+				if sel.Sel.IsExported() {
+					kept.List = append(kept.List, &nf)
+				}
+				continue
+			}
+			if id, ok := e.(*ast.Ident); ok && id.IsExported() {
+				kept.List = append(kept.List, &nf)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		nf.Names = names
+		kept.List = append(kept.List, &nf)
+	}
+	out := *st
+	out.Fields = kept
+	return &out
+}

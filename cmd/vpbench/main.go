@@ -33,6 +33,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	locateJSON := flag.String("locate-json", "", "file to write the locate benchmark result as JSON (BENCH_locate.json)")
 	obsOn := flag.Bool("obs", false, "enable observability instrumentation on the benchmark database (measures tracer overhead)")
+	locateShards := flag.Int("locate-shards", 0, "run the locate benchmark against a venue sharded this many ways (0/1: direct single database; >1 measures scatter-gather routing overhead)")
 	baseline := flag.String("baseline", "", "baseline locate JSON (e.g. BENCH_locate_short.json) to compare ns/op against")
 	maxRegress := flag.Float64("max-regress", 2.0, "with -baseline: fail (exit 1) if ns/op exceeds baseline by this factor")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -142,6 +143,7 @@ func main() {
 			cfg, iters, perClient = bench.DefaultLocateWorkload(), 10, 4
 		}
 		cfg.EnableObs = *obsOn
+		cfg.Shards = *locateShards
 		res, err := bench.RunLocateBenchmark(cfg, iters, []int{1, 2, 4}, perClient)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "locate: %v\n", err)

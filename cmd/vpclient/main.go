@@ -24,7 +24,8 @@ import (
 
 func main() {
 	serverAddr := flag.String("server", "localhost:7310", "vpserver address")
-	venue := flag.String("venue", "office", "venue: office, cafeteria, grocery, gallery")
+	venue := flag.String("venue", "office", "venue world: office, cafeteria, grocery, gallery")
+	venueID := flag.String("venue-id", "", "named server venue to query (empty: the default venue; must match vpwardrive -venue-id)")
 	seed := flag.Uint("seed", 1, "venue construction seed (must match vpwardrive)")
 	queries := flag.Int("queries", 5, "number of query viewpoints")
 	selectN := flag.Int("select", 200, "most-unique keypoints to upload per query")
@@ -52,7 +53,8 @@ func main() {
 	// contexts below bound each request end to end, server included.
 	client, err := visualprint.Connect(*serverAddr,
 		visualprint.WithDialTimeout(*dialTimeout),
-		visualprint.WithRetryPolicy(visualprint.DefaultRetryPolicy()))
+		visualprint.WithRetryPolicy(visualprint.DefaultRetryPolicy()),
+		visualprint.WithVenue(*venueID))
 	if err != nil {
 		log.Fatal(err)
 	}

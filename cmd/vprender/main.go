@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	venue := flag.String("venue", "gallery", "venue: office, cafeteria, grocery, gallery")
+	venue := flag.String("venue", "gallery", "venue world: office, cafeteria, grocery, gallery")
 	seed := flag.Uint("seed", 1, "venue construction seed")
 	out := flag.String("out", "renders", "output directory")
 	views := flag.Int("views", 6, "POI views to render")

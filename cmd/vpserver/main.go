@@ -12,14 +12,38 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"visualprint"
 )
+
+// venueShardsFlag parses repeated -venue-shards name=N values into venue
+// topology options.
+type venueShardsFlag struct {
+	opts []visualprint.ServerOption
+}
+
+func (f *venueShardsFlag) String() string { return "" }
+
+func (f *venueShardsFlag) Set(v string) error {
+	name, count, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=shards, got %q", v)
+	}
+	n, err := strconv.Atoi(count)
+	if err != nil || n < 1 {
+		return fmt.Errorf("bad shard count %q", count)
+	}
+	f.opts = append(f.opts, visualprint.WithVenueShards(name, n))
+	return nil
+}
 
 func main() {
 	listen := flag.String("listen", ":7310", "listen address")
@@ -29,12 +53,14 @@ func main() {
 	maxInFlight := flag.Int("max-in-flight", 0, "max concurrently executing requests (0: default, 4x GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", -1, "max requests queued for a slot before shedding with overloaded (-1: default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before canceling them")
+	var venueShards venueShardsFlag
+	flag.Var(&venueShards, "venue-shards", "shard topology for a named venue as name=N (repeatable; applies at venue creation)")
 	flag.Parse()
 
 	if err := visualprint.SetLogLevel(*logLevel); err != nil {
 		log.Fatal(err)
 	}
-	var opts []visualprint.ServerOption
+	opts := venueShards.opts
 	if *maxInFlight > 0 {
 		opts = append(opts, visualprint.WithMaxInFlight(*maxInFlight))
 	}
@@ -50,7 +76,10 @@ func main() {
 		if err := srv.OpenData(*data); err != nil {
 			log.Fatalf("opening data dir %s: %v", *data, err)
 		}
-		log.Printf("data dir %s: recovered %d mappings", *data, srv.Database().Len())
+		log.Printf("data dir %s: recovered %d mappings (default venue)", *data, srv.Stats().Mappings)
+		for _, v := range srv.Venues() {
+			log.Printf("  venue %s: %d mappings", v, srv.VenueStats(v).Mappings)
+		}
 	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
@@ -68,7 +97,7 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("draining (%d mappings served); second signal forces exit", srv.Database().Len())
+	log.Printf("draining (%d mappings served); second signal forces exit", srv.Stats().Mappings)
 	// A second signal skips the drain: cut everything off immediately.
 	go func() {
 		<-sig
@@ -77,8 +106,9 @@ func main() {
 		os.Exit(1)
 	}()
 	if *data != "" {
-		// Fold the WAL into a snapshot so the next start recovers fast.
-		if err := srv.Database().Compact(); err != nil {
+		// Fold every venue's WAL into a snapshot so the next start
+		// recovers fast.
+		if err := srv.Compact(); err != nil {
 			log.Printf("final compaction: %v", err)
 		}
 	}

@@ -21,7 +21,9 @@ import (
 func main() {
 	serverAddr := flag.String("server", "localhost:7310", "vpserver address")
 	data := flag.String("data", "", "ingest into this local data directory instead of a server")
-	venue := flag.String("venue", "office", "venue: office, cafeteria, grocery, gallery")
+	venue := flag.String("venue", "office", "venue world: office, cafeteria, grocery, gallery")
+	venueID := flag.String("venue-id", "", "named server venue to ingest into (empty: the default venue)")
+	venueShards := flag.Int("venue-shards", 0, "shard count if this upload creates the named venue (0: server default)")
 	seed := flag.Uint("seed", 1, "venue construction seed")
 	drift := flag.Float64("drift", 0.05, "dead-reckoning drift stddev per sqrt-meter")
 	icpFix := flag.Bool("icp", true, "correct drift with ICP before upload")
@@ -60,11 +62,11 @@ func main() {
 	ms := visualprint.MappingsFrom(snaps)
 
 	if *data != "" {
-		ingestLocal(*data, ms, *batch)
+		ingestLocal(*data, *venueID, *venueShards, ms, *batch)
 		return
 	}
 
-	client, err := visualprint.Connect(*serverAddr)
+	client, err := visualprint.Connect(*serverAddr, visualprint.WithVenue(*venueID))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,34 +87,40 @@ func main() {
 
 // ingestLocal writes the mappings into a durable database directory without
 // a network hop: open (recovering any prior state), append, snapshot, close.
-func ingestLocal(dir string, ms []visualprint.Mapping, batch int) {
-	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig())
+func ingestLocal(dir, venueID string, venueShards int, ms []visualprint.Mapping, batch int) {
+	var opts []visualprint.ServerOption
+	if venueID != "" && venueShards > 0 {
+		opts = append(opts, visualprint.WithVenueShards(venueID, venueShards))
+	}
+	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig(), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := srv.OpenData(dir); err != nil {
 		log.Fatalf("opening data dir %s: %v", dir, err)
 	}
-	if n := srv.Database().Len(); n > 0 {
+	if n := srv.VenueStats(venueID).Mappings; n > 0 {
 		log.Printf("data dir %s: extending existing map of %d mappings", dir, n)
 	}
+	total := 0
 	for i := 0; i < len(ms); i += batch {
 		end := i + batch
 		if end > len(ms) {
 			end = len(ms)
 		}
-		if err := srv.Ingest(ms[i:end]); err != nil {
+		total, err = srv.IngestVenue(context.Background(), venueID, ms[i:end])
+		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("ingested %d/%d (local total %d)", end, len(ms), srv.Database().Len())
+		log.Printf("ingested %d/%d (local total %d)", end, len(ms), total)
 	}
 	// Compact so vpserver's next start loads one snapshot instead of
 	// replaying the whole log.
-	if err := srv.Database().Compact(); err != nil {
+	if err := srv.Compact(); err != nil {
 		log.Fatalf("compacting: %v", err)
 	}
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("done: %d mappings durable in %s", srv.Database().Len(), dir)
+	log.Printf("done: %d mappings durable in %s", total, dir)
 }

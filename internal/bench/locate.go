@@ -146,6 +146,13 @@ type LocateWorkloadConfig struct {
 	// with EnableObs set is not comparable against the recorded baseline,
 	// so no baseline is attached to its result.
 	EnableObs bool `json:"enable_obs,omitempty"`
+	// Shards > 1 ingests the corpus into a sharded venue behind a Router
+	// and measures the scatter-gather Locate path instead of the direct
+	// single-database one. Results are bit-identical to unsharded (the
+	// merge reproduces the single-database candidate ranking), so the
+	// delta against a Shards=0 run is pure routing overhead. Not
+	// comparable against the recorded baseline.
+	Shards int `json:"shards,omitempty"`
 }
 
 // DefaultLocateWorkload is the standard measurement configuration: a
@@ -183,6 +190,10 @@ type LocateWorkload struct {
 	// TrueCam is the camera position the cluster keypoints were projected
 	// from; the solved position must land near it.
 	TrueCam mathx.Vec3
+	// Router and VenueName are set for a sharded workload (Cfg.Shards > 1):
+	// Run and QPS then go through the scatter-gather path.
+	Router    *server.Router
+	VenueName string
 }
 
 // NewLocateWorkload builds the synthetic database and query. The cluster
@@ -245,7 +256,18 @@ func NewLocateWorkload(cfg LocateWorkloadConfig) (*LocateWorkload, error) {
 	if cfg.EnableObs {
 		db.EnableObs()
 	}
-	if err := db.Ingest(context.Background(), ms); err != nil {
+	var router *server.Router
+	venueName := ""
+	if cfg.Shards > 1 {
+		router = server.NewRouter(db, dbCfg)
+		venueName = "bench"
+		if err := router.ConfigureVenue(venueName, server.VenueConfig{Shards: cfg.Shards}); err != nil {
+			return nil, err
+		}
+		if _, err := router.Ingest(context.Background(), venueName, ms); err != nil {
+			return nil, err
+		}
+	} else if err := db.Ingest(context.Background(), ms); err != nil {
 		return nil, err
 	}
 	intr := pose.Intrinsics{W: 200, H: 150, FovX: 1.1, FovY: 0.85}
@@ -268,11 +290,12 @@ func NewLocateWorkload(cfg LocateWorkloadConfig) (*LocateWorkload, error) {
 			kps[i].Y = float64(8 + (i/16)*10)
 		}
 	}
-	w := &LocateWorkload{DB: db, KPs: kps, Intr: intr, Cfg: cfg, TrueCam: cam}
+	w := &LocateWorkload{DB: db, KPs: kps, Intr: intr, Cfg: cfg, TrueCam: cam,
+		Router: router, VenueName: venueName}
 	// Fail construction, not measurement, if the query cannot localize —
 	// and, at full solver budget, if it does not localize close to the
 	// true camera (the workload must measure a converging solve).
-	res, err := db.Locate(context.Background(), kps, w.Intr)
+	res, err := w.locate(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("bench: locate workload query does not localize: %w", err)
 	}
@@ -287,8 +310,17 @@ func NewLocateWorkload(cfg LocateWorkloadConfig) (*LocateWorkload, error) {
 
 // Run performs one Locate — the benchmark body.
 func (w *LocateWorkload) Run() error {
-	_, err := w.DB.Locate(context.Background(), w.KPs, w.Intr)
+	_, err := w.locate(context.Background())
 	return err
+}
+
+// locate issues the workload query through whichever engine the config
+// built: the direct database, or the router's scatter-gather path.
+func (w *LocateWorkload) locate(ctx context.Context) (server.LocateResult, error) {
+	if w.Router != nil {
+		return w.Router.Locate(ctx, w.VenueName, w.KPs, w.Intr)
+	}
+	return w.DB.Locate(ctx, w.KPs, w.Intr)
 }
 
 // QPS measures end-to-end localization queries/s against a live TCP server
@@ -299,7 +331,11 @@ func (w *LocateWorkload) QPS(clients, perClient int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	srv := server.Serve(ln, w.DB)
+	var opts []server.Option
+	if w.Router != nil {
+		opts = append(opts, server.WithRouter(w.Router))
+	}
+	srv := server.Serve(ln, w.DB, opts...)
 	srv.Log = nil
 	defer srv.Close()
 	return measureLocateQPS(srv.Addr().String(), w, clients, perClient)
@@ -308,7 +344,7 @@ func (w *LocateWorkload) QPS(clients, perClient int) (float64, error) {
 func measureLocateQPS(addr string, w *LocateWorkload, clients, perClient int) (float64, error) {
 	conns := make([]*server.Client, clients)
 	for i := range conns {
-		c, err := server.Dial(addr)
+		c, err := server.Dial(addr, server.WithVenue(w.VenueName))
 		if err != nil {
 			return 0, err
 		}

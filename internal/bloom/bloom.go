@@ -351,6 +351,45 @@ func GzipBytes(wt io.WriterTo) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// MergeFrom adds other's counters into c (same n, bits, k, seed), saturating
+// per counter. Because counters only ever increment and saturate at max, a
+// counter's value is min(max, #increments); min(max, a+b) therefore equals
+// the value the counter would hold had every element of both filters been
+// inserted into one — the merged filter is bitwise identical to sequential
+// insertion, which is what lets a sharded oracle be reassembled exactly from
+// per-shard oracles (see core.Merge).
+func (c *Counting) MergeFrom(other *Counting) error {
+	if other.n != c.n || other.bits != c.bits || other.k != c.k || other.seed != c.seed {
+		return errors.New("bloom: merge between incompatible counting filters")
+	}
+	for i := uint64(0); i < c.n; i++ {
+		ov := other.counterAt(i)
+		if ov == 0 {
+			continue
+		}
+		sum := c.counterAt(i) + ov
+		if sum > c.max {
+			sum = c.max
+		}
+		c.setCounterAt(i, sum)
+	}
+	c.inserts += other.inserts
+	return nil
+}
+
+// MergeFrom ORs other's bits into f (same m, k, seed). Set-union of bit
+// positions, so the result is identical to inserting both filters' elements
+// into one.
+func (f *Filter) MergeFrom(other *Filter) error {
+	if other.m != f.m || other.k != f.k || other.seed != f.seed {
+		return errors.New("bloom: merge between incompatible filters")
+	}
+	for i := range f.data {
+		f.data[i] |= other.data[i]
+	}
+	return nil
+}
+
 // DiffWords returns the XOR of this filter's packed counters against an
 // older snapshot of the same filter (same n, bits, k, seed). Counting
 // filters only ever increment, so the XOR is sparse — mostly zero words —

@@ -179,6 +179,14 @@ func (h *Hasher) Probes(coords []int32) [][]int32 {
 type Candidate struct {
 	ID     int // insertion order identifier
 	DistSq int // squared Euclidean distance to the query
+	// Probe is the ordinal of the bucket probe at which the candidate was
+	// first collected: table-major over the probe sequence (exact bucket,
+	// then per coordinate -1/+1), so 0 <= Probe < L*(2M+1). Together with
+	// the candidate's insertion order it reconstructs the dedup order of a
+	// query — the property the sharded scatter-gather merge relies on to
+	// reproduce a single index's candidate ranking across disjoint
+	// sub-indexes (see server.Router).
+	Probe int32
 }
 
 // compareCandidates orders by ascending distance; QueryInto sorts stably, so
@@ -318,18 +326,23 @@ func (ix *Index) QueryInto(desc []byte, opt QueryOptions, dst []Candidate) ([]Ca
 	defer ix.scratch.Put(s)
 	s.vec = DescriptorVec(desc, s.vec)
 	dst = dst[:0]
+	probesPerTable := int32(1)
+	if opt.MultiProbe {
+		probesPerTable += 2 * int32(ix.h.p.M)
+	}
 	for t := 0; t < ix.h.p.L; t++ {
 		ix.h.BucketVecInto(s.vec, t, s.coords)
-		dst = ix.collect(t, desc, s, dst)
+		ord := int32(t) * probesPerTable
+		dst = ix.collect(t, ord, desc, s, dst)
 		if opt.MultiProbe {
 			// Off-by-one perturbations, enumerated by mutating one
 			// coordinate at a time — same order as Probes, no allocation.
 			for m := range s.coords {
 				orig := s.coords[m]
 				s.coords[m] = orig - 1
-				dst = ix.collect(t, desc, s, dst)
+				dst = ix.collect(t, ord+1+2*int32(m), desc, s, dst)
 				s.coords[m] = orig + 1
-				dst = ix.collect(t, desc, s, dst)
+				dst = ix.collect(t, ord+2+2*int32(m), desc, s, dst)
 				s.coords[m] = orig
 			}
 		}
@@ -341,8 +354,9 @@ func (ix *Index) QueryInto(desc []byte, opt QueryOptions, dst []Candidate) ([]Ca
 	return dst, nil
 }
 
-// collect appends the not-yet-seen candidates of one bucket probe.
-func (ix *Index) collect(table int, desc []byte, s *queryScratch, dst []Candidate) []Candidate {
+// collect appends the not-yet-seen candidates of one bucket probe, stamping
+// each with the probe ordinal it was first found at.
+func (ix *Index) collect(table int, ord int32, desc []byte, s *queryScratch, dst []Candidate) []Candidate {
 	k := ix.h.KeyInto(table, s.coords, s.key)
 	for _, id := range ix.tables[table][k] {
 		if int(id) >= len(s.seen) {
@@ -355,7 +369,7 @@ func (ix *Index) collect(table int, desc []byte, s *queryScratch, dst []Candidat
 			continue
 		}
 		s.seen[id] = s.epoch
-		dst = append(dst, Candidate{ID: int(id), DistSq: distSq(desc, ix.descs[id])})
+		dst = append(dst, Candidate{ID: int(id), DistSq: distSq(desc, ix.descs[id]), Probe: ord})
 	}
 	return dst
 }

@@ -84,6 +84,7 @@ type dialConfig struct {
 	timeout time.Duration
 	retry   RetryPolicy
 	log     *obs.Logger
+	venue   string
 }
 
 // DialOption configures a client at construction.
@@ -105,6 +106,13 @@ func WithRetryPolicy(p RetryPolicy) DialOption {
 // retry exhaustion) to l; the default is the process logger. Nil silences.
 func WithLogger(l *obs.Logger) DialOption {
 	return func(c *dialConfig) { c.log = l }
+}
+
+// WithVenue pins every request the client sends to the named venue, as if
+// each call went through Client.Venue(name). The empty name (the default)
+// addresses the server's default venue.
+func WithVenue(name string) DialOption {
+	return func(c *dialConfig) { c.venue = name }
 }
 
 // Client is a VisualPrint protocol client. It is safe for concurrent use:
@@ -130,10 +138,21 @@ type Client struct {
 	retry  RetryPolicy
 	log    *obs.Logger
 
+	// venue is the default venue for every call (WithVenue); Venue(name)
+	// handles override it per request.
+	venue string
+
 	// deadlineOK tracks whether the server accepts msgRequestEx deadline
 	// envelopes; cleared on the first "unknown message type" rejection so
 	// a session against an old server pays the round trip once.
 	deadlineOK atomic.Bool
+	// venueNo tracks a server rejecting msgVenueEx as an unknown type
+	// (sticky, like deadlineOK but inverted so the zero value — venue
+	// support assumed — works for NewClientV1's bare construction). Unlike
+	// the deadline fallback there is no transparent resend: a plain request
+	// would silently address the default venue, so venue-pinned calls fail
+	// with the typed ErrVenueUnsupported instead.
+	venueNo atomic.Bool
 
 	// writeMu serializes frame writes; for v1 it also pins FIFO
 	// registration to wire order. Reconnection swaps the conn under
@@ -170,7 +189,7 @@ func NewClient(conn net.Conn, opts ...DialOption) *Client {
 	}
 	c := &Client{
 		conn: conn, pending: make(map[uint32]chan rpcResult),
-		retry: cfg.retry, log: cfg.log,
+		retry: cfg.retry, log: cfg.log, venue: cfg.venue,
 	}
 	c.deadlineOK.Store(true)
 	if err := writePreamble(conn); err != nil {
@@ -398,8 +417,8 @@ func (c *Client) retryable(err error, idempotent bool) bool {
 
 // invoke is call plus the retry loop: jittered exponential backoff on
 // retryable errors, reconnecting first when the transport died.
-func (c *Client) invoke(ctx context.Context, typ byte, payload []byte, idempotent bool) (byte, []byte, error) {
-	rt, resp, err := c.call(ctx, typ, payload)
+func (c *Client) invoke(ctx context.Context, venue string, typ byte, payload []byte, idempotent bool) (byte, []byte, error) {
+	rt, resp, err := c.call(ctx, venue, typ, payload)
 	for attempt := 1; err != nil && attempt < c.retry.MaxAttempts && c.retryable(err, idempotent); attempt++ {
 		select {
 		case <-time.After(c.retry.delay(attempt)):
@@ -411,7 +430,7 @@ func (c *Client) invoke(ctx context.Context, typ byte, payload []byte, idempoten
 				return 0, nil, rerr
 			}
 		}
-		rt, resp, err = c.call(ctx, typ, payload)
+		rt, resp, err = c.call(ctx, venue, typ, payload)
 	}
 	return rt, resp, err
 }
@@ -430,28 +449,61 @@ func deadlineMillis(d time.Time) uint32 {
 	return uint32(ms)
 }
 
-// isUnknownTypeErr detects an old server rejecting a message type it does
-// not know — the generic-code error its dispatcher returns. Used to fall
-// back from the msgRequestEx envelope.
-func isUnknownTypeErr(err error) bool {
+// isUnknownTypeErr detects an old server rejecting specifically message
+// type typ — the generic-code "unknown message type N" error its dispatcher
+// returns. The check is type-specific on purpose: a nested envelope can
+// produce the same rejection for a different type (an old server rejecting
+// the venue envelope must not be mistaken for one rejecting the deadline
+// envelope, and vice versa). Used to fall back from the msgRequestEx and
+// msgVenueEx envelopes.
+func isUnknownTypeErr(err error, typ byte) bool {
 	var r errRemote
 	return errors.As(err, &r) && r.code == errCodeGeneric &&
-		strings.Contains(r.msg, "unknown message type")
+		strings.HasSuffix(r.msg, fmt.Sprintf("unknown message type %d", typ))
 }
 
-// call sends one request and waits for its routed response. On v2, a
-// context deadline rides to the server as a msgRequestEx envelope; if the
-// server predates the envelope (it rejects the unknown type), the client
-// falls back to a plain resend and remembers, enforcing deadlines locally
-// from then on.
-func (c *Client) call(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
+// ErrVenueUnsupported marks a venue-pinned call against a server predating
+// the venue envelope. There is no transparent fallback — a plain resend
+// would silently address the default venue — so the caller must decide.
+// Match with errors.Is.
+var ErrVenueUnsupported = errors.New("visualprint client: server does not support venue routing")
+
+// call sends one request and waits for its routed response. A non-empty
+// venue wraps the request in the msgVenueEx envelope; a context deadline
+// (v2 only) additionally wraps it in msgRequestEx, always outermost —
+// mirroring the server, which unwraps the deadline before dispatch and the
+// venue at dispatch. If the server predates the deadline envelope (it
+// rejects the unknown type), the client falls back to a plain resend and
+// remembers, enforcing deadlines locally from then on; if it predates the
+// venue envelope, the call fails with ErrVenueUnsupported (sticky).
+func (c *Client) call(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
+	if venue != "" {
+		if c.venueNo.Load() {
+			return 0, nil, ErrVenueUnsupported
+		}
+		if !validVenueName(venue) {
+			return 0, nil, fmt.Errorf("visualprint client: invalid venue name %q", venue)
+		}
+		typ, payload = msgVenueEx, wrapVenue(venue, typ, payload)
+	}
+	rt, resp, err := c.exchangeDeadline(ctx, typ, payload)
+	if err != nil && typ == msgVenueEx && isUnknownTypeErr(err, msgVenueEx) {
+		c.venueNo.Store(true)
+		c.logf("visualprint client: server predates venue routing")
+		return 0, nil, fmt.Errorf("%w: %w", ErrVenueUnsupported, err)
+	}
+	return rt, resp, err
+}
+
+// exchangeDeadline is exchange plus the deadline-envelope layer (see call).
+func (c *Client) exchangeDeadline(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
 	if !c.v1 && c.deadlineOK.Load() {
 		if d, ok := ctx.Deadline(); ok {
 			rt, resp, err := c.exchange(ctx, msgRequestEx, wrapRequestEx(deadlineMillis(d), typ, payload))
-			if err != nil && isUnknownTypeErr(err) {
+			if err != nil && isUnknownTypeErr(err, msgRequestEx) {
 				c.deadlineOK.Store(false)
 				c.logf("visualprint client: server predates deadline envelopes; enforcing deadlines locally")
 				return c.exchange(ctx, typ, payload)
@@ -567,12 +619,12 @@ func (c *Client) sendCancel(id uint32) {
 }
 
 // roundTrip is invoke plus a response-type check, for idempotent requests.
-func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte, wantType byte) ([]byte, error) {
-	return c.roundTripIdem(ctx, typ, payload, wantType, true)
+func (c *Client) roundTrip(ctx context.Context, venue string, typ byte, payload []byte, wantType byte) ([]byte, error) {
+	return c.roundTripIdem(ctx, venue, typ, payload, wantType, true)
 }
 
-func (c *Client) roundTripIdem(ctx context.Context, typ byte, payload []byte, wantType byte, idempotent bool) ([]byte, error) {
-	rt, resp, err := c.invoke(ctx, typ, payload, idempotent)
+func (c *Client) roundTripIdem(ctx context.Context, venue string, typ byte, payload []byte, wantType byte, idempotent bool) ([]byte, error) {
+	rt, resp, err := c.invoke(ctx, venue, typ, payload, idempotent)
 	if err != nil {
 		return nil, err
 	}
@@ -582,10 +634,67 @@ func (c *Client) roundTripIdem(ctx context.Context, typ byte, payload []byte, wa
 	return resp, nil
 }
 
+// Venue is a lightweight handle pinning requests to one named venue on a
+// shared client. Handles are cheap values — create one per venue as needed;
+// all handles multiplex over the client's single connection and share its
+// retry policy and byte counters. The zero name addresses the default venue
+// (identical to calling the client directly).
+type Venue struct {
+	c    *Client
+	name string
+}
+
+// Venue returns a handle whose requests address the named venue. Against a
+// server predating venue routing, the handle's calls fail with the typed
+// ErrVenueUnsupported (detected once, then sticky for the client).
+func (c *Client) Venue(name string) Venue { return Venue{c: c, name: name} }
+
+// Name returns the venue name the handle addresses.
+func (v Venue) Name() string { return v.name }
+
+// FetchOracle downloads the venue's uniqueness oracle (see
+// Client.FetchOracle).
+func (v Venue) FetchOracle(ctx context.Context) (*core.Oracle, int64, error) {
+	return v.c.fetchOracle(ctx, v.name)
+}
+
+// RefreshOracle updates a previously downloaded venue oracle (see
+// Client.RefreshOracle).
+func (v Venue) RefreshOracle(ctx context.Context, o *core.Oracle) (*core.Oracle, int64, bool, error) {
+	return v.c.refreshOracle(ctx, v.name, o)
+}
+
+// Ingest uploads mappings into the venue, creating it on first upload (see
+// Client.Ingest).
+func (v Venue) Ingest(ctx context.Context, ms []Mapping) (int, error) {
+	return v.c.ingest(ctx, v.name, ms)
+}
+
+// Query localizes against the venue's shards (see Client.Query). A venue
+// that has never been ingested answers ErrEmptyDatabase.
+func (v Venue) Query(ctx context.Context, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
+	return v.c.query(ctx, v.name, kps, intr)
+}
+
+// Stats returns the venue's mapping count (see Client.Stats).
+func (v Venue) Stats(ctx context.Context) (uint64, error) {
+	return v.c.stats(ctx, v.name)
+}
+
+// StatsFull returns the venue's aggregated state report (see
+// Client.StatsFull).
+func (v Venue) StatsFull(ctx context.Context) (DBStats, error) {
+	return v.c.statsFull(ctx, v.name)
+}
+
 // FetchOracle downloads the current uniqueness oracle. blobSize is the
 // compressed transfer size in bytes (the paper's ~10 MB download).
 func (c *Client) FetchOracle(ctx context.Context) (o *core.Oracle, blobSize int64, err error) {
-	resp, err := c.roundTrip(ctx, msgGetOracle, nil, msgOracleBlob)
+	return c.fetchOracle(ctx, c.venue)
+}
+
+func (c *Client) fetchOracle(ctx context.Context, venue string) (o *core.Oracle, blobSize int64, err error) {
+	resp, err := c.roundTrip(ctx, venue, msgGetOracle, nil, msgOracleBlob)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -606,9 +715,13 @@ func (c *Client) FetchOracle(ctx context.Context) (o *core.Oracle, blobSize int6
 // replaced wholesale. The returned oracle is o itself after an incremental
 // patch, or a fresh instance after a full refresh.
 func (c *Client) RefreshOracle(ctx context.Context, o *core.Oracle) (updated *core.Oracle, transferBytes int64, incremental bool, err error) {
+	return c.refreshOracle(ctx, c.venue, o)
+}
+
+func (c *Client) refreshOracle(ctx context.Context, venue string, o *core.Oracle) (updated *core.Oracle, transferBytes int64, incremental bool, err error) {
 	req := make([]byte, 8)
 	binary.LittleEndian.PutUint64(req, o.Inserts())
-	rt, resp, err := c.invoke(ctx, msgGetDiff, req, true)
+	rt, resp, err := c.invoke(ctx, venue, msgGetDiff, req, true)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -638,7 +751,11 @@ func (c *Client) RefreshOracle(ctx context.Context, o *core.Oracle) (updated *co
 // applied twice doubles its mappings), so the retry policy applies only to
 // shed requests — never to a connection lost with the batch in flight.
 func (c *Client) Ingest(ctx context.Context, ms []Mapping) (total int, err error) {
-	resp, err := c.roundTripIdem(ctx, msgIngest, encodeMappings(ms), msgIngestAck, false)
+	return c.ingest(ctx, c.venue, ms)
+}
+
+func (c *Client) ingest(ctx context.Context, venue string, ms []Mapping) (total int, err error) {
+	resp, err := c.roundTripIdem(ctx, venue, msgIngest, encodeMappings(ms), msgIngestAck, false)
 	if err != nil {
 		return 0, err
 	}
@@ -651,8 +768,12 @@ func (c *Client) Ingest(ctx context.Context, ms []Mapping) (total int, err error
 // Query uploads selected keypoints (with their 2D pixel coordinates) and
 // returns the server's 3D localization.
 func (c *Client) Query(ctx context.Context, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
+	return c.query(ctx, c.venue, kps, intr)
+}
+
+func (c *Client) query(ctx context.Context, venue string, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
 	payload := encodeQuery(intr, codec.MarshalKeypoints(kps))
-	resp, err := c.roundTrip(ctx, msgQuery, payload, msgQueryResult)
+	resp, err := c.roundTrip(ctx, venue, msgQuery, payload, msgQueryResult)
 	if err != nil {
 		return LocateResult{}, err
 	}
@@ -662,7 +783,11 @@ func (c *Client) Query(ctx context.Context, kps []sift.Keypoint, intr pose.Intri
 // Stats returns the server's mapping count. It uses the original
 // count-only RPC, so it works against every server version.
 func (c *Client) Stats(ctx context.Context) (mappings uint64, err error) {
-	resp, err := c.roundTrip(ctx, msgStats, nil, msgStatsResult)
+	return c.stats(ctx, c.venue)
+}
+
+func (c *Client) stats(ctx context.Context, venue string) (mappings uint64, err error) {
+	resp, err := c.roundTrip(ctx, venue, msgStats, nil, msgStatsResult)
 	if err != nil {
 		return 0, err
 	}
@@ -680,14 +805,18 @@ func (c *Client) Stats(ctx context.Context) (mappings uint64, err error) {
 // compaction). Legacy servers without the extended RPC yield a DBStats
 // with just Mappings set.
 func (c *Client) StatsFull(ctx context.Context) (DBStats, error) {
-	resp, err := c.roundTrip(ctx, msgStatsFull, nil, msgStatsResult)
+	return c.statsFull(ctx, c.venue)
+}
+
+func (c *Client) statsFull(ctx context.Context, venue string) (DBStats, error) {
+	resp, err := c.roundTrip(ctx, venue, msgStatsFull, nil, msgStatsResult)
 	if err != nil {
-		if !IsRemote(err) {
+		if !IsRemote(err) || errors.Is(err, ErrVenueUnsupported) {
 			return DBStats{}, err
 		}
 		// A server predating msgStatsFull rejects the unknown message
 		// type; fall back to the count-only RPC it does speak.
-		resp, err = c.roundTrip(ctx, msgStats, nil, msgStatsResult)
+		resp, err = c.roundTrip(ctx, venue, msgStats, nil, msgStatsResult)
 		if err != nil {
 			return DBStats{}, err
 		}
@@ -710,7 +839,8 @@ var ErrMetricsUnsupported = errors.New("visualprint client: server does not supp
 // stages, WAL fsync, snapshots), gauges, and the slow-request log. Calls
 // against servers without the RPC return ErrMetricsUnsupported.
 func (c *Client) Metrics(ctx context.Context) (obs.Report, error) {
-	resp, err := c.roundTrip(ctx, msgGetMetrics, nil, msgMetricsResult)
+	// Metrics are server-wide, never venue-scoped: always send bare.
+	resp, err := c.roundTrip(ctx, "", msgGetMetrics, nil, msgMetricsResult)
 	if err != nil {
 		if IsRemote(err) {
 			// An old server rejects the unknown message type (and a

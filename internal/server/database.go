@@ -7,9 +7,11 @@
 package server
 
 import (
+	"cmp"
 	"context"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,6 +108,14 @@ type Database struct {
 	oracle    *core.Oracle
 	lo, hi    mathx.Vec3
 	hasBounds bool
+	// Shard-engine mode (NewShardDatabase): every mapping carries a
+	// venue-global sequence number assigned by the Router, kept in seqs
+	// parallel to positions. The sequence is the venue-wide insertion order —
+	// the tie-break that lets a scatter-gather query reproduce a single
+	// database's candidate ranking exactly (see CandidateSets).
+	seqMode bool
+	seqs    []uint64
+	maxSeq  uint64 // highest sequence applied (0 when none)
 	// snapshots retains clones of the oracle at versions clients have
 	// downloaded (keyed by insert count), so later refreshes can be served
 	// as compressed diffs instead of full blobs. Bounded to the most
@@ -190,6 +200,19 @@ func NewDatabase(cfg DatabaseConfig) (*Database, error) {
 	return &Database{cfg: cfg, index: ix, oracle: o, snapshots: map[uint64]*core.Oracle{}}, nil
 }
 
+// NewShardDatabase creates an empty shard engine: a Database whose mappings
+// are tagged with router-assigned venue-global sequence numbers (IngestSeq
+// replaces Ingest). Everything else — WAL, snapshots, oracle, Locate —
+// behaves identically; the Router composes several of these into one venue.
+func NewShardDatabase(cfg DatabaseConfig) (*Database, error) {
+	db, err := NewDatabase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db.seqMode = true
+	return db, nil
+}
+
 // Mapping is one wardriven keypoint-to-3D-position record.
 type Mapping struct {
 	Desc [sift.DescriptorSize]byte
@@ -219,7 +242,7 @@ func (db *Database) Ingest(ctx context.Context, ms []Mapping) error {
 		return ctxError(err)
 	}
 	start := time.Now()
-	m, err := db.ingest(ms)
+	m, err := db.ingest(ms, nil)
 	m.ingests.Inc()
 	m.ingestNs.ObserveSince(start)
 	if err != nil {
@@ -228,26 +251,71 @@ func (db *Database) Ingest(ctx context.Context, ms []Mapping) error {
 	return err
 }
 
-// ingest is the body of Ingest. It returns the instrument set it resolved
-// under the lock so the wrapper can book the outcome after unlocking.
-func (db *Database) ingest(ms []Mapping) (*dbMetrics, error) {
+// IngestSeq is Ingest for a shard engine (NewShardDatabase): each mapping
+// carries its router-assigned venue-global sequence number. seqs must be
+// parallel to ms and strictly increasing, and every seq must exceed the
+// shard's current MaxSeq — the Router assigns monotonically, so replayed or
+// reordered batches are caller bugs, rejected before the WAL reservation.
+func (db *Database) IngestSeq(ctx context.Context, ms []Mapping, seqs []uint64) error {
+	if err := ctx.Err(); err != nil {
+		return ctxError(err)
+	}
+	start := time.Now()
+	m, err := db.ingest(ms, seqs)
+	m.ingests.Inc()
+	m.ingestNs.ObserveSince(start)
+	if err != nil {
+		m.ingestErrors.Inc()
+	}
+	return err
+}
+
+// ingest is the body of Ingest/IngestSeq (seqs nil for the former). It
+// returns the instrument set it resolved under the lock so the wrapper can
+// book the outcome after unlocking.
+func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 	db.mu.Lock()
 	m := db.metrics()
-	// Reject dimension mismatches before the WAL reservation: applyLocked
+	// Reject malformed batches before the WAL reservation: applyLocked
 	// must not be able to fail after the record is logged, or replay would
 	// diverge from the live state.
 	if db.cfg.LSH.Dim != sift.DescriptorSize || db.cfg.Oracle.LSH.Dim != sift.DescriptorSize {
 		db.mu.Unlock()
 		return m, errRemote{msg: "database descriptor dimension mismatch"}
 	}
+	if db.seqMode != (seqs != nil) {
+		db.mu.Unlock()
+		if db.seqMode {
+			return m, errRemote{msg: "shard engine requires IngestSeq"}
+		}
+		return m, errRemote{msg: "IngestSeq requires a shard engine (NewShardDatabase)"}
+	}
+	if seqs != nil {
+		if len(seqs) != len(ms) {
+			db.mu.Unlock()
+			return m, errRemote{msg: "seq batch length mismatch"}
+		}
+		last := db.maxSeq
+		for _, s := range seqs {
+			if s <= last {
+				db.mu.Unlock()
+				return m, errRemote{msg: "non-monotonic shard sequence"}
+			}
+			last = s
+		}
+	}
 	var commit *store.Commit
 	var st *store.Store
 	var kick chan struct{}
 	if db.store != nil {
 		st, kick = db.store, db.snapKick
-		commit = st.Append(encodeMappings(ms))
+		if db.seqMode {
+			commit = st.Append(encodeSeqMappings(ms, seqs))
+		} else {
+			commit = st.Append(encodeMappings(ms))
+		}
 	}
-	err := db.applyLocked(ms)
+	err := db.applyLocked(ms, seqs)
 	if err == nil {
 		m.mappings.Set(int64(len(db.positions)))
 	}
@@ -274,9 +342,10 @@ func (db *Database) ingest(ms []Mapping) (*dbMetrics, error) {
 }
 
 // applyLocked incorporates mappings into the in-memory structures. It is
-// the single mutation path, shared by live ingest and WAL replay. Callers
+// the single mutation path, shared by live ingest and WAL replay. seqs is
+// nil on a plain database and parallel to ms on a shard engine. Callers
 // must hold db.mu.
-func (db *Database) applyLocked(ms []Mapping) error {
+func (db *Database) applyLocked(ms []Mapping, seqs []uint64) error {
 	for i := range ms {
 		desc := make([]byte, sift.DescriptorSize)
 		copy(desc, ms[i].Desc[:])
@@ -287,6 +356,12 @@ func (db *Database) applyLocked(ms []Mapping) error {
 			return err
 		}
 		db.positions = append(db.positions, ms[i].Pos)
+		if seqs != nil {
+			db.seqs = append(db.seqs, seqs[i])
+			if seqs[i] > db.maxSeq {
+				db.maxSeq = seqs[i]
+			}
+		}
 		p := ms[i].Pos
 		if !db.hasBounds {
 			db.lo, db.hi = p, p
@@ -315,6 +390,24 @@ func (db *Database) Bounds() (lo, hi mathx.Vec3, ok bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.lo, db.hi, db.hasBounds
+}
+
+// MaxSeq returns the highest venue-global sequence number applied to a shard
+// engine (0 when empty or not in shard mode). The Router seeds its sequence
+// counter from max over shards after recovery.
+func (db *Database) MaxSeq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.maxSeq
+}
+
+// OracleClone returns a deep copy of the live oracle taken under the read
+// lock, safe against concurrent Ingest — the building block the Router uses
+// to assemble a venue-wide oracle from per-shard oracles via core.Merge.
+func (db *Database) OracleClone() (*core.Oracle, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.oracle.Clone()
 }
 
 // OracleBlob serializes the current uniqueness oracle, gzip-compressed —
@@ -648,6 +741,17 @@ func (db *Database) locateLocked(ctx context.Context, kps []sift.Keypoint, intr 
 	if err != nil {
 		return LocateResult{}, ctxError(err)
 	}
+	return solveCandidates(ctx, db.cfg, cands, db.lo, db.hi, intr, tr)
+}
+
+// solveCandidates runs the back half of the Locate pipeline — clustering,
+// largest-cluster filtering and the pose optimization — over an
+// already-gathered candidate list. Shared verbatim between the single-
+// database path (locateLocked) and the Router's scatter-gather path, which
+// is what makes the two bit-identical once their candidate lists match: the
+// merged venue bounds feed the same search box arithmetic (per-axis min/max
+// commute across shards), and clustering order is fixed by the list order.
+func solveCandidates(ctx context.Context, cfg DatabaseConfig, cands []locateCand, lo, hi mathx.Vec3, intr pose.Intrinsics, tr *obs.Trace) (LocateResult, error) {
 	if len(cands) < 3 {
 		return LocateResult{}, ErrTooFewMatches
 	}
@@ -659,8 +763,8 @@ func (db *Database) locateLocked(ctx context.Context, kps []sift.Keypoint, intr 
 	for i, c := range cands {
 		pts[i] = c.p
 	}
-	t0 = time.Now()
-	largest, ok, err := cluster.Largest(pts, db.cfg.Cluster)
+	t0 := time.Now()
+	largest, ok, err := cluster.Largest(pts, cfg.Cluster)
 	tr.StageSince(obs.StageCluster, t0)
 	if err != nil {
 		return LocateResult{}, err
@@ -681,7 +785,7 @@ func (db *Database) locateLocked(ctx context.Context, kps []sift.Keypoint, intr 
 	// venue interior excludes.
 	pad := mathx.Vec3{X: 0.3, Y: 0.3, Z: 0.3}
 	t0 = time.Now()
-	res, err := pose.LocalizeContext(ctx, corr, intr, db.lo.Sub(pad), db.hi.Add(pad), db.cfg.Pose)
+	res, err := pose.LocalizeContext(ctx, corr, intr, lo.Sub(pad), hi.Add(pad), cfg.Pose)
 	tr.StageSince(obs.StagePoseSolve, t0)
 	if err != nil {
 		return LocateResult{}, ctxError(err)
@@ -692,6 +796,80 @@ func (db *Database) locateLocked(ctx context.Context, kps []sift.Keypoint, intr 
 		Residual: res.Residual,
 		Matched:  len(largest.Indices),
 	}, nil
+}
+
+// MergeCand is one shard-local LSH candidate annotated with everything the
+// Router needs to merge shard result sets into the exact candidate ranking a
+// single database would have produced: the squared descriptor distance, the
+// multi-probe ordinal the candidate was first collected at, and the
+// venue-global sequence number standing in for single-database insertion
+// order. Sorting the union by (DistSq, Probe, Seq) reproduces a single
+// index's stable-sorted dedup order — in one index, equal-distance ties keep
+// collection order, which is lexicographic (probe ordinal, in-bucket
+// insertion order), and in-bucket insertion order is ingest order, i.e. Seq.
+type MergeCand struct {
+	DistSq int
+	Probe  int32
+	Seq    uint64
+	Pos    mathx.Vec3
+}
+
+// compareMergeCands is the venue-wide total candidate order (see MergeCand).
+func compareMergeCands(a, b MergeCand) int {
+	if a.DistSq != b.DistSq {
+		return cmp.Compare(a.DistSq, b.DistSq)
+	}
+	if a.Probe != b.Probe {
+		return cmp.Compare(a.Probe, b.Probe)
+	}
+	return cmp.Compare(a.Seq, b.Seq)
+}
+
+// CandidateSets retrieves, for each query keypoint, this shard's top
+// NeighborsPerKeypoint candidates under the venue-wide total order —
+// uncapped LSH query, explicit (DistSq, Probe, Seq) sort, then per-shard
+// truncation. The per-shard top-n is a superset of the shard's contribution
+// to the global top-n, so the Router can merge shard sets and re-truncate
+// without losing any candidate a single database would have kept. Distance
+// gating (MaxMatchDistSq) is deliberately NOT applied here: the single-
+// database path gates after truncation, so the Router gates after the merged
+// truncation to match. Only meaningful on shard engines (seq mode).
+func (db *Database) CandidateSets(ctx context.Context, kps []sift.Keypoint) ([][]MergeCand, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if !db.seqMode {
+		return nil, errRemote{msg: "CandidateSets requires a shard engine"}
+	}
+	n := db.cfg.NeighborsPerKeypoint
+	out := make([][]MergeCand, len(kps))
+	var scratch []lsh.Candidate
+	for i := range kps {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, ctxError(err)
+			}
+		}
+		var err error
+		scratch, err = db.index.QueryInto(kps[i].Desc[:], lsh.QueryOptions{MultiProbe: true}, scratch)
+		if err != nil {
+			return nil, err
+		}
+		mcs := make([]MergeCand, len(scratch))
+		for j, c := range scratch {
+			mcs[j] = MergeCand{
+				DistSq: c.DistSq,
+				Probe:  c.Probe,
+				Seq:    db.seqs[c.ID],
+				Pos:    db.positions[c.ID],
+			}
+		}
+		slices.SortFunc(mcs, compareMergeCands)
+		if n > 0 && len(mcs) > n {
+			mcs = mcs[:n]
+		}
+		out[i] = mcs
+	}
+	return out, nil
 }
 
 // IntrinsicsForTest builds pose intrinsics from a scene camera (diagnostic

@@ -32,8 +32,14 @@ import (
 // a restart the diff window starts empty and clients refreshing against a
 // pre-crash version transparently fall back to a full oracle download.
 
-// dbSnapMagic versions the database snapshot payload.
-const dbSnapMagic = "VPDB1\x00\x00\x00"
+// dbSnapMagic versions the database snapshot payload. Shard engines (seq
+// mode) write dbSnapMagicSeq, which appends the parallel sequence array
+// after the positions; plain databases keep writing the v1 layout so their
+// directories stay readable by older builds.
+const (
+	dbSnapMagic    = "VPDB1\x00\x00\x00"
+	dbSnapMagicSeq = "VPDB2\x00\x00\x00"
+)
 
 // Open attaches dir as the database's durable backing store, recovering
 // any previously persisted state into the (required to be empty) in-memory
@@ -56,11 +62,18 @@ func (db *Database) Open(dir string) error {
 	err = st.Recover(
 		func(r io.Reader) error { return db.loadStateLocked(r) },
 		func(payload []byte) error {
+			if db.seqMode {
+				ms, seqs, err := decodeSeqMappings(payload)
+				if err != nil {
+					return err
+				}
+				return db.applyLocked(ms, seqs)
+			}
 			ms, err := decodeMappings(payload)
 			if err != nil {
 				return err
 			}
-			return db.applyLocked(ms)
+			return db.applyLocked(ms, nil)
 		},
 	)
 	if err != nil {
@@ -163,7 +176,11 @@ func (db *Database) snapshotter() {
 
 // writeStateLocked serializes the full database state. Callers hold db.mu.
 func (db *Database) writeStateLocked(w io.Writer) error {
-	if _, err := io.WriteString(w, dbSnapMagic); err != nil {
+	magic := dbSnapMagic
+	if db.seqMode {
+		magic = dbSnapMagicSeq
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
 		return err
 	}
 	if _, err := db.index.WriteTo(w); err != nil {
@@ -174,6 +191,11 @@ func (db *Database) writeStateLocked(w io.Writer) error {
 	}
 	if err := binary.Write(w, binary.LittleEndian, db.positions); err != nil {
 		return err
+	}
+	if db.seqMode {
+		if err := binary.Write(w, binary.LittleEndian, db.seqs); err != nil {
+			return err
+		}
 	}
 	var has byte
 	if db.hasBounds {
@@ -200,8 +222,12 @@ func (db *Database) loadStateLocked(r io.Reader) error {
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return err
 	}
-	if string(magic) != dbSnapMagic {
-		return fmt.Errorf("server: bad database snapshot magic %q", magic)
+	wantMagic := dbSnapMagic
+	if db.seqMode {
+		wantMagic = dbSnapMagicSeq
+	}
+	if string(magic) != wantMagic {
+		return fmt.Errorf("server: bad database snapshot magic %q (want %q)", magic, wantMagic)
 	}
 	ix, err := lsh.ReadIndex(r)
 	if err != nil {
@@ -221,6 +247,19 @@ func (db *Database) loadStateLocked(r io.Reader) error {
 	if err := binary.Read(r, binary.LittleEndian, positions); err != nil {
 		return err
 	}
+	var seqs []uint64
+	var maxSeq uint64
+	if db.seqMode {
+		seqs = make([]uint64, n)
+		if err := binary.Read(r, binary.LittleEndian, seqs); err != nil {
+			return err
+		}
+		for _, s := range seqs {
+			if s > maxSeq {
+				maxSeq = s
+			}
+		}
+	}
 	var has byte
 	if err := binary.Read(r, binary.LittleEndian, &has); err != nil {
 		return err
@@ -238,6 +277,8 @@ func (db *Database) loadStateLocked(r io.Reader) error {
 	}
 	db.index = ix
 	db.positions = positions
+	db.seqs = seqs
+	db.maxSeq = maxSeq
 	db.hasBounds = has == 1
 	db.lo, db.hi = bounds[0], bounds[1]
 	db.oracle = oracle

@@ -39,7 +39,12 @@ import (
 // deadline, are canceled).
 type Server struct {
 	db *Database
-	ln net.Listener
+	// router fans venue-scoped requests (msgVenueEx) across named venues;
+	// Serve always installs one (WithRouter overrides it with a
+	// preconfigured instance). Nil only on a bare Server built without
+	// Serve, where venue requests answer a typed routing error.
+	router *Router
+	ln     net.Listener
 
 	// sem bounds concurrently executing request handlers across all
 	// connections; nil means unbounded (direct ServeConn use, or
@@ -99,6 +104,14 @@ func WithQueueDepth(n int) Option {
 	return func(s *Server) { s.maxQueue = n }
 }
 
+// WithRouter installs a preconfigured multi-venue router (venue topologies,
+// durable venues directory). Without it, Serve builds a default in-memory
+// router over the database, so every networked server answers venue-scoped
+// requests.
+func WithRouter(r *Router) Option {
+	return func(s *Server) { s.router = r }
+}
+
 // WithDrainTimeout bounds how long Shutdown waits for in-flight requests
 // when its context carries no deadline of its own; past it, in-flight work
 // is canceled. 0 (the default) waits indefinitely.
@@ -149,10 +162,15 @@ func Serve(ln net.Listener, db *Database, opts ...Option) *Server {
 	// unless the owner already chose a logger. The indirection through
 	// s.logf keeps a later `s.Log = nil` effective for both.
 	db.setLoggerDefault(obs.FuncLogger(s.logf))
+	if s.router == nil {
+		s.router = NewRouter(db, db.cfg)
+	}
+	s.router.SetLogger(s.Log)
 	// A networked server is always observable: requests are counted and
 	// traced, and the metrics RPC answers from this registry.
 	s.reg = db.EnableObs()
 	s.met = newSrvMetrics(s.reg)
+	s.router.instrument(s.reg)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -554,10 +572,20 @@ func (s *Server) serveV2(conn net.Conn) {
 	<-writerDone
 }
 
-// serveRequest runs one request end to end: drain gate, instrumentation,
-// admission, dispatch. Framing and request IDs belong to the caller;
-// serveRequest never fails — request errors become msgError responses.
+// serveRequest runs one request end to end: venue unwrap, drain gate,
+// instrumentation, admission, dispatch. Framing and request IDs belong to
+// the caller; serveRequest never fails — request errors become msgError
+// responses. The venue envelope is unwrapped before instrumentation so the
+// per-type metrics count the inner request, not the envelope.
 func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
+	venue := ""
+	if typ == msgVenueEx {
+		v, ityp, ipayload, err := unwrapVenue(payload)
+		if err != nil {
+			return errorResponse(err)
+		}
+		venue, typ, payload = v, ityp, ipayload
+	}
 	if !s.beginRequest() {
 		rt, resp := errorResponse(ErrShuttingDown)
 		if m := s.met; m != nil {
@@ -566,28 +594,28 @@ func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte) (by
 		return rt, resp
 	}
 	defer s.endRequest()
-	return s.handle(ctx, typ, payload)
+	return s.handle(ctx, venue, typ, payload)
 }
 
 // handle wraps dispatch with the wire-level instrumentation: request
 // counts and latency per message type, payload bytes in each direction,
 // the in-flight gauge and error-code counters.
-func (s *Server) handle(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
+func (s *Server) handle(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte) {
 	m := s.met
 	if m == nil {
-		return s.admitAndDispatch(ctx, typ, payload)
+		return s.admitAndDispatch(ctx, venue, typ, payload)
 	}
 	m.inflight.Add(1)
 	m.bytesIn.Add(uint64(len(payload)))
 	start := time.Now()
-	rt, resp := s.admitAndDispatch(ctx, typ, payload)
+	rt, resp := s.admitAndDispatch(ctx, venue, typ, payload)
 	m.record(typ, start, rt, resp)
 	m.inflight.Add(-1)
 	return rt, resp
 }
 
 // admitAndDispatch applies admission control, then routes the request.
-func (s *Server) admitAndDispatch(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
+func (s *Server) admitAndDispatch(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte) {
 	if err := s.admit(ctx); err != nil {
 		if m := s.met; m != nil && errors.Is(err, ErrOverloaded) {
 			m.shed.Inc()
@@ -595,14 +623,25 @@ func (s *Server) admitAndDispatch(ctx context.Context, typ byte, payload []byte)
 		return errorResponse(err)
 	}
 	defer s.release()
-	return s.dispatch(ctx, typ, payload)
+	return s.dispatch(ctx, venue, typ, payload)
 }
 
-// dispatch routes one request to the database.
-func (s *Server) dispatch(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
+// dispatch routes one request to its venue's engine(s). The empty venue is
+// the default database, served directly (the pre-venue fast path every
+// legacy client takes); named venues go through the router.
+func (s *Server) dispatch(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte) {
+	if venue != "" && s.router == nil {
+		return errorResponse(errors.New("venue routing not enabled on this server"))
+	}
 	switch typ {
 	case msgGetOracle:
-		blob, err := s.db.OracleBlob()
+		var blob []byte
+		var err error
+		if venue == "" {
+			blob, err = s.db.OracleBlob()
+		} else {
+			blob, err = s.router.OracleBlob(venue)
+		}
 		if err != nil {
 			return errorResponse(err)
 		}
@@ -612,11 +651,20 @@ func (s *Server) dispatch(ctx context.Context, typ byte, payload []byte) (byte, 
 		if err != nil {
 			return errorResponse(err)
 		}
-		if err := s.db.Ingest(ctx, ms); err != nil {
-			return errorResponse(err)
+		var total int
+		if venue == "" {
+			if err := s.db.Ingest(ctx, ms); err != nil {
+				return errorResponse(err)
+			}
+			total = s.db.Len()
+		} else {
+			total, err = s.router.Ingest(ctx, venue, ms)
+			if err != nil {
+				return errorResponse(err)
+			}
 		}
 		ack := make([]byte, 8)
-		binary.LittleEndian.PutUint64(ack, uint64(s.db.Len()))
+		binary.LittleEndian.PutUint64(ack, uint64(total))
 		return msgIngestAck, ack
 	case msgQuery:
 		intr, kpData, err := decodeQueryHeader(payload)
@@ -627,7 +675,12 @@ func (s *Server) dispatch(ctx context.Context, typ byte, payload []byte) (byte, 
 		if err != nil {
 			return errorResponse(err)
 		}
-		res, err := s.db.Locate(ctx, kps, intr)
+		var res LocateResult
+		if venue == "" {
+			res, err = s.db.Locate(ctx, kps, intr)
+		} else {
+			res, err = s.router.Locate(ctx, venue, kps, intr)
+		}
 		if err != nil {
 			return errorResponse(err)
 		}
@@ -637,15 +690,28 @@ func (s *Server) dispatch(ctx context.Context, typ byte, payload []byte) (byte, 
 			return errorResponse(errors.New("bad diff request"))
 		}
 		since := binary.LittleEndian.Uint64(payload)
-		diff, ok, err := s.db.OracleDiff(since)
+		var diff []byte
+		var ok bool
+		var err error
+		if venue == "" {
+			diff, ok, err = s.db.OracleDiff(since)
+		} else {
+			diff, ok, err = s.router.OracleDiff(venue, since)
+		}
 		if err != nil {
 			return errorResponse(err)
 		}
 		if ok {
 			return msgDiffBlob, diff
 		}
-		// Version no longer retained: fall back to the full blob.
-		blob, err := s.db.OracleBlob()
+		// Version no longer retained (or a multi-shard venue, whose
+		// assembled oracle has no diff window): fall back to the full blob.
+		var blob []byte
+		if venue == "" {
+			blob, err = s.db.OracleBlob()
+		} else {
+			blob, err = s.router.OracleBlob(venue)
+		}
 		if err != nil {
 			return errorResponse(err)
 		}
@@ -653,11 +719,20 @@ func (s *Server) dispatch(ctx context.Context, typ byte, payload []byte) (byte, 
 	case msgStats:
 		// Legacy count-only response: deployed clients require exactly 8
 		// bytes here. The extended report lives under msgStatsFull.
+		total := 0
+		if venue == "" {
+			total = s.db.Len()
+		} else {
+			total = s.router.Len(venue)
+		}
 		ack := make([]byte, 8)
-		binary.LittleEndian.PutUint64(ack, uint64(s.db.Len()))
+		binary.LittleEndian.PutUint64(ack, uint64(total))
 		return msgStatsResult, ack
 	case msgStatsFull:
-		return msgStatsResult, encodeDBStats(s.db.Stats())
+		if venue == "" {
+			return msgStatsResult, encodeDBStats(s.db.Stats())
+		}
+		return msgStatsResult, encodeDBStats(s.router.Stats(venue))
 	case msgGetMetrics:
 		if s.reg == nil {
 			return errorResponse(errors.New("metrics not enabled on this server"))

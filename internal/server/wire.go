@@ -34,6 +34,7 @@ const (
 	msgMetricsResult byte = 13
 	msgRequestEx     byte = 14 // [uint32 deadline ms][inner type][inner payload]
 	msgCancel        byte = 15 // frame ID names the request to cancel; no payload, no response
+	msgVenueEx       byte = 16 // [uint8 name len][venue name][inner type][inner payload]
 	msgError         byte = 0x7f
 )
 
@@ -76,6 +77,73 @@ func unwrapRequestEx(payload []byte) (deadlineMillis uint32, typ byte, inner []b
 		return 0, 0, nil, errors.New("server: short requestEx payload")
 	}
 	return binary.LittleEndian.Uint32(payload), payload[4], payload[5:], nil
+}
+
+// Venue envelope (protocol v2, additive).
+//
+// A client pinned to a venue wraps each request in msgVenueEx — a one-byte
+// name length, the venue name, then the inner request — and the server
+// dispatches the inner request against that venue's shard set. Nesting order
+// is fixed: the deadline envelope (msgRequestEx) is always OUTER and the
+// venue envelope INNER, because the server unwraps the deadline before
+// dispatch and the venue at dispatch. A server predating the extension
+// rejects msgVenueEx as an unknown message type; the client detects that,
+// marks the connection venue-incapable (sticky, like the deadline fallback)
+// and fails the request with the typed ErrVenueUnsupported — it deliberately
+// does NOT resend the plain request, which would silently land on the
+// default venue. Requests without the envelope always address the default
+// venue, which is how pre-venue clients keep working against a venue-aware
+// server.
+
+// maxVenueName caps the wire-encodable venue name (the envelope's length
+// field is one byte).
+const maxVenueName = 255
+
+// validVenueName reports whether name can ride the wire envelope and double
+// as a directory name: non-empty, at most maxVenueName bytes, lowercase
+// letters, digits, '-', '_' and '.' only, not starting with '.'. The empty
+// string names the default venue and never appears inside an envelope.
+func validVenueName(name string) bool {
+	if name == "" || len(name) > maxVenueName || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// wrapVenue builds a msgVenueEx payload around an inner request.
+func wrapVenue(venue string, typ byte, payload []byte) []byte {
+	buf := make([]byte, 2+len(venue)+len(payload))
+	buf[0] = byte(len(venue))
+	copy(buf[1:], venue)
+	buf[1+len(venue)] = typ
+	copy(buf[2+len(venue):], payload)
+	return buf
+}
+
+// unwrapVenue parses a msgVenueEx payload.
+func unwrapVenue(payload []byte) (venue string, typ byte, inner []byte, err error) {
+	if len(payload) < 2 {
+		return "", 0, nil, errors.New("server: short venue envelope")
+	}
+	n := int(payload[0])
+	if len(payload) < 2+n {
+		return "", 0, nil, errors.New("server: truncated venue envelope")
+	}
+	venue = string(payload[1 : 1+n])
+	if !validVenueName(venue) {
+		return "", 0, nil, fmt.Errorf("server: invalid venue name %q", venue)
+	}
+	return venue, payload[1+n], payload[2+n:], nil
 }
 
 // maxFrameSize bounds a single protocol frame (oracle blobs dominate).
@@ -223,6 +291,55 @@ func decodeMappings(data []byte) ([]Mapping, error) {
 		off += 24
 	}
 	return ms, nil
+}
+
+// seqMappingWireSize is one shard-engine WAL record entry: the venue-global
+// sequence number followed by the mapping.
+const seqMappingWireSize = 8 + mappingWireSize
+
+// encodeSeqMappings serializes a shard-engine ingest batch (WAL only — seq
+// tags never ride the client wire; the Router assigns them server-side).
+func encodeSeqMappings(ms []Mapping, seqs []uint64) []byte {
+	buf := make([]byte, 4+len(ms)*seqMappingWireSize)
+	binary.LittleEndian.PutUint32(buf, uint32(len(ms)))
+	off := 4
+	for i := range ms {
+		binary.LittleEndian.PutUint64(buf[off:], seqs[i])
+		off += 8
+		copy(buf[off:], ms[i].Desc[:])
+		off += sift.DescriptorSize
+		for _, f := range []float64{ms[i].Pos.X, ms[i].Pos.Y, ms[i].Pos.Z} {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(f))
+			off += 8
+		}
+	}
+	return buf
+}
+
+// decodeSeqMappings parses a shard-engine WAL record.
+func decodeSeqMappings(data []byte) ([]Mapping, []uint64, error) {
+	if len(data) < 4 {
+		return nil, nil, errors.New("server: short seq ingest payload")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != n*seqMappingWireSize {
+		return nil, nil, fmt.Errorf("server: seq ingest payload %d bytes, want %d", len(data), n*seqMappingWireSize)
+	}
+	ms := make([]Mapping, n)
+	seqs := make([]uint64, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		seqs[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		copy(ms[i].Desc[:], data[off:off+sift.DescriptorSize])
+		off += sift.DescriptorSize
+		ms[i].Pos.X = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		ms[i].Pos.Y = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		ms[i].Pos.Z = math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:]))
+		off += 24
+	}
+	return ms, seqs, nil
 }
 
 const queryHeaderSize = 4 + 4 + 8 + 8

@@ -41,8 +41,11 @@ func UnmarshalKeypoints(data []byte) ([]Keypoint, error) {
 	return codec.UnmarshalKeypoints(data)
 }
 
-// Gzip and Gunzip wrap compress/gzip for payload compression experiments.
-func Gzip(data []byte) ([]byte, error)   { return codec.Gzip(data) }
+// Gzip compresses a payload with compress/gzip — the paper's fingerprint
+// and feature-upload compression experiments (Figure 5).
+func Gzip(data []byte) ([]byte, error) { return codec.Gzip(data) }
+
+// Gunzip reverses Gzip.
 func Gunzip(data []byte) ([]byte, error) { return codec.Gunzip(data) }
 
 // Link models the wireless uplink between client and cloud.
@@ -77,13 +80,27 @@ type PowerWorkload = power.Workload
 // DefaultPowerModel returns the calibrated smartphone power model.
 func DefaultPowerModel() PowerModel { return power.Default() }
 
-// Power workload presets matching Figure 18's traces.
-func PowerDisplayOnly() PowerWorkload        { return power.DisplayOnly() }
-func PowerCameraPreview() PowerWorkload      { return power.CameraPreview() }
-func PowerVisualPrintFull() PowerWorkload    { return power.VisualPrintFull() }
-func PowerFrameOffload() PowerWorkload       { return power.FrameOffload() }
+// PowerDisplayOnly is the Figure 18 baseline: screen on, nothing else.
+func PowerDisplayOnly() PowerWorkload { return power.DisplayOnly() }
+
+// PowerCameraPreview adds a live camera preview to the display baseline.
+func PowerCameraPreview() PowerWorkload { return power.CameraPreview() }
+
+// PowerVisualPrintFull is the complete VisualPrint client loop: camera,
+// SIFT extraction, oracle filtering, and fingerprint upload.
+func PowerVisualPrintFull() PowerWorkload { return power.VisualPrintFull() }
+
+// PowerFrameOffload is the whole-frame-upload alternative VisualPrint is
+// compared against.
+func PowerFrameOffload() PowerWorkload { return power.FrameOffload() }
+
+// PowerVisualPrintCompute isolates the on-device compute share of the
+// VisualPrint loop (no radio).
 func PowerVisualPrintCompute() PowerWorkload { return power.VisualPrintComputeOnly() }
-func PowerVisualPrintUpload() PowerWorkload  { return power.VisualPrintUploadOnly() }
+
+// PowerVisualPrintUpload isolates the radio share of the VisualPrint loop
+// (no extraction compute).
+func PowerVisualPrintUpload() PowerWorkload { return power.VisualPrintUploadOnly() }
 
 // VariableLink models an unpredictable wireless channel (Gilbert-Elliott
 // good/bad states) — the latency variability the paper's introduction

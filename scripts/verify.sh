@@ -11,6 +11,11 @@ echo "== go vet =="
 go vet ./...
 echo "== go build =="
 go build ./...
+echo "== api compatibility gate =="
+# Diff the exported surface of the root package against the checked-in
+# snapshot (testdata/api.txt). Also runs as part of the full test pass
+# below; re-run explicitly so an accidental API break names itself here.
+go test . -count=1 -run TestPublicAPISnapshot
 echo "== go test -race =="
 go test -race ./...
 echo "== chaos / fault-injection (race) =="

@@ -1,6 +1,7 @@
 package visualprint
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
@@ -9,74 +10,198 @@ import (
 	"os"
 	"time"
 
+	"visualprint/internal/cluster"
+	"visualprint/internal/codec"
+	"visualprint/internal/core"
+	"visualprint/internal/lsh"
 	"visualprint/internal/obs"
+	"visualprint/internal/pose"
 	"visualprint/internal/server"
 	"visualprint/internal/sift"
 )
 
-// ServerConfig configures the cloud service.
-type ServerConfig = server.DatabaseConfig
+// Configuration substrate types, re-exported so ServerConfig is expressible
+// entirely in terms of this package's surface.
+type (
+	// LSHParams configures the locality-sensitive hash family indexing the
+	// keypoint-to-3D lookup table.
+	LSHParams = lsh.Params
+	// ClusterParams tunes the density clustering that picks the consensus
+	// 3D candidate cloud before pose solving.
+	ClusterParams = cluster.Params
+	// PoseOptions tunes the differential-evolution pose solver.
+	PoseOptions = pose.Options
+)
+
+// ServerConfig configures the cloud service: index family, oracle sizing,
+// candidate retrieval, clustering, pose solving and persistence thresholds.
+// It is owned by this package — field-for-field convertible to the internal
+// engine configuration, but no longer an alias leaking internal types.
+// Start from DefaultServerConfig and override fields as needed; the zero
+// value is not a working configuration.
+type ServerConfig struct {
+	// LSH selects the hash family of the keypoint lookup table.
+	LSH LSHParams
+	// Oracle sizes the uniqueness oracle (counting Bloom filters).
+	Oracle OracleParams
+	// NeighborsPerKeypoint is n in the paper's |K|*n candidate retrieval.
+	NeighborsPerKeypoint int
+	// MaxMatchDistSq rejects LSH candidates farther (squared Euclidean)
+	// than this from the query descriptor; 0 accepts everything.
+	MaxMatchDistSq int
+	// Cluster tunes consensus clustering over the 3D candidates.
+	Cluster ClusterParams
+	// Pose tunes the pose solver.
+	Pose PoseOptions
+	// LocateParallelism bounds the per-query LSH retrieval worker pool
+	// (0 = GOMAXPROCS, 1 = serial).
+	LocateParallelism int
+	// WALCompactBytes is the write-ahead-log size past which the
+	// background snapshotter folds the log into a fresh snapshot (0 =
+	// engine default). Only meaningful for a durable server (OpenData).
+	WALCompactBytes int64
+	// OracleSnapshotBudgetBytes caps memory spent on retained oracle
+	// download versions used for diff refreshes (0 = engine default).
+	OracleSnapshotBudgetBytes int64
+}
+
+// engine converts the public configuration to the internal engine's. The
+// two structs are intentionally field-identical; the compiler enforces it.
+func (c ServerConfig) engine() server.DatabaseConfig { return server.DatabaseConfig(c) }
 
 // DefaultServerConfig returns a configuration scaled for simulated venues.
-func DefaultServerConfig() ServerConfig { return server.DefaultDatabaseConfig() }
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig(server.DefaultDatabaseConfig())
+}
+
+// VenueConfig fixes a named venue's shard topology: how many shard engines
+// its mappings are partitioned across and the spatial cell size used as the
+// partition key. Topology is immutable once the venue exists and is
+// persisted alongside the venue's data.
+type VenueConfig = server.VenueConfig
 
 // Server is the VisualPrint cloud service: the LSH keypoint-to-3D lookup
 // table, the uniqueness oracle, and the localization pipeline, served over
-// a length-prefixed binary TCP protocol.
+// a length-prefixed binary TCP protocol. A Server hosts any number of
+// venues: the default venue (the empty name) preserves the original
+// single-tenant behavior, and named venues — created on first ingest — each
+// own an isolated set of spatial shard engines with their own indexes,
+// oracles and durable directories.
 type Server struct {
-	db    *server.Database
-	srv   *server.Server
-	debug *http.Server
-	opts  []ServerOption
+	db      *server.Database
+	router  *server.Router
+	srv     *server.Server
+	debug   *http.Server
+	netOpts []server.Option
+	durable bool
 }
 
-// ServerOption configures the network front end of a Server — admission
-// control bounds and drain behavior. Options are recorded by NewServer and
-// take effect at Listen.
-type ServerOption = server.Option
+// serverOptions collects what ServerOption closures configure before the
+// Server exists.
+type serverOptions struct {
+	net    []server.Option
+	venues map[string]VenueConfig
+}
+
+// ServerOption configures a Server at construction: the network front end's
+// admission-control bounds and drain behavior, and venue shard topologies.
+// It is a root-owned functional option (no longer an alias of an internal
+// type); options are applied by NewServer, network options take effect at
+// Listen.
+type ServerOption func(*serverOptions)
 
 // WithMaxInFlight bounds concurrently executing requests; n <= 0 removes
 // the bound (and with it, admission control and load shedding).
-func WithMaxInFlight(n int) ServerOption { return server.WithMaxInFlight(n) }
+func WithMaxInFlight(n int) ServerOption {
+	return func(o *serverOptions) { o.net = append(o.net, server.WithMaxInFlight(n)) }
+}
 
 // WithQueueDepth bounds requests waiting for an execution slot; arrivals
 // beyond the bound are shed immediately with ErrOverloaded. The default is
-// twice the in-flight bound.
-func WithQueueDepth(n int) ServerOption { return server.WithQueueDepth(n) }
+// a generous multiple of the in-flight bound.
+func WithQueueDepth(n int) ServerOption {
+	return func(o *serverOptions) { o.net = append(o.net, server.WithQueueDepth(n)) }
+}
 
 // WithDrainTimeout bounds how long Shutdown waits for in-flight requests
 // when its context has no deadline of its own; past it, remaining work is
 // canceled. 0 (the default) waits indefinitely.
-func WithDrainTimeout(d time.Duration) ServerOption { return server.WithDrainTimeout(d) }
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.net = append(o.net, server.WithDrainTimeout(d)) }
+}
 
-// NewServer creates a cloud service with an empty database. Options
-// configure the network front end once Listen starts it.
+// WithVenueShards fixes the shard count a named venue is created with. The
+// topology applies when the venue first comes to life (first ingest, or
+// recovery via OpenData); it cannot change afterwards. Venues without a
+// configured topology default to a single shard.
+func WithVenueShards(venue string, shards int) ServerOption {
+	return WithVenueTopology(venue, VenueConfig{Shards: shards})
+}
+
+// WithVenueTopology is WithVenueShards with full control (shard count and
+// spatial cell size).
+func WithVenueTopology(venue string, cfg VenueConfig) ServerOption {
+	return func(o *serverOptions) {
+		if o.venues == nil {
+			o.venues = make(map[string]VenueConfig)
+		}
+		o.venues[venue] = cfg
+	}
+}
+
+// NewServer creates a cloud service with an empty default venue. Options
+// configure venue topologies immediately and the network front end once
+// Listen starts it.
 func NewServer(cfg ServerConfig, opts ...ServerOption) (*Server, error) {
-	db, err := server.NewDatabase(cfg)
+	var so serverOptions
+	for _, o := range opts {
+		if o != nil {
+			o(&so)
+		}
+	}
+	ecfg := cfg.engine()
+	db, err := server.NewDatabase(ecfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{db: db, opts: opts}, nil
+	r := server.NewRouter(db, ecfg)
+	for name, vc := range so.venues {
+		if err := r.ConfigureVenue(name, vc); err != nil {
+			return nil, err
+		}
+	}
+	return &Server{db: db, router: r, netOpts: so.net}, nil
 }
 
-// OpenData makes the database durable, backed by the given directory: every
+// OpenData makes the service durable, backed by the given directory: every
 // acknowledged ingest is written to a write-ahead log before it is applied,
 // and a background snapshotter periodically folds the log into a compact
 // binary snapshot. If the directory already holds data — including data left
 // by a crashed process — the prior state is recovered first, bit-identically.
-// Must be called before any ingest; an empty dir string is a no-op (the
-// server stays in-memory).
+// The default venue keeps the original layout at the directory root (so
+// pre-venue data directories open unchanged); named venues live under
+// dir/venues/<name>/shard-NNN. Must be called before any ingest; an empty
+// dir string is a no-op (the server stays in-memory).
 func (s *Server) OpenData(dir string) error {
 	if dir == "" {
 		return nil
 	}
-	return s.db.Open(dir)
+	if err := s.db.Open(dir); err != nil {
+		return err
+	}
+	if err := s.router.OpenVenues(dir); err != nil {
+		s.db.Close()
+		return err
+	}
+	s.durable = true
+	return nil
 }
 
 // Listen starts serving on addr ("host:port"; ":0" picks a free port) and
 // returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
-	srv, err := server.ListenAndServe(addr, s.db, s.opts...)
+	opts := append([]server.Option{server.WithRouter(s.router)}, s.netOpts...)
+	srv, err := server.ListenAndServe(addr, s.db, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +239,7 @@ func (s *Server) Metrics() MetricsReport {
 }
 
 // Close stops the network listener (if any), the debug listener (if any)
-// and, for a durable server, flushes and closes the data directory.
+// and, for a durable server, flushes and closes every venue's data.
 // In-flight requests are cut off; use Shutdown to drain them gracefully.
 func (s *Server) Close() error {
 	var err error
@@ -125,6 +250,9 @@ func (s *Server) Close() error {
 		if dErr := s.debug.Close(); err == nil {
 			err = dErr
 		}
+	}
+	if rErr := s.router.Close(); err == nil {
+		err = rErr
 	}
 	if dbErr := s.db.Close(); err == nil {
 		err = dbErr
@@ -137,9 +265,10 @@ func (s *Server) Close() error {
 // completion with their responses flushed. If ctx expires first (or the
 // WithDrainTimeout bound does, when ctx has no deadline), remaining
 // requests are canceled; their pipelines unwind promptly and answer
-// ErrCanceled. The write-ahead log is flushed and the data directory
-// closed either way, so an acknowledged ingest is durable across a forced
-// drain too. Returns nil on a clean drain, ctx.Err() on a forced one.
+// ErrCanceled. Every venue's write-ahead log is flushed and its data
+// directory closed either way, so an acknowledged ingest is durable across
+// a forced drain too. Returns nil on a clean drain, ctx.Err() on a forced
+// one.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.srv != nil {
@@ -150,17 +279,38 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = dErr
 		}
 	}
+	if rErr := s.router.Close(); err == nil {
+		err = rErr
+	}
 	if dbErr := s.db.Close(); err == nil {
 		err = dbErr
 	}
 	return err
 }
 
-// Database gives direct (in-process) access to the service state, used by
-// Pipeline and the benchmark harness.
+// Database gives direct access to the default venue's engine.
+//
+// It is a library-only escape hatch for benchmarks and tests that need the
+// raw engine: calls through it bypass the service layer entirely — no
+// admission control, no load shedding, no per-request metrics, and no venue
+// routing. Deployed code (including this repo's cmd/ binaries) should use
+// the public Server methods (Ingest, Locate, Stats, Compact), which go
+// through the same instrumented paths the network front end uses.
 func (s *Server) Database() *server.Database { return s.db }
 
-// Ingest adds wardriven mappings directly (in-process).
+// ConfigureVenue fixes the shard topology a venue will be created with
+// (equivalent to the WithVenueShards option, for topologies decided after
+// construction). It must run before the venue's first ingest; configuring a
+// live venue returns an error, since resharding is not supported.
+func (s *Server) ConfigureVenue(name string, cfg VenueConfig) error {
+	return s.router.ConfigureVenue(name, cfg)
+}
+
+// Venues returns the sorted names of all live named venues (the default
+// venue is not listed).
+func (s *Server) Venues() []string { return s.router.Venues() }
+
+// Ingest adds wardriven mappings to the default venue (in-process).
 func (s *Server) Ingest(ms []Mapping) error {
 	return s.db.Ingest(context.Background(), ms)
 }
@@ -172,6 +322,66 @@ func (s *Server) IngestContext(ctx context.Context, ms []Mapping) error {
 	return s.db.Ingest(ctx, ms)
 }
 
+// IngestVenue adds mappings to a named venue (in-process), creating the
+// venue on first use. The batch is partitioned across the venue's shards by
+// spatial cell and applied in parallel; it returns the venue's total
+// mapping count after the batch. The empty venue name addresses the default
+// venue.
+func (s *Server) IngestVenue(ctx context.Context, venue string, ms []Mapping) (total int, err error) {
+	return s.router.Ingest(ctx, venue, ms)
+}
+
+// Locate answers a localization query against a venue (in-process). The
+// empty venue name addresses the default venue; a named venue fans the
+// query across its shards and merges the candidates bit-identically to an
+// unsharded database. Querying a venue that was never ingested returns
+// ErrEmptyDatabase — venues never see each other's data.
+func (s *Server) Locate(ctx context.Context, venue string, kps []Keypoint, intr Intrinsics) (LocateResult, error) {
+	return s.router.Locate(ctx, venue, kps, intr)
+}
+
+// VenueOracle returns a venue's uniqueness oracle for in-process keypoint
+// filtering. The default venue ("") shares the live oracle object (the
+// in-process equivalent of FetchOracle); a named venue's oracle is
+// assembled from its shards — a point-in-time copy, re-fetch after further
+// ingests.
+func (s *Server) VenueOracle(venue string) (*Oracle, error) {
+	if venue == "" {
+		return s.db.Oracle(), nil
+	}
+	blob, err := s.router.OracleBlob(venue)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := codec.Gunzip(blob)
+	if err != nil {
+		return nil, err
+	}
+	return core.Read(bytes.NewReader(raw))
+}
+
+// Stats returns the default venue's state report: mapping and byte counts
+// plus persistence status. For a named venue's aggregate, use VenueStats.
+func (s *Server) Stats() DBStats { return s.db.Stats() }
+
+// VenueStats aggregates a named venue's per-shard state reports. A venue
+// that does not exist reports zeros; the empty name reports the default
+// venue (same as Stats).
+func (s *Server) VenueStats(venue string) DBStats { return s.router.Stats(venue) }
+
+// Compact synchronously folds every durable venue's state into fresh
+// snapshots and truncates the write-ahead logs. A no-op for an in-memory
+// server.
+func (s *Server) Compact() error {
+	if !s.durable {
+		return nil
+	}
+	if err := s.db.Compact(); err != nil {
+		return err
+	}
+	return s.router.Compact()
+}
+
 // DBStats is the server's state report: mapping and byte counts plus
 // persistence status (snapshot coverage, WAL size, last compaction). It is
 // what Client.StatsFull returns over the wire.
@@ -180,7 +390,12 @@ type DBStats = server.DBStats
 // Client is a connection to a VisualPrint cloud service.
 type Client = server.Client
 
-// DialOption configures a client built by Connect or DialContext.
+// VenueHandle pins a client's requests to one named venue; build one with
+// Client.Venue. Handles are cheap values multiplexing over the client's
+// single connection.
+type VenueHandle = server.Venue
+
+// DialOption configures a client built by Connect.
 type DialOption = server.DialOption
 
 // RetryPolicy controls client-side retries: exponential backoff with
@@ -200,6 +415,11 @@ func WithDialTimeout(d time.Duration) DialOption { return server.WithDialTimeout
 // WithRetryPolicy enables client-side retries; the default is none.
 func WithRetryPolicy(p RetryPolicy) DialOption { return server.WithRetryPolicy(p) }
 
+// WithVenue scopes every request the client makes to the named venue, as if
+// each call went through Client.Venue(name). Against a server predating
+// venue routing, requests fail with the typed ErrVenueUnsupported.
+func WithVenue(name string) DialOption { return server.WithVenue(name) }
+
 // WithClientLogger routes the client's connection-lifecycle messages
 // (redials, envelope fallback) to l; nil silences them.
 func WithClientLogger(l *Logger) DialOption { return server.WithLogger(l) }
@@ -218,13 +438,21 @@ func NewLogger(w io.Writer, level string) (*Logger, error) {
 	return obs.New(w, lv), nil
 }
 
-// Connect dials a VisualPrint server.
+// Connect dials a VisualPrint server. It is the one client constructor: the
+// full options set (dial timeout, retry policy, venue scoping, logging) is
+// expressed as DialOptions, and the returned Client multiplexes requests
+// over a single connection, reconnecting transparently when the transport
+// drops between requests.
 func Connect(addr string, opts ...DialOption) (*Client, error) {
 	return server.Dial(addr, opts...)
 }
 
 // DialContext dials a VisualPrint server, honoring the context's deadline
 // and cancellation during connection establishment.
+//
+// Deprecated: Connect is the canonical constructor; bound the dial with
+// WithDialTimeout instead. DialContext remains for callers that must plumb
+// an existing context's cancellation into connection establishment.
 func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
 	return server.DialContext(ctx, addr, opts...)
 }
@@ -260,6 +488,9 @@ var (
 	// ErrCanceled: the request was canceled — client-side cancel,
 	// connection death, or server drain cutoff — mid-pipeline.
 	ErrCanceled = server.ErrCanceled
+	// ErrVenueUnsupported: a venue-scoped request reached a server
+	// predating venue routing; detected once per connection, then sticky.
+	ErrVenueUnsupported = server.ErrVenueUnsupported
 )
 
 // IsRemoteError reports whether err was diagnosed by the server (as opposed
@@ -307,6 +538,9 @@ type Pipeline struct {
 	Server *Server
 	Oracle *Oracle
 
+	// Venue scopes the pipeline's server interactions to one named venue;
+	// empty (the default) uses the default venue. Set it before Wardrive.
+	Venue string
 	// SelectCount is how many most-unique keypoints a query uploads
 	// (the paper evaluates 200 and 500).
 	SelectCount int
@@ -327,8 +561,8 @@ type errFrameBlurred struct{}
 func (errFrameBlurred) Error() string { return "visualprint: frame rejected as blurred" }
 
 // NewPipeline builds a pipeline over a world with a fresh server.
-func NewPipeline(w *World, cfg ServerConfig) (*Pipeline, error) {
-	srv, err := NewServer(cfg)
+func NewPipeline(w *World, cfg ServerConfig, opts ...ServerOption) (*Pipeline, error) {
+	srv, err := NewServer(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -343,8 +577,9 @@ func NewPipeline(w *World, cfg ServerConfig) (*Pipeline, error) {
 }
 
 // Wardrive walks the world, optionally corrects drift with ICP, ingests
-// the mappings, and installs the (server-identical) oracle for client-side
-// filtering. It returns the number of mappings ingested.
+// the mappings into the pipeline's venue, and installs the
+// (server-identical) oracle for client-side filtering. It returns the
+// number of mappings ingested.
 func (p *Pipeline) Wardrive(cfg WardriveConfig, correctDrift bool) (int, error) {
 	snaps, err := Wardrive(p.World, cfg)
 	if err != nil {
@@ -356,12 +591,17 @@ func (p *Pipeline) Wardrive(cfg WardriveConfig, correctDrift bool) (int, error) 
 		}
 	}
 	ms := MappingsFrom(snaps)
-	if err := p.Server.Ingest(ms); err != nil {
+	if _, err := p.Server.IngestVenue(context.Background(), p.Venue, ms); err != nil {
 		return 0, err
 	}
-	// In-process deployments share the oracle object; a networked client
-	// would FetchOracle instead.
-	p.Oracle = p.Server.Database().Oracle()
+	// In-process deployments get the oracle directly (shared for the
+	// default venue, assembled from the shards for a named one); a
+	// networked client would FetchOracle instead.
+	o, err := p.Server.VenueOracle(p.Venue)
+	if err != nil {
+		return 0, err
+	}
+	p.Oracle = o
 	return len(ms), nil
 }
 
@@ -418,7 +658,7 @@ func (p *Pipeline) LocalizeFrameContext(ctx context.Context, fr *Frame) (LocateR
 		UploadedKeypoints:  len(sel),
 		UploadBytes:        QueryUploadBytes(len(sel)),
 	}
-	res, err := p.Server.Database().Locate(ctx, sel, IntrinsicsOf(fr.Cam))
+	res, err := p.Server.Locate(ctx, p.Venue, sel, IntrinsicsOf(fr.Cam))
 	if err != nil {
 		return LocateResult{}, stats, err
 	}
