@@ -14,14 +14,16 @@ test:
 verify:
 	sh scripts/verify.sh
 
-# The request-lifecycle chaos suite alone, full-length, under -race:
-# fault-injection proxy (latency, partitions, blackhole, refused dials)
-# against live clients with deadlines, retries and reconnects. `go test
+# The request-lifecycle and replication chaos suites alone, full-length,
+# under -race: fault-injection proxy (latency, partitions — symmetric and
+# one-way — blackhole, refused dials) against live clients with deadlines,
+# retries and reconnects, plus the replication fleet tests (failover with
+# acked-ingest preservation, full-sync feed loss mid-snapshot). `go test
 # -short` runs an abbreviated round as part of the normal suite.
 chaos:
 	go test -race -count=1 -v -run \
 		'TestChaos|TestShutdown|TestShedUnderBurst|TestCancelFreesServerSlot|TestDeadlineEnforcedServerSide|TestProxy' \
-		./internal/server/ ./internal/netsim/
+		./internal/server/ ./internal/netsim/ ./internal/repl/
 
 # Full measurement run: Go benchmarks once through, then the standard
 # Locate workload with the machine-readable result in BENCH_locate.json

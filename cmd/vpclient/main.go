@@ -126,6 +126,50 @@ func printMetrics(client *visualprint.Client, reqCtx func() (context.Context, co
 	}
 	fmt.Printf("uptime: %s\n", (time.Duration(rep.UptimeSeconds * float64(time.Second))).Round(time.Second))
 
+	// Replication gets its own section: the node's role and offsets from the
+	// repl state RPC, plus every repl_* / failover instrument pulled out of
+	// the generic listings. Servers without replication answer the state RPC
+	// with an error; the section is simply omitted then.
+	isRepl := func(name string) bool {
+		return strings.HasPrefix(name, "repl_") || name == "failovers_total"
+	}
+	replCounters, replGauges := map[string]uint64{}, map[string]int64{}
+	for name, v := range rep.Counters {
+		if isRepl(name) {
+			replCounters[name] = v
+			delete(rep.Counters, name)
+		}
+	}
+	for name, v := range rep.Gauges {
+		if isRepl(name) {
+			replGauges[name] = v
+			delete(rep.Gauges, name)
+		}
+	}
+	sctx, scancel := reqCtx()
+	rst, rerr := client.ReplStatus(sctx)
+	scancel()
+	if rerr == nil || len(replCounters)+len(replGauges) > 0 {
+		fmt.Println("\nreplication:")
+		if rerr == nil {
+			fmt.Printf("  %-28s %s\n", "role", rst.Role)
+			fmt.Printf("  %-28s %d\n", "epoch", rst.Epoch)
+			fmt.Printf("  %-28s %d\n", "applied_records", rst.Applied)
+			fmt.Printf("  %-28s %s\n", "staleness", rst.Staleness.Round(time.Millisecond))
+			fmt.Printf("  %-28s %s\n", "primary", rst.Primary)
+		}
+		for _, name := range sortedKeys(replCounters) {
+			fmt.Printf("  %-28s %d\n", name, replCounters[name])
+		}
+		for _, name := range sortedKeys(replGauges) {
+			if strings.HasSuffix(name, "_ns") {
+				fmt.Printf("  %-28s %s\n", name, ns(replGauges[name]))
+				continue
+			}
+			fmt.Printf("  %-28s %d\n", name, replGauges[name])
+		}
+	}
+
 	fmt.Println("\ncounters:")
 	for _, name := range sortedKeys(rep.Counters) {
 		fmt.Printf("  %-28s %d\n", name, rep.Counters[name])

@@ -7,6 +7,14 @@
 // log, and a restart (graceful or not) recovers the exact map.
 //
 //	vpserver -listen :7310 -data /var/lib/visualprint
+//
+// With -advertise the server joins a replication fleet: started bare it is
+// the primary; started with -primary it replicates that node's write-ahead
+// log and serves reads from byte-identical state. Run cmd/vpsentinel over
+// the fleet for automatic failover.
+//
+//	vpserver -listen :7310 -data /srv/a -advertise host-a:7310
+//	vpserver -listen :7311 -data /srv/b -advertise host-b:7311 -primary host-a:7310
 package main
 
 import (
@@ -55,6 +63,11 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before canceling them")
 	var venueShards venueShardsFlag
 	flag.Var(&venueShards, "venue-shards", "shard topology for a named venue as name=N (repeatable; applies at venue creation)")
+	advertise := flag.String("advertise", "", "address fleet peers and redirected clients reach this node at; enables replication (requires -data)")
+	primary := flag.String("primary", "", "start as a replica of this primary address (with -advertise; empty: start as the primary)")
+	minSync := flag.Int("min-sync-replicas", 0, "acknowledge ingests only after this many replicas confirm them durable (0: local durability only)")
+	syncTimeout := flag.Duration("sync-timeout", 0, "bound on the semi-sync replica wait (0: default 5s)")
+	maxStaleness := flag.Duration("max-staleness", 0, "how stale a replica may serve reads before redirecting to the primary (0: default 3s)")
 	flag.Parse()
 
 	if err := visualprint.SetLogLevel(*logLevel); err != nil {
@@ -68,6 +81,21 @@ func main() {
 		opts = append(opts, visualprint.WithQueueDepth(*queueDepth))
 	}
 	opts = append(opts, visualprint.WithDrainTimeout(*drainTimeout))
+	if *primary != "" && *advertise == "" {
+		log.Fatal("-primary requires -advertise")
+	}
+	if *advertise != "" {
+		if *data == "" {
+			log.Fatal("replication (-advertise) requires -data")
+		}
+		opts = append(opts, visualprint.WithReplication(visualprint.ReplicationOptions{
+			Advertise:       *advertise,
+			Primary:         *primary,
+			MinSyncReplicas: *minSync,
+			SyncTimeout:     *syncTimeout,
+			MaxStaleness:    *maxStaleness,
+		}))
+	}
 	srv, err := visualprint.NewServer(visualprint.DefaultServerConfig(), opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -86,6 +114,10 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("visualprint server listening on %s", addr)
+	if *advertise != "" {
+		st := srv.ReplStatus()
+		log.Printf("replication: role=%s epoch=%d advertise=%s primary=%s", st.Role, st.Epoch, *advertise, st.Primary)
+	}
 	if *debugAddr != "" {
 		dAddr, err := srv.ServeDebug(*debugAddr)
 		if err != nil {

@@ -26,9 +26,14 @@ type Proxy struct {
 	mu        sync.Mutex
 	latency   time.Duration
 	blackhole bool
-	refuse    bool
-	conns     map[net.Conn]struct{}
-	closed    bool
+	// One-way partition: drop only client→server bytes (bhUp) or only
+	// server→client bytes (bhDown), while the other direction still flows —
+	// the asymmetric failure where a node can be heard but not hear (or
+	// vice versa), which exercises different timeouts than a full blackhole.
+	bhUp, bhDown bool
+	refuse       bool
+	conns        map[net.Conn]struct{}
+	closed       bool
 
 	wg sync.WaitGroup
 }
@@ -63,6 +68,17 @@ func (p *Proxy) SetLatency(d time.Duration) {
 func (p *Proxy) SetBlackhole(v bool) {
 	p.mu.Lock()
 	p.blackhole = v
+	p.mu.Unlock()
+}
+
+// SetPartition configures a one-way partition: up drops client→server
+// bytes, down drops server→client bytes. Both false restores the link;
+// both true equals SetBlackhole. Like the blackhole, dropped bytes vanish
+// silently — connections stay open and the surviving direction keeps
+// flowing, so each side's picture of the network disagrees.
+func (p *Proxy) SetPartition(up, down bool) {
+	p.mu.Lock()
+	p.bhUp, p.bhDown = up, down
 	p.mu.Unlock()
 }
 
@@ -135,15 +151,16 @@ func (p *Proxy) acceptLoop() {
 		p.conns[up] = struct{}{}
 		p.mu.Unlock()
 		p.wg.Add(2)
-		go p.pump(conn, up)
-		go p.pump(up, conn)
+		go p.pump(conn, up, true)
+		go p.pump(up, conn, false)
 	}
 }
 
-// pump copies src to dst chunk by chunk, applying the latency and
-// blackhole settings in force as each chunk passes. Either side failing
-// tears down both.
-func (p *Proxy) pump(src, dst net.Conn) {
+// pump copies src to dst chunk by chunk, applying the latency, blackhole
+// and one-way-partition settings in force as each chunk passes (upstream
+// reports the client→server direction). Either side failing tears down
+// both.
+func (p *Proxy) pump(src, dst net.Conn, upstream bool) {
 	defer p.wg.Done()
 	defer p.drop(src)
 	defer p.drop(dst)
@@ -153,6 +170,11 @@ func (p *Proxy) pump(src, dst net.Conn) {
 		if n > 0 {
 			p.mu.Lock()
 			lat, bh := p.latency, p.blackhole
+			if upstream {
+				bh = bh || p.bhUp
+			} else {
+				bh = bh || p.bhDown
+			}
 			p.mu.Unlock()
 			if lat > 0 {
 				time.Sleep(lat)

@@ -124,6 +124,64 @@ func TestProxyRefuse(t *testing.T) {
 	}
 }
 
+func TestProxyOneWayPartition(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+
+	// Down-only partition: client bytes still reach the echo server, but
+	// its replies vanish — the client can talk and not hear.
+	p.SetPartition(false, true)
+	if _, err := c.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("reply arrived through a down-partitioned proxy")
+	}
+
+	// Heal: the link works again end to end. (The echoed "a" swallowed
+	// above is gone for good — drops are silent, not buffered.)
+	p.SetPartition(false, false)
+	if _, err := c.Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("healed link dead: %v", err)
+	}
+	if buf[0] != 'b' {
+		t.Fatalf("echoed %q, want 'b'", buf)
+	}
+
+	// Up-only partition: client bytes vanish before the server, so nothing
+	// comes back either — but the connection itself stays open.
+	p.SetPartition(true, false)
+	if _, err := c.Write([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("echo arrived through an up-partitioned proxy")
+	}
+	p.SetPartition(false, false)
+	if _, err := c.Write([]byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("healed link dead after up partition: %v", err)
+	}
+	if buf[0] != 'd' {
+		t.Fatalf("echoed %q, want 'd'", buf)
+	}
+}
+
 func TestProxyBlackhole(t *testing.T) {
 	ln := echoServer(t)
 	p, err := NewProxy(ln.Addr().String())

@@ -85,6 +85,7 @@ type dialConfig struct {
 	retry   RetryPolicy
 	log     *obs.Logger
 	venue   string
+	replica string
 }
 
 // DialOption configures a client at construction.
@@ -115,6 +116,16 @@ func WithVenue(name string) DialOption {
 	return func(c *dialConfig) { c.venue = name }
 }
 
+// WithReadFromReplica routes read RPCs (query, oracle download/refresh,
+// stats) to the replica at addr, falling back to the primary whenever the
+// replica fails or redirects (dead, mid-full-sync, past its staleness
+// bound). Writes always go to the primary. The replica connection's bytes
+// are not included in the client's BytesSent/BytesReceived accounting.
+// Only meaningful with Dial/DialContext.
+func WithReadFromReplica(addr string) DialOption {
+	return func(c *dialConfig) { c.replica = addr }
+}
+
 // Client is a VisualPrint protocol client. It is safe for concurrent use:
 // requests are multiplexed over the single connection with uint32 request
 // IDs (wire protocol v2), so concurrent calls overlap on the wire and on
@@ -141,6 +152,18 @@ type Client struct {
 	// venue is the default venue for every call (WithVenue); Venue(name)
 	// handles override it per request.
 	venue string
+
+	// target is the address the dialer currently points at (string; only
+	// set by Dial/DialContext). Redirect-following on ErrNotPrimary stores
+	// the new primary here and reconnects.
+	target atomic.Value
+	// noRedirect disables redirect-following — set on the replica
+	// sub-client, which must stay pointed at its replica rather than
+	// silently becoming a second primary connection.
+	noRedirect bool
+	// replica, when non-nil, is the secondary connection read RPCs prefer
+	// (WithReadFromReplica); failures fall back to the primary.
+	replica *Client
 
 	// deadlineOK tracks whether the server accepts msgRequestEx deadline
 	// envelopes; cleared on the first "unknown message type" rejection so
@@ -227,27 +250,60 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 	for _, o := range opts {
 		o(&cfg)
 	}
+	c, err := dialTarget(ctx, addr, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.replica != "" {
+		rcfg := cfg
+		rcfg.replica = ""
+		r, err := dialTarget(ctx, cfg.replica, rcfg, opts)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("read replica %s: %w", cfg.replica, err)
+		}
+		r.noRedirect = true
+		c.replica = r
+	}
+	return c, nil
+}
+
+// dialTarget builds one retargetable connection: the dialer reads the
+// client's current target address, so a not-primary redirect can move the
+// connection without rebuilding the client.
+func dialTarget(ctx context.Context, addr string, cfg dialConfig, opts []DialOption) (*Client, error) {
+	var c *Client
 	dialFn := func(ctx context.Context) (net.Conn, error) {
 		if cfg.timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 			defer cancel()
 		}
+		target := addr
+		if c != nil {
+			if t, ok := c.target.Load().(string); ok && t != "" {
+				target = t
+			}
+		}
 		var d net.Dialer
-		return d.DialContext(ctx, "tcp", addr)
+		return d.DialContext(ctx, "tcp", target)
 	}
 	conn, err := dialFn(ctx)
 	if err != nil {
 		return nil, err
 	}
-	c := NewClient(conn, opts...)
+	c = NewClient(conn, opts...)
 	c.dialFn = dialFn
+	c.target.Store(addr)
 	return c, nil
 }
 
-// Close closes the connection; in-flight calls fail and no reconnection is
-// attempted.
+// Close closes the connection (and the read-replica connection, if any);
+// in-flight calls fail and no reconnection is attempted.
 func (c *Client) Close() error {
+	if r := c.replica; r != nil {
+		r.Close()
+	}
 	c.mu.Lock()
 	c.closed = true
 	conn := c.conn
@@ -418,7 +474,7 @@ func (c *Client) retryable(err error, idempotent bool) bool {
 // invoke is call plus the retry loop: jittered exponential backoff on
 // retryable errors, reconnecting first when the transport died.
 func (c *Client) invoke(ctx context.Context, venue string, typ byte, payload []byte, idempotent bool) (byte, []byte, error) {
-	rt, resp, err := c.call(ctx, venue, typ, payload)
+	rt, resp, err := c.callRedirect(ctx, venue, typ, payload)
 	for attempt := 1; err != nil && attempt < c.retry.MaxAttempts && c.retryable(err, idempotent); attempt++ {
 		select {
 		case <-time.After(c.retry.delay(attempt)):
@@ -430,9 +486,89 @@ func (c *Client) invoke(ctx context.Context, venue string, typ byte, payload []b
 				return 0, nil, rerr
 			}
 		}
+		rt, resp, err = c.callRedirect(ctx, venue, typ, payload)
+	}
+	return rt, resp, err
+}
+
+// maxRedirectHops bounds not-primary redirect chasing within one call, so
+// a fleet mid-failover (everyone pointing at everyone) cannot loop the
+// client forever.
+const maxRedirectHops = 4
+
+// callRedirect is call plus redirect-following: a not-primary rejection
+// naming a primary moves the connection there and resends. Safe for
+// non-idempotent requests — the rejecting server did no work. Redirects
+// don't consume retry-policy attempts.
+func (c *Client) callRedirect(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte, error) {
+	rt, resp, err := c.call(ctx, venue, typ, payload)
+	for hops := 0; hops < maxRedirectHops; hops++ {
+		var npe *NotPrimaryError
+		if err == nil || !errors.As(err, &npe) || npe.Primary == "" || !c.retarget(ctx, npe.Primary) {
+			return rt, resp, err
+		}
+		c.logf("visualprint client: redirected to primary %s", npe.Primary)
 		rt, resp, err = c.call(ctx, venue, typ, payload)
 	}
 	return rt, resp, err
+}
+
+// retarget points the dialer at addr and swaps in a fresh connection,
+// reporting whether it did. In-flight requests on the old connection fail
+// with ErrConnectionLost (retryable where idempotent). No-op — returns
+// false — when the client has no dialer, follows no redirects, or already
+// targets addr.
+func (c *Client) retarget(ctx context.Context, addr string) bool {
+	if c.dialFn == nil || c.noRedirect {
+		return false
+	}
+	cur, ok := c.target.Load().(string)
+	if !ok || cur == addr {
+		return false
+	}
+	c.target.Store(addr)
+
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	conn, err := c.dialFn(ctx)
+	if err != nil {
+		// Leave the old connection in place; the caller's error stands and
+		// a later attempt redials at the stored target.
+		return false
+	}
+	if err := writePreamble(conn); err != nil {
+		conn.Close()
+		return false
+	}
+	c.sent.Add(preambleSize)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	old := c.conn
+	// Drain requests still in flight on the old connection — its demux
+	// loop's eventual read error targets a stale generation and would
+	// otherwise leave them hanging.
+	redirErr := fmt.Errorf("%w: redirected to %s", ErrConnectionLost, addr)
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- rpcResult{err: redirErr}
+	}
+	for _, ch := range c.fifo {
+		ch <- rpcResult{err: redirErr}
+	}
+	c.fifo = nil
+	c.conn = conn
+	c.gen++
+	gen := c.gen
+	c.readErr = nil
+	c.mu.Unlock()
+	old.Close()
+	go c.demux(conn, gen)
+	return true
 }
 
 // deadlineMillis converts a context deadline to the wire's relative-millis
@@ -634,6 +770,36 @@ func (c *Client) roundTripIdem(ctx context.Context, venue string, typ byte, payl
 	return resp, nil
 }
 
+// readInvoke routes an idempotent read RPC through the configured read
+// replica first, falling back to the primary on any replica failure — a
+// dead replica, one mid-full-sync, or one past its staleness bound (the
+// redirect it answers is the fallback trigger, not followed).
+func (c *Client) readInvoke(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte, error) {
+	if r := c.replica; r != nil {
+		rt, resp, err := r.invoke(ctx, venue, typ, payload, true)
+		if err == nil {
+			return rt, resp, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, cerr
+		}
+		c.logf("visualprint client: read replica failed (%v); falling back to primary", err)
+	}
+	return c.invoke(ctx, venue, typ, payload, true)
+}
+
+// readRoundTrip is readInvoke plus the response-type check.
+func (c *Client) readRoundTrip(ctx context.Context, venue string, typ byte, payload []byte, wantType byte) ([]byte, error) {
+	rt, resp, err := c.readInvoke(ctx, venue, typ, payload)
+	if err != nil {
+		return nil, err
+	}
+	if rt != wantType {
+		return nil, errRemote{msg: "unexpected response type"}
+	}
+	return resp, nil
+}
+
 // Venue is a lightweight handle pinning requests to one named venue on a
 // shared client. Handles are cheap values — create one per venue as needed;
 // all handles multiplex over the client's single connection and share its
@@ -694,7 +860,7 @@ func (c *Client) FetchOracle(ctx context.Context) (o *core.Oracle, blobSize int6
 }
 
 func (c *Client) fetchOracle(ctx context.Context, venue string) (o *core.Oracle, blobSize int64, err error) {
-	resp, err := c.roundTrip(ctx, venue, msgGetOracle, nil, msgOracleBlob)
+	resp, err := c.readRoundTrip(ctx, venue, msgGetOracle, nil, msgOracleBlob)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -721,7 +887,7 @@ func (c *Client) RefreshOracle(ctx context.Context, o *core.Oracle) (updated *co
 func (c *Client) refreshOracle(ctx context.Context, venue string, o *core.Oracle) (updated *core.Oracle, transferBytes int64, incremental bool, err error) {
 	req := make([]byte, 8)
 	binary.LittleEndian.PutUint64(req, o.Inserts())
-	rt, resp, err := c.invoke(ctx, venue, msgGetDiff, req, true)
+	rt, resp, err := c.readInvoke(ctx, venue, msgGetDiff, req)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -773,7 +939,7 @@ func (c *Client) Query(ctx context.Context, kps []sift.Keypoint, intr pose.Intri
 
 func (c *Client) query(ctx context.Context, venue string, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
 	payload := encodeQuery(intr, codec.MarshalKeypoints(kps))
-	resp, err := c.roundTrip(ctx, venue, msgQuery, payload, msgQueryResult)
+	resp, err := c.readRoundTrip(ctx, venue, msgQuery, payload, msgQueryResult)
 	if err != nil {
 		return LocateResult{}, err
 	}
@@ -787,7 +953,7 @@ func (c *Client) Stats(ctx context.Context) (mappings uint64, err error) {
 }
 
 func (c *Client) stats(ctx context.Context, venue string) (mappings uint64, err error) {
-	resp, err := c.roundTrip(ctx, venue, msgStats, nil, msgStatsResult)
+	resp, err := c.readRoundTrip(ctx, venue, msgStats, nil, msgStatsResult)
 	if err != nil {
 		return 0, err
 	}

@@ -128,9 +128,16 @@ type Database struct {
 
 	// Persistence (nil/zero when running in-memory; see Open).
 	store    *store.Store
+	dataDir  string // last directory Open attached; survives Close so a failed full-sync can retry
 	snapKick chan struct{}
 	quit     chan struct{}
 	snapDone chan struct{}
+
+	// repl, when non-nil, is the fleet control block (see repl.go): the
+	// ingest path advances its durable offset and, on a semi-sync primary,
+	// withholds the ack until enough replicas confirm. Installed once by
+	// NewReplState before the database serves traffic; read without mu.
+	repl *ReplState
 
 	// Observability (nil until EnableObs; see obs.go). Installed once,
 	// never swapped, read under mu (either side).
@@ -283,11 +290,19 @@ func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 		db.mu.Unlock()
 		return m, errRemote{msg: "database descriptor dimension mismatch"}
 	}
-	if db.seqMode != (seqs != nil) {
-		db.mu.Unlock()
-		if db.seqMode {
-			return m, errRemote{msg: "shard engine requires IngestSeq"}
+	if db.seqMode && seqs == nil {
+		// A plain Ingest on a shard engine self-assigns the next sequence
+		// run. Single-shard deployments (a replicated fleet's default venue)
+		// take this path; in a router-fanned venue the Router assigns
+		// venue-global sequences through IngestSeq instead, and its
+		// monotonic allocation never interleaves with direct Ingest calls.
+		seqs = make([]uint64, len(ms))
+		for i := range seqs {
+			seqs[i] = db.maxSeq + uint64(i) + 1
 		}
+	}
+	if !db.seqMode && seqs != nil {
+		db.mu.Unlock()
 		return m, errRemote{msg: "IngestSeq requires a shard engine (NewShardDatabase)"}
 	}
 	if seqs != nil {
@@ -307,6 +322,7 @@ func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 	var commit *store.Commit
 	var st *store.Store
 	var kick chan struct{}
+	var replTarget uint64
 	if db.store != nil {
 		st, kick = db.store, db.snapKick
 		if db.seqMode {
@@ -314,6 +330,9 @@ func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 		} else {
 			commit = st.Append(encodeMappings(ms))
 		}
+		// The store seq after the reservation is this batch's replication
+		// offset target: a replica acknowledging it has the batch.
+		replTarget = st.Seq()
 	}
 	err := db.applyLocked(ms, seqs)
 	if err == nil {
@@ -331,6 +350,14 @@ func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 	m.trace.ObserveStage(obs.StageWALAppend, time.Since(tWait))
 	if err != nil {
 		return m, err
+	}
+	if rs := db.repl; rs != nil {
+		// Durable locally: wake replica long-polls, then (on a semi-sync
+		// primary) hold the ack until enough of them have the batch.
+		rs.noteDurable()
+		if err := rs.waitSynced(replTarget); err != nil {
+			return m, err
+		}
 	}
 	if st.WALBytes() >= db.cfg.WALCompactBytes {
 		select {

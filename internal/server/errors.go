@@ -42,7 +42,32 @@ var (
 	// connection death, or a canceled local context) mid-pipeline.
 	// errors.Is(err, context.Canceled) also matches.
 	ErrCanceled error = &ctxSentinel{msg: "server: request canceled", match: context.Canceled}
+	// ErrNotPrimary: the request needs the primary (a write sent to a
+	// replica, or a replica read past its staleness bound) and this server
+	// is not it. The concrete error is a *NotPrimaryError whose Primary
+	// field, when non-empty, is the address to redirect to; the client
+	// follows it automatically.
+	ErrNotPrimary = errors.New("server: not the primary")
 )
+
+// NotPrimaryError is the concrete redirect error behind ErrNotPrimary. It
+// crosses the wire as code errCodeNotPrimary with the primary's advertised
+// address as the payload message, so the redirect survives serialization.
+type NotPrimaryError struct {
+	// Primary is the current primary's address as last known by the
+	// rejecting server; empty when the fleet has no primary (mid-failover).
+	Primary string
+}
+
+func (e *NotPrimaryError) Error() string {
+	if e.Primary == "" {
+		return "server: not the primary"
+	}
+	return "server: not the primary (primary is " + e.Primary + ")"
+}
+
+// Is makes errors.Is(err, ErrNotPrimary) match any redirect error.
+func (e *NotPrimaryError) Is(target error) bool { return target == ErrNotPrimary }
 
 // ctxSentinel is a sentinel that additionally matches the context error it
 // stands for, so callers using the standard library's identities keep
@@ -81,6 +106,7 @@ const (
 	errCodeDeadlineExceeded byte = 5
 	errCodeShuttingDown     byte = 6
 	errCodeCanceled         byte = 7
+	errCodeNotPrimary       byte = 8
 )
 
 // errorCode maps a server-side error to its wire code. Raw context errors
@@ -102,6 +128,8 @@ func errorCode(err error) byte {
 		return errCodeDeadlineExceeded
 	case errors.Is(err, context.Canceled):
 		return errCodeCanceled
+	case errors.Is(err, ErrNotPrimary):
+		return errCodeNotPrimary
 	default:
 		return errCodeGeneric
 	}
@@ -125,14 +153,23 @@ func sentinelFor(code byte) error {
 		return ErrShuttingDown
 	case errCodeCanceled:
 		return ErrCanceled
+	case errCodeNotPrimary:
+		return ErrNotPrimary
 	default:
 		return nil
 	}
 }
 
-// encodeErrorPayload builds a msgError payload: [code][message].
+// encodeErrorPayload builds a msgError payload: [code][message]. The
+// not-primary code repurposes the message bytes as the redirect address —
+// structured data, not prose — so the client can reconnect without parsing
+// human text.
 func encodeErrorPayload(err error) []byte {
 	msg := err.Error()
+	var npe *NotPrimaryError
+	if errors.As(err, &npe) {
+		msg = npe.Primary
+	}
 	buf := make([]byte, 1+len(msg))
 	buf[0] = errorCode(err)
 	copy(buf[1:], msg)
@@ -144,6 +181,9 @@ func encodeErrorPayload(err error) []byte {
 func decodeErrorPayload(p []byte) error {
 	if len(p) == 0 {
 		return errRemote{msg: "unspecified error"}
+	}
+	if p[0] == errCodeNotPrimary {
+		return &NotPrimaryError{Primary: string(p[1:])}
 	}
 	return errRemote{code: p[0], msg: string(p[1:])}
 }

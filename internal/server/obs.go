@@ -106,13 +106,13 @@ type srvMetrics struct {
 
 	// Indexed by request message type (< len); unknown or out-of-range
 	// types fall through to reqUnknown with no latency histogram.
-	reqCount   [16]*obs.Counter
-	reqNs      [16]*obs.Histogram
+	reqCount   [28]*obs.Counter
+	reqNs      [28]*obs.Histogram
 	reqUnknown *obs.Counter
 
 	// Indexed by wire error code; codes past the known range count as
 	// generic.
-	errCodes [8]*obs.Counter
+	errCodes [9]*obs.Counter
 
 	// Request-lifecycle events: requests shed by admission control,
 	// requests aborted by a client cancel frame, and the current depth of
@@ -132,12 +132,20 @@ var requestTypeNames = map[byte]string{
 	msgGetDiff:    "get_diff",
 	msgStatsFull:  "stats_full",
 	msgGetMetrics: "metrics",
+
+	msgReplState:    "repl_state",
+	msgReplSnapshot: "repl_snapshot",
+	msgReplFetch:    "repl_fetch",
+	msgReplFollow:   "repl_follow",
+	msgReplPromote:  "repl_promote",
+	msgPing:         "ping",
 }
 
 // errCodeNames maps wire error codes to metric name suffixes.
-var errCodeNames = [8]string{
+var errCodeNames = [9]string{
 	"generic", "empty_database", "too_few_matches", "no_consensus",
 	"overloaded", "deadline_exceeded", "shutting_down", "canceled",
+	"not_primary",
 }
 
 func newSrvMetrics(r *obs.Registry) *srvMetrics {

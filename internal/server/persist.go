@@ -45,7 +45,12 @@ const (
 // any previously persisted state into the (required to be empty) in-memory
 // structures. After Open, every Ingest is write-ahead logged; Close
 // releases the directory.
-func (db *Database) Open(dir string) error {
+func (db *Database) Open(dir string) error { return db.open(dir, nil) }
+
+// open is Open's body; install, when non-nil, runs between the store's
+// Open and Recover — the hook ReplaceFromSnapshot uses to seed the fresh
+// directory with a primary-shipped snapshot before recovery loads it.
+func (db *Database) open(dir string, install func(*store.Store) error) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.store != nil {
@@ -57,6 +62,12 @@ func (db *Database) Open(dir string) error {
 	st, err := store.Open(dir, store.Options{Log: obs.FuncLogger(db.logf)})
 	if err != nil {
 		return err
+	}
+	if install != nil {
+		if err := install(st); err != nil {
+			st.Close()
+			return err
+		}
 	}
 	recoverStart := time.Now()
 	err = st.Recover(
@@ -82,6 +93,7 @@ func (db *Database) Open(dir string) error {
 	}
 	db.recoverDur = time.Since(recoverStart)
 	db.store = st
+	db.dataDir = dir
 	db.snapKick = make(chan struct{}, 1)
 	db.quit = make(chan struct{})
 	db.snapDone = make(chan struct{})
@@ -111,6 +123,64 @@ func (db *Database) Close() error {
 	close(db.quit)
 	<-db.snapDone
 	return st.Close()
+}
+
+// ReplaceFromSnapshot discards the database's entire durable and in-memory
+// state and rebuilds both from a primary-shipped snapshot blob covering the
+// first seq WAL records — the replica full-sync path. On return the
+// database's state equals the primary's at offset seq and its WAL continues
+// from seq, so subsequently streamed records land at identical positions.
+// Concurrent reads during the swap see either the old or the new state;
+// the fleet role gate (RoleCandidate) redirects clients for the duration.
+func (db *Database) ReplaceFromSnapshot(seq uint64, blob []byte) error {
+	db.mu.RLock()
+	st, dir := db.store, db.dataDir
+	db.mu.RUnlock()
+	if dir == "" {
+		return errors.New("server: replication full-sync requires a durable database")
+	}
+	// st may already be nil if a previous attempt failed after Close — the
+	// wipe-and-reopen below is idempotent, so just retry from there.
+	if st != nil {
+		if err := db.Close(); err != nil {
+			return err
+		}
+	}
+	if err := store.Wipe(dir); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	err := db.resetLocked()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.open(dir, func(st *store.Store) error {
+		return st.InstallSnapshot(seq, blob)
+	})
+}
+
+// resetLocked empties the in-memory structures back to NewDatabase state
+// (Recover's loadStateLocked then repopulates them from the installed
+// snapshot). Callers hold db.mu.
+func (db *Database) resetLocked() error {
+	ix, err := lsh.NewIndex(db.cfg.LSH)
+	if err != nil {
+		return err
+	}
+	o, err := core.New(db.cfg.Oracle)
+	if err != nil {
+		return err
+	}
+	db.index, db.oracle = ix, o
+	db.positions = nil
+	db.lo, db.hi, db.hasBounds = mathx.Vec3{}, mathx.Vec3{}, false
+	db.seqs, db.maxSeq = nil, 0
+	db.snapshots, db.snapOrder, db.snapBytes = map[uint64]*core.Oracle{}, nil, 0
+	if db.met != nil {
+		db.met.mappings.Set(0)
+	}
+	return nil
 }
 
 // Compact synchronously folds the current state into a fresh durable

@@ -84,6 +84,11 @@ type Server struct {
 	// the metrics RPC reports it disabled).
 	reg *obs.Registry
 	met *srvMetrics
+
+	// rs, when non-nil, makes this server a fleet member: replication
+	// RPCs are answered, ingests are gated to the primary role, and
+	// replica-served reads honor the staleness bound (see repl.go).
+	rs *ReplState
 }
 
 // Option configures a Server at construction (Serve / ListenAndServe).
@@ -110,6 +115,13 @@ func WithQueueDepth(n int) Option {
 // requests.
 func WithRouter(r *Router) Option {
 	return func(s *Server) { s.router = r }
+}
+
+// WithReplState attaches a fleet control block: the server answers the
+// replication RPCs, rejects ingests with a redirect unless it is the
+// primary, and bounds replica-served reads by the configured staleness.
+func WithReplState(rs *ReplState) Option {
+	return func(s *Server) { s.rs = rs }
 }
 
 // WithDrainTimeout bounds how long Shutdown waits for in-flight requests
@@ -171,6 +183,10 @@ func Serve(ln net.Listener, db *Database, opts ...Option) *Server {
 	s.reg = db.EnableObs()
 	s.met = newSrvMetrics(s.reg)
 	s.router.instrument(s.reg)
+	if s.rs != nil {
+		s.rs.enableObs(s.reg)
+		s.rs.SetLogger(s.Log)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -632,6 +648,38 @@ func (s *Server) admitAndDispatch(ctx context.Context, venue string, typ byte, p
 func (s *Server) dispatch(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte) {
 	if venue != "" && s.router == nil {
 		return errorResponse(errors.New("venue routing not enabled on this server"))
+	}
+	switch typ {
+	case msgPing:
+		// Liveness answers unconditionally, replication configured or not.
+		return msgPong, nil
+	case msgReplState, msgReplSnapshot, msgReplFetch, msgReplFollow, msgReplPromote:
+		if s.rs == nil {
+			return errorResponse(errors.New("replication not enabled on this server"))
+		}
+		switch typ {
+		case msgReplState:
+			return s.rs.handleState()
+		case msgReplSnapshot:
+			return s.rs.handleSnapshot()
+		case msgReplFetch:
+			return s.rs.handleFetch(ctx, payload)
+		case msgReplFollow:
+			return s.rs.handleFollow(payload)
+		default:
+			return s.rs.handlePromote(payload)
+		}
+	case msgIngest:
+		// A fleet member only accepts writes as the primary — any venue.
+		if err := s.rs.gateWrite(); err != nil {
+			return errorResponse(err)
+		}
+	case msgQuery:
+		// Replica-served reads carry a staleness bound; past it (or mid
+		// full-sync) the client is redirected to the primary.
+		if err := s.rs.gateRead(); err != nil {
+			return errorResponse(err)
+		}
 	}
 	switch typ {
 	case msgGetOracle:

@@ -35,7 +35,23 @@ const (
 	msgRequestEx     byte = 14 // [uint32 deadline ms][inner type][inner payload]
 	msgCancel        byte = 15 // frame ID names the request to cancel; no payload, no response
 	msgVenueEx       byte = 16 // [uint8 name len][venue name][inner type][inner payload]
-	msgError         byte = 0x7f
+
+	// Replication & fleet control (protocol v2, additive). All payloads are
+	// little-endian fixed-width fields; addresses are length-unframed UTF-8
+	// tails. See DESIGN.md "Replication & failover".
+	msgReplState          byte = 17 // -> role/epoch/applied offset/primary addr
+	msgReplStateResult    byte = 18 // [u8 role][u64 epoch][u64 applied][u64 staleness ms][addr]
+	msgReplSnapshot       byte = 19 // -> full-sync snapshot for a fresh replica
+	msgReplSnapshotResult byte = 20 // [u64 seq][db-state blob]
+	msgReplFetch          byte = 21 // [u64 fromSeq][u32 max][u32 waitMs][replica id] -> batch
+	msgReplBatch          byte = 22 // [u64 firstSeq][u64 head][u32 n][n x (u32 len + record)]
+	msgReplFollow         byte = 23 // [u64 epoch][primary addr] — demote/reconfigure
+	msgReplPromote        byte = 24 // [u64 epoch] — become primary
+	msgReplAck            byte = 25 // empty acknowledgement for follow/promote
+	msgPing               byte = 26 // liveness probe, no payload
+	msgPong               byte = 27
+
+	msgError byte = 0x7f
 )
 
 // Request lifecycle extensions (protocol v2, additive).

@@ -1,0 +1,348 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// openEmpty opens and recovers a fresh store in a temp dir.
+func openEmpty(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Recover(nil, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// appendN appends n records ("rec-<seq>") and waits for durability.
+func appendN(t *testing.T, s *Store, start, n int) {
+	t.Helper()
+	var last *Commit
+	for i := 0; i < n; i++ {
+		last = s.Append([]byte(fmt.Sprintf("rec-%04d", start+i)))
+	}
+	if last != nil {
+		if err := last.Wait(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+}
+
+// drain reads records until io.EOF, asserting contiguous seqs from want.
+func drain(t *testing.T, r *WALReader, want uint64) uint64 {
+	t.Helper()
+	for {
+		payload, seq, err := r.Next()
+		if err == io.EOF {
+			return want
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if seq != want {
+			t.Fatalf("seq = %d, want %d", seq, want)
+		}
+		if got := string(payload); got != fmt.Sprintf("rec-%04d", want) {
+			t.Fatalf("payload = %q at seq %d", got, seq)
+		}
+		want++
+	}
+}
+
+func TestReaderRoundTrip(t *testing.T) {
+	s := openEmpty(t)
+	defer s.Close()
+	appendN(t, s, 0, 25)
+
+	r, err := s.OpenReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := drain(t, r, 0); got != 25 {
+		t.Fatalf("drained to %d, want 25", got)
+	}
+	if r.Pos() != 25 {
+		t.Fatalf("Pos = %d, want 25", r.Pos())
+	}
+
+	// New appends become visible to an already-EOF'd reader.
+	appendN(t, s, 25, 5)
+	if got := drain(t, r, 25); got != 30 {
+		t.Fatalf("drained to %d, want 30", got)
+	}
+}
+
+func TestReaderMidStreamStart(t *testing.T) {
+	s := openEmpty(t)
+	defer s.Close()
+	appendN(t, s, 0, 40)
+
+	r, err := s.OpenReader(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Pos() != 17 {
+		t.Fatalf("Pos = %d, want 17 before first read", r.Pos())
+	}
+	if got := drain(t, r, 17); got != 40 {
+		t.Fatalf("drained to %d, want 40", got)
+	}
+}
+
+func TestReaderResumeFromPos(t *testing.T) {
+	s := openEmpty(t)
+	defer s.Close()
+	appendN(t, s, 0, 30)
+
+	r, err := s.OpenReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := r.Next(); err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+	}
+	pos := r.Pos()
+	r.Close()
+	if pos != 12 {
+		t.Fatalf("Pos = %d, want 12", pos)
+	}
+
+	r2, err := s.OpenReader(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := drain(t, r2, pos); got != 30 {
+		t.Fatalf("drained to %d, want 30", got)
+	}
+}
+
+func TestReaderAtHeadEOF(t *testing.T) {
+	s := openEmpty(t)
+	defer s.Close()
+	appendN(t, s, 0, 3)
+
+	// Opening exactly at the head is valid — it means "tail from here".
+	r, err := s.OpenReader(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next at head = %v, want io.EOF", err)
+	}
+	appendN(t, s, 3, 2)
+	if got := drain(t, r, 3); got != 5 {
+		t.Fatalf("drained to %d, want 5", got)
+	}
+}
+
+func TestReaderPastHeadCompacted(t *testing.T) {
+	s := openEmpty(t)
+	defer s.Close()
+	appendN(t, s, 0, 3)
+	if _, err := s.OpenReader(4); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("OpenReader past head = %v, want ErrCompacted", err)
+	}
+}
+
+func TestReaderAcrossRotation(t *testing.T) {
+	s := openEmpty(t)
+	defer s.Close()
+	appendN(t, s, 0, 10)
+
+	r, err := s.OpenReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := drain(t, r, 0); got != 10 {
+		t.Fatalf("drained to %d, want 10", got)
+	}
+
+	// Snapshot rotates the WAL into a fresh segment; the live reader is
+	// past the compaction point so it keeps tailing into the new segment.
+	if err := s.Snapshot(func(w io.Writer) error { _, err := w.Write([]byte("state")); return err }); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 10, 7)
+	if got := drain(t, r, 10); got != 17 {
+		t.Fatalf("drained to %d, want 17", got)
+	}
+
+	// A fresh reader can also start inside the post-rotation segment.
+	r2, err := s.OpenReader(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := drain(t, r2, 12); got != 17 {
+		t.Fatalf("drained to %d, want 17", got)
+	}
+}
+
+func TestReaderCompactedPosition(t *testing.T) {
+	s := openEmpty(t)
+	defer s.Close()
+	appendN(t, s, 0, 10)
+	if err := s.Snapshot(func(w io.Writer) error { _, err := w.Write([]byte("state")); return err }); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 10, 5)
+
+	// Records [0,10) were folded into the snapshot and their segment
+	// deleted; asking for them must demand a full resync.
+	if _, err := s.OpenReader(0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("OpenReader(0) after compaction = %v, want ErrCompacted", err)
+	}
+	// The retained region is still readable.
+	r, err := s.OpenReader(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := drain(t, r, 10); got != 15 {
+		t.Fatalf("drained to %d, want 15", got)
+	}
+}
+
+func TestReaderSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Recover(nil, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 0, 20)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Position tokens are meaningful across process restarts.
+	s2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Recover(nil, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s2.OpenReader(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := drain(t, r, 8); got != 20 {
+		t.Fatalf("drained to %d, want 20", got)
+	}
+}
+
+func TestReaderConcurrentWithAppends(t *testing.T) {
+	s := openEmpty(t)
+	defer s.Close()
+
+	const total = 500
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			s.Append([]byte(fmt.Sprintf("rec-%04d", i)))
+		}
+	}()
+
+	r, err := s.OpenReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var next uint64
+	for next < total {
+		payload, seq, err := r.Next()
+		if err == io.EOF {
+			continue // appender still working; poll
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if seq != next {
+			t.Fatalf("seq = %d, want %d", seq, next)
+		}
+		if want := fmt.Sprintf("rec-%04d", next); string(payload) != want {
+			t.Fatalf("payload = %q, want %q", payload, want)
+		}
+		next++
+	}
+	<-done
+}
+
+func TestInstallSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("snapshot-state-at-42")
+	if err := s.InstallSnapshot(42, blob); err != nil {
+		t.Fatal(err)
+	}
+	var loaded []byte
+	load := func(r io.Reader) error {
+		var err error
+		loaded, err = io.ReadAll(r)
+		return err
+	}
+	replayed := 0
+	if err := s.Recover(load, func([]byte) error { replayed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(loaded, blob) {
+		t.Fatalf("loaded %q, want %q", loaded, blob)
+	}
+	if replayed != 0 {
+		t.Fatalf("replayed %d records, want 0", replayed)
+	}
+	if got := s.Seq(); got != 42 {
+		t.Fatalf("Seq = %d, want 42", got)
+	}
+	// The WAL continues at the snapshot seq, so fleet-wide numbering holds.
+	c := s.Append([]byte("rec-0042"))
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.OpenReader(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	payload, seq, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || string(payload) != "rec-0042" {
+		t.Fatalf("got (%d, %q), want (42, rec-0042)", seq, payload)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallSnapshotRejectsNonEmpty(t *testing.T) {
+	s := openEmpty(t)
+	defer s.Close()
+	if err := s.InstallSnapshot(1, []byte("x")); err == nil {
+		t.Fatal("InstallSnapshot after Recover succeeded, want error")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"visualprint/internal/lsh"
 	"visualprint/internal/obs"
 	"visualprint/internal/pose"
+	"visualprint/internal/repl"
 	"visualprint/internal/server"
 	"visualprint/internal/sift"
 )
@@ -94,6 +95,12 @@ type Server struct {
 	debug   *http.Server
 	netOpts []server.Option
 	durable bool
+
+	// Replication fleet state (nil unless WithReplication; see
+	// internal/repl). rs is the role/offset control block shared with the
+	// serving layer; node is the background tail/full-sync loop.
+	rs   *server.ReplState
+	node *repl.Node
 }
 
 // serverOptions collects what ServerOption closures configure before the
@@ -101,6 +108,7 @@ type Server struct {
 type serverOptions struct {
 	net    []server.Option
 	venues map[string]VenueConfig
+	repl   *ReplicationOptions
 }
 
 // ServerOption configures a Server at construction: the network front end's
@@ -149,6 +157,41 @@ func WithVenueTopology(venue string, cfg VenueConfig) ServerOption {
 	}
 }
 
+// ReplicationOptions makes a server a member of a read-scaled replication
+// fleet: one primary accepts writes and streams its write-ahead log to any
+// number of replicas, which serve reads from byte-identical state; a
+// sentinel process (cmd/vpsentinel, or repl.Sentinel in-process) promotes
+// the most-caught-up replica when the primary dies. Replication covers the
+// server's default venue and requires a durable server (OpenData before
+// Listen).
+type ReplicationOptions struct {
+	// Advertise is the address fleet peers and redirected clients reach
+	// this node at (the bind address is often ":0" or a wildcard, so it
+	// cannot be inferred). Required.
+	Advertise string
+	// Primary, when non-empty, starts the node as a replica of that
+	// address. Empty starts it as the primary.
+	Primary string
+	// MinSyncReplicas, when > 0, makes the primary semi-synchronous: an
+	// ingest is acknowledged only once that many replicas confirmed it
+	// durable — the failover guarantee that a promoted replica holds every
+	// acknowledged write as long as fewer than MinSyncReplicas replicas die
+	// with the primary. 0 acknowledges on local durability alone.
+	MinSyncReplicas int
+	// SyncTimeout bounds the semi-sync wait (default 5s); expiry fails the
+	// ingest with ErrReplSyncTimeout (the write is locally durable but
+	// under-replicated).
+	SyncTimeout time.Duration
+	// MaxStaleness is how long a replica serves reads after losing contact
+	// with its primary before redirecting clients to it (default 3s).
+	MaxStaleness time.Duration
+}
+
+// WithReplication enrolls the server in a replication fleet.
+func WithReplication(o ReplicationOptions) ServerOption {
+	return func(so *serverOptions) { so.repl = &o }
+}
+
 // NewServer creates a cloud service with an empty default venue. Options
 // configure venue topologies immediately and the network front end once
 // Listen starts it.
@@ -160,17 +203,39 @@ func NewServer(cfg ServerConfig, opts ...ServerOption) (*Server, error) {
 		}
 	}
 	ecfg := cfg.engine()
-	db, err := server.NewDatabase(ecfg)
+	var db *server.Database
+	var err error
+	if so.repl != nil {
+		if so.repl.Advertise == "" {
+			return nil, errors.New("visualprint: ReplicationOptions requires Advertise")
+		}
+		// Replication streams seq-tagged WAL records; the default venue
+		// must run the shard (seq-mode) engine so records re-apply
+		// byte-identically on replicas.
+		db, err = server.NewShardDatabase(ecfg)
+	} else {
+		db, err = server.NewDatabase(ecfg)
+	}
 	if err != nil {
 		return nil, err
 	}
-	r := server.NewRouter(db, ecfg)
+	s := &Server{db: db, netOpts: so.net}
+	if so.repl != nil {
+		s.rs = server.NewReplState(db, server.ReplConfig{
+			Self:            so.repl.Advertise,
+			Primary:         so.repl.Primary,
+			MinSyncReplicas: so.repl.MinSyncReplicas,
+			SyncTimeout:     so.repl.SyncTimeout,
+			MaxStaleness:    so.repl.MaxStaleness,
+		})
+	}
+	s.router = server.NewRouter(db, ecfg)
 	for name, vc := range so.venues {
-		if err := r.ConfigureVenue(name, vc); err != nil {
+		if err := s.router.ConfigureVenue(name, vc); err != nil {
 			return nil, err
 		}
 	}
-	return &Server{db: db, router: r, netOpts: so.net}, nil
+	return s, nil
 }
 
 // OpenData makes the service durable, backed by the given directory: every
@@ -198,14 +263,31 @@ func (s *Server) OpenData(dir string) error {
 }
 
 // Listen starts serving on addr ("host:port"; ":0" picks a free port) and
-// returns the bound address.
+// returns the bound address. On a replicated server this also starts the
+// replication loop: a replica begins tailing (or full-syncing from) its
+// primary as soon as the listener is up.
 func (s *Server) Listen(addr string) (net.Addr, error) {
+	if s.rs != nil && !s.durable {
+		return nil, errors.New("visualprint: a replicated server requires a data directory (OpenData before Listen)")
+	}
 	opts := append([]server.Option{server.WithRouter(s.router)}, s.netOpts...)
+	if s.rs != nil {
+		opts = append(opts, server.WithReplState(s.rs))
+	}
 	srv, err := server.ListenAndServe(addr, s.db, opts...)
 	if err != nil {
 		return nil, err
 	}
 	s.srv = srv
+	if s.rs != nil {
+		node, err := repl.StartNode(repl.NodeConfig{DB: s.db, State: s.rs})
+		if err != nil {
+			srv.Close()
+			s.srv = nil
+			return nil, err
+		}
+		s.node = node
+	}
 	return srv.Addr(), nil
 }
 
@@ -242,6 +324,7 @@ func (s *Server) Metrics() MetricsReport {
 // and, for a durable server, flushes and closes every venue's data.
 // In-flight requests are cut off; use Shutdown to drain them gracefully.
 func (s *Server) Close() error {
+	s.stopRepl()
 	var err error
 	if s.srv != nil {
 		err = s.srv.Close()
@@ -270,6 +353,7 @@ func (s *Server) Close() error {
 // a forced drain too. Returns nil on a clean drain, ctx.Err() on a forced
 // one.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopRepl()
 	var err error
 	if s.srv != nil {
 		err = s.srv.Shutdown(ctx)
@@ -286,6 +370,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = dbErr
 	}
 	return err
+}
+
+// stopRepl tears down the replication loop and control block, first so the
+// node stops dialing peers before the listener and database go away. Safe
+// to call twice and on a non-replicated server.
+func (s *Server) stopRepl() {
+	if s.node != nil {
+		s.node.Close()
+		s.node = nil
+	}
+	if s.rs != nil {
+		s.rs.Close()
+	}
+}
+
+// ReplStatus reports the server's replication state (role, epoch, applied
+// offset, staleness, known primary); the zero value on a non-replicated
+// server. It is the in-process equivalent of Client.ReplStatus.
+func (s *Server) ReplStatus() ReplStatus {
+	if s.rs == nil {
+		return ReplStatus{}
+	}
+	return ReplStatus{
+		Role:      s.rs.Role(),
+		Epoch:     s.rs.Epoch(),
+		Applied:   s.rs.Applied(),
+		Staleness: s.rs.Staleness(),
+		Primary:   s.rs.PrimaryAddr(),
+	}
 }
 
 // Database gives direct access to the default venue's engine.
@@ -511,6 +624,41 @@ var (
 	// ErrConnectionLost: the transport died with requests in flight.
 	ErrConnectionLost = server.ErrConnectionLost
 )
+
+// Replication surface, re-exported for fleet-aware callers.
+
+// Role is a fleet member's replication role.
+type Role = server.Role
+
+// Replication roles: the primary accepts writes; replicas serve reads from
+// streamed state; a candidate is a replica mid-full-sync (reads redirect).
+const (
+	RolePrimary   = server.RolePrimary
+	RoleReplica   = server.RoleReplica
+	RoleCandidate = server.RoleCandidate
+)
+
+// ReplStatus is a fleet member's replication self-report; Client.ReplStatus
+// fetches it over the wire, Server.ReplStatus in-process.
+type ReplStatus = server.ReplStatus
+
+var (
+	// ErrNotPrimary: a write (or a read past the staleness bound) reached a
+	// replica. The error carries the primary's address; a Client follows it
+	// automatically, so callers normally never see this sentinel.
+	ErrNotPrimary = server.ErrNotPrimary
+	// ErrReplSyncTimeout: a semi-sync primary could not confirm the ingest
+	// on MinSyncReplicas replicas in time. The write is durable locally but
+	// under-replicated; retrying after the fleet heals is safe (re-ingest
+	// of identical mappings is not deduplicated, though, so prefer checking
+	// replica acks via metrics before retrying).
+	ErrReplSyncTimeout = server.ErrReplSyncTimeout
+)
+
+// WithReadFromReplica routes the client's read RPCs (Query, FetchOracle,
+// RefreshOracle, Stats) to a replica, falling back to the primary when the
+// replica is unreachable or too stale. Writes always go to the primary.
+func WithReadFromReplica(addr string) DialOption { return server.WithReadFromReplica(addr) }
 
 // SetLogLevel replaces the process-wide default logger (used by servers,
 // databases and stores whose owner never installed one) with one writing
