@@ -1,6 +1,6 @@
 # VisualPrint build/verify targets.
 
-.PHONY: build test verify chaos bench bench-short bench-check clean
+.PHONY: build test verify chaos bench bench-short bench-check bench-cores clean
 
 build:
 	go build ./...
@@ -27,24 +27,36 @@ chaos:
 
 # Full measurement run: Go benchmarks once through, then the standard
 # Locate workload with the machine-readable result in BENCH_locate.json
-# (ns/op, allocs/op, queries/s at 1/2/4 clients, speedup vs the recorded
-# pre-optimization baseline).
+# (ns/op, allocs/op, queries/s at 1/2/4 clients, QPS-vs-cores curve at
+# GOMAXPROCS 1/2/4, speedup vs the recorded pre-optimization baseline).
 bench:
 	go test -run NONE -bench . -benchtime 1x .
-	go run ./cmd/vpbench -exp locate -scale full -locate-json BENCH_locate.json
+	go run ./cmd/vpbench -exp locate -scale full -cores 1,2,4 \
+		-locate-json BENCH_locate.json
 
 # CI-sized locate benchmark: same schema and code paths at ~10x less
 # compute, keeping BENCH_locate.json generation exercised on every push.
 bench-short:
-	go run ./cmd/vpbench -exp locate -scale quick -locate-json BENCH_locate_short.json
+	go run ./cmd/vpbench -exp locate -scale quick -cores 1,2 \
+		-locate-json BENCH_locate_short.json
 
 # CI regression gate: run the short locate workload into bench_current.json
 # (left as a build artifact, never committed) and fail if ns/op regressed
-# more than 2x against the checked-in BENCH_locate_short.json baseline.
+# more than 2x against the checked-in BENCH_locate_short.json baseline,
+# or if 2-core QPS falls below 1.5x 1-core (the gate auto-skips on hosts
+# with a single CPU, where scaling is unmeasurable).
 bench-check:
 	go run ./cmd/vpbench -exp locate -scale quick \
 		-locate-json bench_current.json \
-		-baseline BENCH_locate_short.json -max-regress 2.0
+		-baseline BENCH_locate_short.json -max-regress 2.0 \
+		-cores 1,2 -cores-gate 1.5
+
+# QPS-vs-cores sweep alone, at full workload scale: GOMAXPROCS pinned to
+# 1, 2 and 4 per point (plus 8 when the host has that many CPUs — edit the
+# list below), curve written into BENCH_locate.json.
+bench-cores:
+	go run ./cmd/vpbench -exp locate -scale full -cores 1,2,4 \
+		-locate-json BENCH_locate.json
 
 # Remove built binaries and any data directories left by manual testing.
 # Test-created data dirs live under the test tempdir and clean themselves up.

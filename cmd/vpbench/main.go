@@ -36,6 +36,8 @@ func main() {
 	locateShards := flag.Int("locate-shards", 0, "run the locate benchmark against a venue sharded this many ways (0/1: direct single database; >1 measures scatter-gather routing overhead)")
 	baseline := flag.String("baseline", "", "baseline locate JSON (e.g. BENCH_locate_short.json) to compare ns/op against")
 	maxRegress := flag.Float64("max-regress", 2.0, "with -baseline: fail (exit 1) if ns/op exceeds baseline by this factor")
+	coresList := flag.String("cores", "", "comma-separated core counts (e.g. 1,2,4): rerun the locate QPS measurement with GOMAXPROCS pinned per entry and emit the QPS-vs-cores curve")
+	coresGate := flag.Float64("cores-gate", 0, "with -cores including 1 and 2: fail (exit 1) if 2-core QPS < this factor x 1-core QPS (skipped when the host has <2 CPUs)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -144,7 +146,12 @@ func main() {
 		}
 		cfg.EnableObs = *obsOn
 		cfg.Shards = *locateShards
-		res, err := bench.RunLocateBenchmark(cfg, iters, []int{1, 2, 4}, perClient)
+		cores, err := parseCores(*coresList)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cores: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := bench.RunLocateBenchmark(cfg, iters, []int{1, 2, 4}, perClient, cores)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "locate: %v\n", err)
 			os.Exit(1)
@@ -163,6 +170,12 @@ func main() {
 		if *baseline != "" {
 			if err := checkRegression(*baseline, *maxRegress, res); err != nil {
 				fmt.Fprintf(os.Stderr, "locate regression check: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *coresGate > 0 {
+			if err := checkCoresGate(*coresGate, res); err != nil {
+				fmt.Fprintf(os.Stderr, "locate cores gate: %v\n", err)
 				os.Exit(1)
 			}
 		}
@@ -207,6 +220,52 @@ func main() {
 	}
 }
 
+// parseCores parses the -cores flag value ("1,2,4") into core counts.
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var cores []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		cores = append(cores, n)
+	}
+	return cores, nil
+}
+
+// checkCoresGate enforces the multi-core scaling floor: 2-core QPS must be
+// at least `factor` times 1-core QPS. On a host without at least 2 real
+// CPUs the gate is meaningless (pinning GOMAXPROCS=2 just oversubscribes
+// the single core), so it prints a skip notice and passes.
+func checkCoresGate(factor float64, res *bench.LocateBenchResult) error {
+	if runtime.NumCPU() < 2 {
+		fmt.Printf("  cores gate: skipped (host has %d CPU; scaling unmeasurable)\n", runtime.NumCPU())
+		return nil
+	}
+	var q1, q2 float64
+	for _, p := range res.QPSVsCores {
+		switch p.Cores {
+		case 1:
+			q1 = p.QPS
+		case 2:
+			q2 = p.QPS
+		}
+	}
+	if q1 <= 0 || q2 <= 0 {
+		return fmt.Errorf("gate needs 1-core and 2-core sweep points (run with -cores 1,2,...)")
+	}
+	scale := q2 / q1
+	fmt.Printf("  cores gate: 2-core %.2f q/s vs 1-core %.2f q/s = %.2fx (floor %.2fx)\n",
+		q2, q1, scale, factor)
+	if scale < factor {
+		return fmt.Errorf("2-core QPS only %.2fx of 1-core (floor %.2fx)", scale, factor)
+	}
+	return nil
+}
+
 // checkRegression compares a fresh locate result against a recorded
 // baseline JSON file (BENCH_locate.json schema) and errors if ns/op
 // regressed by more than maxRegress. The threshold is deliberately loose
@@ -242,6 +301,10 @@ func printLocate(r *bench.LocateBenchResult) {
 		if q, ok := r.QueriesPerSec[c]; ok {
 			fmt.Printf("  %s client(s): %.2f queries/s\n", c, q)
 		}
+	}
+	for _, p := range r.QPSVsCores {
+		fmt.Printf("  %d core(s) (%d clients, NumCPU=%d): %.2f queries/s (%.2fx vs 1 core)\n",
+			p.Cores, p.Clients, p.NumCPU, p.QPS, p.ScaleVs1)
 	}
 	if r.Baseline != nil {
 		fmt.Printf("  baseline %.1f ms/op (%s) -> speedup %.2fx\n",

@@ -53,6 +53,21 @@ func LocateBaseline() LocateBaselineInfo {
 	}
 }
 
+// CoresPoint is one entry of the QPS-vs-cores curve: throughput measured
+// with GOMAXPROCS pinned to Cores. NumCPU records the hardware parallelism
+// actually available when the point was taken — on a host with fewer
+// physical CPUs than Cores the point measures oversubscription, not
+// scaling, and readers of the JSON must interpret it with that field.
+type CoresPoint struct {
+	Cores   int     `json:"cores"`
+	NumCPU  int     `json:"num_cpu"`
+	Clients int     `json:"clients"`
+	QPS     float64 `json:"qps"`
+	// ScaleVs1 is QPS divided by the 1-core point's QPS (0 when the sweep
+	// has no 1-core entry).
+	ScaleVs1 float64 `json:"scale_vs_1,omitempty"`
+}
+
 // LocateBenchResult is the machine-readable output of RunLocateBenchmark —
 // the schema of BENCH_locate.json (written by `make bench`).
 type LocateBenchResult struct {
@@ -62,8 +77,17 @@ type LocateBenchResult struct {
 	AllocsPerOp float64              `json:"allocs_per_op"`
 	BytesPerOp  float64              `json:"bytes_per_op"`
 	// QueriesPerSec maps client count -> end-to-end localization
-	// queries/s over a live TCP loopback server.
+	// queries/s over a live TCP loopback server, at the ambient
+	// GOMAXPROCS recorded below.
 	QueriesPerSec map[string]float64 `json:"queries_per_sec,omitempty"`
+	// QPSVsCores is the multi-core scaling curve: the same live-server
+	// throughput measurement repeated with GOMAXPROCS pinned per entry.
+	QPSVsCores []CoresPoint `json:"qps_vs_cores,omitempty"`
+	// GOMAXPROCS and NumCPU are the ambient runtime parallelism the
+	// latency/QPS numbers above were measured at (the cores sweep pins its
+	// own per entry).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 	// Baseline and SpeedupNs are present only for the standard workload,
 	// where the recorded pre-optimization numbers are comparable.
 	Baseline  *LocateBaselineInfo `json:"baseline,omitempty"`
@@ -74,7 +98,10 @@ type LocateBenchResult struct {
 
 // RunLocateBenchmark measures Locate latency (direct calls) and
 // throughput (live server, for each entry of clients) on one workload.
-func RunLocateBenchmark(cfg LocateWorkloadConfig, iters int, clients []int, perClient int) (*LocateBenchResult, error) {
+// A non-empty coresSweep additionally measures the QPS-vs-cores curve:
+// the throughput measurement repeated once per entry with GOMAXPROCS
+// pinned to that core count (restored afterwards).
+func RunLocateBenchmark(cfg LocateWorkloadConfig, iters int, clients []int, perClient int, coresSweep []int) (*LocateBenchResult, error) {
 	if iters <= 0 {
 		iters = 5
 	}
@@ -103,8 +130,10 @@ func RunLocateBenchmark(cfg LocateWorkloadConfig, iters int, clients []int, perC
 		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters),
 		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters),
 		Recorded:    time.Now().UTC().Format("2006-01-02"),
-		Host: fmt.Sprintf("%s/%s, GOMAXPROCS=%d",
-			runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Host: fmt.Sprintf("%s/%s, GOMAXPROCS=%d, NumCPU=%d",
+			runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0), runtime.NumCPU()),
 	}
 	if len(clients) > 0 {
 		res.QueriesPerSec = make(map[string]float64, len(clients))
@@ -115,6 +144,13 @@ func RunLocateBenchmark(cfg LocateWorkloadConfig, iters int, clients []int, perC
 			}
 			res.QueriesPerSec[strconv.Itoa(c)] = qps
 		}
+	}
+	if len(coresSweep) > 0 {
+		pts, err := w.CoresSweep(coresSweep, perClient)
+		if err != nil {
+			return nil, err
+		}
+		res.QPSVsCores = pts
 	}
 	if cfg == DefaultLocateWorkload() {
 		b := LocateBaseline()
@@ -339,6 +375,54 @@ func (w *LocateWorkload) QPS(clients, perClient int) (float64, error) {
 	srv.Log = nil
 	defer srv.Close()
 	return measureLocateQPS(srv.Addr().String(), w, clients, perClient)
+}
+
+// CoresSweep measures the QPS-vs-cores curve: for each requested core
+// count it pins GOMAXPROCS to that value, runs the live-server throughput
+// measurement with 2x that many concurrent clients (enough offered load to
+// saturate the pinned cores without drowning the admission queue), and
+// restores the previous GOMAXPROCS before returning. ScaleVs1 on each
+// point is relative to the sweep's 1-core entry when one exists.
+//
+// Pinning GOMAXPROCS above runtime.NumCPU() is permitted — the point is
+// still recorded, with NumCPU exposing that it measured oversubscription
+// rather than hardware scaling.
+func (w *LocateWorkload) CoresSweep(cores []int, perClient int) ([]CoresPoint, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	pts := make([]CoresPoint, 0, len(cores))
+	for _, n := range cores {
+		if n < 1 {
+			return nil, fmt.Errorf("bench: cores sweep entry %d < 1", n)
+		}
+		runtime.GOMAXPROCS(n)
+		clients := 2 * n
+		qps, err := w.QPS(clients, perClient)
+		if err != nil {
+			runtime.GOMAXPROCS(prev)
+			return nil, err
+		}
+		pts = append(pts, CoresPoint{
+			Cores:   n,
+			NumCPU:  runtime.NumCPU(),
+			Clients: clients,
+			QPS:     qps,
+		})
+	}
+	runtime.GOMAXPROCS(prev)
+	var base float64
+	for _, p := range pts {
+		if p.Cores == 1 {
+			base = p.QPS
+			break
+		}
+	}
+	if base > 0 {
+		for i := range pts {
+			pts[i].ScaleVs1 = pts[i].QPS / base
+		}
+	}
+	return pts, nil
 }
 
 func measureLocateQPS(addr string, w *LocateWorkload, clients, perClient int) (float64, error) {

@@ -28,6 +28,7 @@ import (
 	"slices"
 	"sync"
 
+	"visualprint/internal/dist"
 	"visualprint/internal/hash"
 )
 
@@ -395,11 +396,9 @@ func (ix *Index) MemoryBytes() int64 {
 	return total
 }
 
-func distSq(a, b []byte) int {
-	s := 0
-	for i := range a {
-		d := int(a[i]) - int(b[i])
-		s += d * d
-	}
-	return s
-}
+// distSq scores one candidate against the query descriptor — the innermost
+// loop of every Locate. The 8-way unrolled kernel lives in internal/dist
+// (shared with the cluster-stage matchers); its integer sum is exactly
+// equal to the scalar loop on every input, so candidate ordering — and
+// therefore every downstream pose — is unchanged.
+func distSq(a, b []byte) int { return dist.Sq(a, b) }

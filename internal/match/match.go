@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"visualprint/internal/core"
+	"visualprint/internal/dist"
 	"visualprint/internal/lsh"
 )
 
@@ -163,14 +164,9 @@ func (b *BruteForce) MatchFrame(descs [][]byte) (int, map[int]int, error) {
 	return voteWinner(votes), votes, nil
 }
 
-func distSq(a, b []byte) int {
-	s := 0
-	for i := range a {
-		d := int(a[i]) - int(b[i])
-		s += d * d
-	}
-	return s
-}
+// distSq is the cluster-stage matching distance — the same unrolled kernel
+// the LSH query path uses (internal/dist), bit-identical to the scalar sum.
+func distSq(a, b []byte) int { return dist.Sq(a, b) }
 
 // LSHMatcher matches via a conventional E2LSH index over the database.
 type LSHMatcher struct {

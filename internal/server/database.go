@@ -9,7 +9,6 @@ package server
 import (
 	"cmp"
 	"context"
-	"math"
 	"runtime"
 	"slices"
 	"sync"
@@ -50,10 +49,10 @@ type DatabaseConfig struct {
 	// WALCompactBytes is the write-ahead-log size past which the
 	// background snapshotter folds the log into a fresh snapshot (only
 	// meaningful after Open; 0 means defaultWALCompactBytes). Compaction
-	// serializes the full database under a lock that stalls Ingest (and,
-	// transitively, new Locates queued behind it), so this knob also tunes
-	// the size of periodic ingest latency spikes: smaller means more
-	// frequent but shorter stalls.
+	// serializes the full database under a lock that stalls Ingest, so this
+	// knob also tunes the size of periodic ingest latency spikes: smaller
+	// means more frequent but shorter stalls. Locates are unaffected —
+	// they read pinned RCU snapshots and take no lock (see rcu.go).
 	WALCompactBytes int64
 	// OracleSnapshotBudgetBytes caps the memory the database is expected
 	// to spend on retained oracle download versions (the diff-serving
@@ -95,27 +94,35 @@ func DefaultDatabaseConfig() DatabaseConfig {
 type Database struct {
 	cfg DatabaseConfig
 
+	// cur is the published immutable read snapshot (see rcu.go): the LSH
+	// index, positions, oracle, bounds and sequence tags every reader uses,
+	// swapped wholesale by the write path. Readers pin it lock-free via
+	// pinView; mu is never needed to query.
+	cur atomic.Pointer[dbView]
+	// shadow is the off-line generation the next ingest batch mutates
+	// before publishing; nil after a wholesale replace (open, reset,
+	// full-sync), lazily re-cloned from cur by the next batch. Guarded by
+	// mu.
+	shadow *dbView
+
+	// mu guards the write path (ingest ordering, recovery, the oracle
+	// snapshot window) and the store fields. The query-side state moved
+	// into cur; no read RPC takes this lock anymore.
 	mu sync.RWMutex
 	// log receives persistence and resource warnings (WAL truncation,
 	// oracle-snapshot budget overruns); set via SetLogger, defaulting to
 	// the process logger (obs.Default). Serve wires it to the server's
 	// logger when still unset. Every logf call site already holds mu, so
 	// SetLogger taking the write lock keeps late wiring race-free.
-	log       *obs.Logger
-	logSet    bool
-	index     *lsh.Index
-	positions []mathx.Vec3
-	oracle    *core.Oracle
-	lo, hi    mathx.Vec3
-	hasBounds bool
-	// Shard-engine mode (NewShardDatabase): every mapping carries a
-	// venue-global sequence number assigned by the Router, kept in seqs
-	// parallel to positions. The sequence is the venue-wide insertion order —
-	// the tie-break that lets a scatter-gather query reproduce a single
-	// database's candidate ranking exactly (see CandidateSets).
+	log    *obs.Logger
+	logSet bool
+	// seqMode marks a shard engine (NewShardDatabase): every mapping
+	// carries a venue-global sequence number assigned by the Router, kept
+	// in the view's seqs parallel to positions. The sequence is the
+	// venue-wide insertion order — the tie-break that lets a scatter-gather
+	// query reproduce a single database's candidate ranking exactly (see
+	// CandidateSets). Immutable after construction.
 	seqMode bool
-	seqs    []uint64
-	maxSeq  uint64 // highest sequence applied (0 when none)
 	// snapshots retains clones of the oracle at versions clients have
 	// downloaded (keyed by insert count), so later refreshes can be served
 	// as compressed diffs instead of full blobs. Bounded to the most
@@ -140,8 +147,8 @@ type Database struct {
 	repl *ReplState
 
 	// Observability (nil until EnableObs; see obs.go). Installed once,
-	// never swapped, read under mu (either side).
-	met        *dbMetrics
+	// never swapped, loaded atomically so lock-free readers can record.
+	met        atomic.Pointer[dbMetrics]
 	recoverDur time.Duration
 }
 
@@ -196,15 +203,13 @@ func NewDatabase(cfg DatabaseConfig) (*Database, error) {
 	if cfg.OracleSnapshotBudgetBytes <= 0 {
 		cfg.OracleSnapshotBudgetBytes = defaultOracleSnapshotBudget
 	}
-	ix, err := lsh.NewIndex(cfg.LSH)
+	v, err := newEmptyView(cfg)
 	if err != nil {
 		return nil, err
 	}
-	o, err := core.New(cfg.Oracle)
-	if err != nil {
-		return nil, err
-	}
-	return &Database{cfg: cfg, index: ix, oracle: o, snapshots: map[uint64]*core.Oracle{}}, nil
+	db := &Database{cfg: cfg, snapshots: map[uint64]*core.Oracle{}}
+	db.cur.Store(v)
+	return db, nil
 }
 
 // NewShardDatabase creates an empty shard engine: a Database whose mappings
@@ -290,6 +295,8 @@ func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 		db.mu.Unlock()
 		return m, errRemote{msg: "database descriptor dimension mismatch"}
 	}
+	// cur is stable while mu is held: only mu.Lock holders publish.
+	cv := db.cur.Load()
 	if db.seqMode && seqs == nil {
 		// A plain Ingest on a shard engine self-assigns the next sequence
 		// run. Single-shard deployments (a replicated fleet's default venue)
@@ -298,7 +305,7 @@ func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 		// monotonic allocation never interleaves with direct Ingest calls.
 		seqs = make([]uint64, len(ms))
 		for i := range seqs {
-			seqs[i] = db.maxSeq + uint64(i) + 1
+			seqs[i] = cv.maxSeq + uint64(i) + 1
 		}
 	}
 	if !db.seqMode && seqs != nil {
@@ -310,7 +317,7 @@ func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 			db.mu.Unlock()
 			return m, errRemote{msg: "seq batch length mismatch"}
 		}
-		last := db.maxSeq
+		last := cv.maxSeq
 		for _, s := range seqs {
 			if s <= last {
 				db.mu.Unlock()
@@ -334,9 +341,9 @@ func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 		// offset target: a replica acknowledging it has the batch.
 		replTarget = st.Seq()
 	}
-	err := db.applyLocked(ms, seqs)
+	err := db.applyPublishLocked(ms, seqs)
 	if err == nil {
-		m.mappings.Set(int64(len(db.positions)))
+		m.mappings.Set(int64(len(db.cur.Load().positions)))
 	}
 	db.mu.Unlock()
 	if err != nil {
@@ -368,73 +375,37 @@ func (db *Database) ingest(ms []Mapping, seqs []uint64) (*dbMetrics, error) {
 	return m, nil
 }
 
-// applyLocked incorporates mappings into the in-memory structures. It is
-// the single mutation path, shared by live ingest and WAL replay. seqs is
-// nil on a plain database and parallel to ms on a shard engine. Callers
-// must hold db.mu.
-func (db *Database) applyLocked(ms []Mapping, seqs []uint64) error {
-	for i := range ms {
-		desc := make([]byte, sift.DescriptorSize)
-		copy(desc, ms[i].Desc[:])
-		if _, err := db.index.Insert(desc); err != nil {
-			return err
-		}
-		if err := db.oracle.Insert(desc); err != nil {
-			return err
-		}
-		db.positions = append(db.positions, ms[i].Pos)
-		if seqs != nil {
-			db.seqs = append(db.seqs, seqs[i])
-			if seqs[i] > db.maxSeq {
-				db.maxSeq = seqs[i]
-			}
-		}
-		p := ms[i].Pos
-		if !db.hasBounds {
-			db.lo, db.hi = p, p
-			db.hasBounds = true
-			continue
-		}
-		db.lo.X = math.Min(db.lo.X, p.X)
-		db.lo.Y = math.Min(db.lo.Y, p.Y)
-		db.lo.Z = math.Min(db.lo.Z, p.Z)
-		db.hi.X = math.Max(db.hi.X, p.X)
-		db.hi.Y = math.Max(db.hi.Y, p.Y)
-		db.hi.Z = math.Max(db.hi.Z, p.Z)
-	}
-	return nil
-}
-
 // Len returns the number of ingested mappings.
 func (db *Database) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.positions)
+	v, t := db.pinView()
+	defer db.unpin(v, t)
+	return len(v.positions)
 }
 
 // Bounds returns the axis-aligned bounding box of ingested positions.
 func (db *Database) Bounds() (lo, hi mathx.Vec3, ok bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.lo, db.hi, db.hasBounds
+	v, t := db.pinView()
+	defer db.unpin(v, t)
+	return v.lo, v.hi, v.hasBounds
 }
 
 // MaxSeq returns the highest venue-global sequence number applied to a shard
 // engine (0 when empty or not in shard mode). The Router seeds its sequence
 // counter from max over shards after recovery.
 func (db *Database) MaxSeq() uint64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.maxSeq
+	v, t := db.pinView()
+	defer db.unpin(v, t)
+	return v.maxSeq
 }
 
-// OracleClone returns a deep copy of the live oracle taken under the read
-// lock, safe against concurrent Ingest — the building block the Router uses
-// to assemble a venue-wide oracle from per-shard oracles via core.Merge.
+// OracleClone returns a deep copy of the live oracle taken from a pinned
+// read snapshot, safe against concurrent Ingest — the building block the
+// Router uses to assemble a venue-wide oracle from per-shard oracles via
+// core.Merge.
 func (db *Database) OracleClone() (*core.Oracle, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.oracle.Clone()
+	v, t := db.pinView()
+	defer db.unpin(v, t)
+	return v.oracle.Clone()
 }
 
 // OracleBlob serializes the current uniqueness oracle, gzip-compressed —
@@ -447,7 +418,10 @@ func (db *Database) OracleBlob() ([]byte, error) {
 	if err := db.snapshotLocked(); err != nil {
 		return nil, err
 	}
-	return bloom.GzipBytes(db.oracle)
+	// mu.Lock holders see a stable cur (only mu.Lock holders publish), and
+	// the published oracle is immutable, so serializing it here races with
+	// nothing — concurrent lock-free readers only read it too.
+	return bloom.GzipBytes(db.cur.Load().oracle)
 }
 
 // snapshotLocked records a clone of the oracle at its current version,
@@ -455,11 +429,12 @@ func (db *Database) OracleBlob() ([]byte, error) {
 // budget: crossing it logs a warning (each clone is a full filter copy, so
 // silent growth here is how a server quietly doubles its RAM).
 func (db *Database) snapshotLocked() error {
-	v := db.oracle.Inserts()
+	oracle := db.cur.Load().oracle
+	v := oracle.Inserts()
 	if _, ok := db.snapshots[v]; ok {
 		return nil
 	}
-	clone, err := db.oracle.Clone()
+	clone, err := oracle.Clone()
 	if err != nil {
 		return err
 	}
@@ -496,7 +471,7 @@ func (db *Database) OracleDiff(sinceInserts uint64) (diff []byte, ok bool, err e
 	if !found {
 		return nil, false, nil
 	}
-	d, err := core.Diff(old, db.oracle)
+	d, err := core.Diff(old, db.cur.Load().oracle)
 	if err != nil {
 		return nil, false, err
 	}
@@ -509,40 +484,40 @@ func (db *Database) OracleDiff(sinceInserts uint64) (diff []byte, ok bool, err e
 // Oracle exposes the live oracle for in-process use (the public API's
 // single-process mode).
 //
-// Contract: the returned pointer aliases the database's mutable state, and
-// the RLock taken here protects only the pointer read — NOT later calls
-// through it. A concurrent Ingest mutates the same filter words the
-// oracle's query path reads, which is a data race. Only hold the pointer
-// where no Ingest can run concurrently (e.g. the single-threaded wardrive
-// pipeline), or use the gated wrappers below — SelectUnique and
-// Uniqueness — which run the oracle read entirely under the database's
-// read lock and are what the in-process benchmarks use.
+// Contract: the pointer is read from the currently published snapshot, and
+// that snapshot stays valid only until the next Ingest retires it — after
+// which the write path mutates the very filter words the oracle's query
+// path reads, which is a data race. Only hold the pointer where no Ingest
+// can run concurrently (e.g. the single-threaded wardrive pipeline), or use
+// the gated wrappers below — SelectUnique and Uniqueness — which run the
+// oracle read entirely inside a pinned snapshot and are what the in-process
+// benchmarks use.
 func (db *Database) Oracle() *core.Oracle {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.oracle
+	v, t := db.pinView()
+	defer db.unpin(v, t)
+	return v.oracle
 }
 
 // SelectUnique runs the oracle's keypoint filtering (the client-side
-// fingerprint selection) against the live oracle under the database read
-// lock, so it is safe against concurrent Ingest — unlike calling
-// Oracle().SelectUnique directly.
+// fingerprint selection) against a pinned read snapshot, so it is safe
+// against concurrent Ingest — unlike calling Oracle().SelectUnique
+// directly — and takes no lock.
 func (db *Database) SelectUnique(kps []sift.Keypoint, n int) ([]sift.Keypoint, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v, t := db.pinView()
+	defer db.unpin(v, t)
 	start := time.Now()
-	sel, err := db.oracle.SelectUnique(kps, n)
+	sel, err := v.oracle.SelectUnique(kps, n)
 	db.metrics().trace.ObserveStage(obs.StageOracleScore, time.Since(start))
 	return sel, err
 }
 
-// Uniqueness queries the live oracle for one descriptor's estimated global
-// count under the database read lock (see SelectUnique).
+// Uniqueness queries a pinned snapshot's oracle for one descriptor's
+// estimated global count (see SelectUnique).
 func (db *Database) Uniqueness(desc []byte) (uint32, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v, t := db.pinView()
+	defer db.unpin(v, t)
 	start := time.Now()
-	u, err := db.oracle.Uniqueness(desc)
+	u, err := v.oracle.Uniqueness(desc)
 	db.metrics().trace.ObserveStage(obs.StageOracleScore, time.Since(start))
 	return u, err
 }
@@ -574,15 +549,20 @@ type DBStats struct {
 }
 
 // Stats reports the database's size, oracle state and persistence state.
+// The engine half comes from a pinned read snapshot; the store half is read
+// under the mutex afterwards — never while pinned (a pinned reader queued
+// on mu would deadlock against a publishing ingest; see rcu.go).
 func (db *Database) Stats() DBStats {
+	v, t := db.pinView()
+	s := DBStats{
+		Mappings:      uint64(len(v.positions)),
+		DatabaseBytes: uint64(v.index.MemoryBytes() + v.oracle.MemoryBytes() + int64(len(v.positions))*24),
+		OracleInserts: v.oracle.Inserts(),
+	}
+	db.unpin(v, t)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	s := DBStats{
-		Mappings:            uint64(len(db.positions)),
-		DatabaseBytes:       uint64(db.index.MemoryBytes() + db.oracle.MemoryBytes() + int64(len(db.positions))*24),
-		OracleInserts:       db.oracle.Inserts(),
-		OracleSnapshotBytes: uint64(db.snapBytes),
-	}
+	s.OracleSnapshotBytes = uint64(db.snapBytes)
 	if db.store != nil {
 		s.Persistent = true
 		s.SnapshotSeq = db.store.SnapshotSeq()
@@ -617,10 +597,10 @@ const parallelLocateThreshold = 32
 // keypoint, appending them to dst. scratch is a reusable candidate buffer
 // (returned with whatever capacity it grew to) — with a warm scratch the
 // whole retrieval is allocation-free, which is what keeps the steady-state
-// Locate fan-out off the heap. Callers must hold db.mu (read side); the
-// LSH index read path is safe for concurrent queries.
-func (db *Database) candidatesFor(kp sift.Keypoint, scratch []lsh.Candidate, dst []locateCand) ([]lsh.Candidate, []locateCand, error) {
-	scratch, err := db.index.QueryInto(kp.Desc[:], lsh.QueryOptions{
+// Locate fan-out off the heap. Callers must hold a pin on v; the LSH index
+// read path is safe for concurrent queries.
+func (db *Database) candidatesFor(v *dbView, kp sift.Keypoint, scratch []lsh.Candidate, dst []locateCand) ([]lsh.Candidate, []locateCand, error) {
+	scratch, err := v.index.QueryInto(kp.Desc[:], lsh.QueryOptions{
 		MaxCandidates: db.cfg.NeighborsPerKeypoint,
 		MultiProbe:    true,
 	}, scratch)
@@ -631,7 +611,7 @@ func (db *Database) candidatesFor(kp sift.Keypoint, scratch []lsh.Candidate, dst
 		if db.cfg.MaxMatchDistSq > 0 && c.DistSq > db.cfg.MaxMatchDistSq {
 			continue
 		}
-		dst = append(dst, locateCand{px: kp.X, py: kp.Y, p: db.positions[c.ID]})
+		dst = append(dst, locateCand{px: kp.X, py: kp.Y, p: v.positions[c.ID]})
 	}
 	return scratch, dst, nil
 }
@@ -649,7 +629,7 @@ const ctxCheckStride = 16
 // and pose results are bit-identical either way. The context is checked
 // every ctxCheckStride keypoints (per worker on the parallel path);
 // cancellation returns the raw context error for the caller to classify.
-func (db *Database) gatherCandidates(ctx context.Context, kps []sift.Keypoint) ([]locateCand, error) {
+func (db *Database) gatherCandidates(ctx context.Context, v *dbView, kps []sift.Keypoint) ([]locateCand, error) {
 	workers := db.cfg.LocateParallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -667,7 +647,7 @@ func (db *Database) gatherCandidates(ctx context.Context, kps []sift.Keypoint) (
 					return nil, err
 				}
 			}
-			scratch, cands, err = db.candidatesFor(kps[i], scratch, cands)
+			scratch, cands, err = db.candidatesFor(v, kps[i], scratch, cands)
 			if err != nil {
 				return nil, err
 			}
@@ -703,7 +683,7 @@ func (db *Database) gatherCandidates(ctx context.Context, kps []sift.Keypoint) (
 				}
 				var cs []locateCand
 				var err error
-				scratch, cs, err = db.candidatesFor(kps[i], scratch, nil)
+				scratch, cs, err = db.candidatesFor(v, kps[i], scratch, nil)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -740,11 +720,11 @@ func (db *Database) gatherCandidates(ctx context.Context, kps []sift.Keypoint) (
 // ErrDeadlineExceeded (which also match context.Canceled and
 // context.DeadlineExceeded under errors.Is).
 func (db *Database) Locate(ctx context.Context, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v, t := db.pinView()
+	defer db.unpin(v, t)
 	m := db.metrics()
 	tr := m.trace.Begin("locate")
-	res, err := db.locateLocked(ctx, kps, intr, tr)
+	res, err := db.locateView(ctx, v, kps, intr, tr)
 	m.locateNs.Observe(m.trace.End(tr))
 	m.locates.Inc()
 	if err != nil {
@@ -753,22 +733,22 @@ func (db *Database) Locate(ctx context.Context, kps []sift.Keypoint, intr pose.I
 	return res, err
 }
 
-// locateLocked is the pipeline body; tr (nil when observability is off)
-// receives the per-stage breakdown. Callers hold db.mu (read side).
-func (db *Database) locateLocked(ctx context.Context, kps []sift.Keypoint, intr pose.Intrinsics, tr *obs.Trace) (LocateResult, error) {
-	if len(db.positions) == 0 {
+// locateView is the pipeline body; tr (nil when observability is off)
+// receives the per-stage breakdown. Callers hold a pin on v.
+func (db *Database) locateView(ctx context.Context, v *dbView, kps []sift.Keypoint, intr pose.Intrinsics, tr *obs.Trace) (LocateResult, error) {
+	if len(v.positions) == 0 {
 		return LocateResult{}, ErrEmptyDatabase
 	}
 	if err := ctx.Err(); err != nil {
 		return LocateResult{}, ctxError(err)
 	}
 	t0 := time.Now()
-	cands, err := db.gatherCandidates(ctx, kps)
+	cands, err := db.gatherCandidates(ctx, v, kps)
 	tr.StageSince(obs.StageLSHQuery, t0)
 	if err != nil {
 		return LocateResult{}, ctxError(err)
 	}
-	return solveCandidates(ctx, db.cfg, cands, db.lo, db.hi, intr, tr)
+	return solveCandidates(ctx, db.cfg, cands, v.lo, v.hi, intr, tr)
 }
 
 // solveCandidates runs the back half of the Locate pipeline — clustering,
@@ -862,8 +842,8 @@ func compareMergeCands(a, b MergeCand) int {
 // database path gates after truncation, so the Router gates after the merged
 // truncation to match. Only meaningful on shard engines (seq mode).
 func (db *Database) CandidateSets(ctx context.Context, kps []sift.Keypoint) ([][]MergeCand, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	v, t := db.pinView()
+	defer db.unpin(v, t)
 	if !db.seqMode {
 		return nil, errRemote{msg: "CandidateSets requires a shard engine"}
 	}
@@ -877,7 +857,7 @@ func (db *Database) CandidateSets(ctx context.Context, kps []sift.Keypoint) ([][
 			}
 		}
 		var err error
-		scratch, err = db.index.QueryInto(kps[i].Desc[:], lsh.QueryOptions{MultiProbe: true}, scratch)
+		scratch, err = v.index.QueryInto(kps[i].Desc[:], lsh.QueryOptions{MultiProbe: true}, scratch)
 		if err != nil {
 			return nil, err
 		}
@@ -886,8 +866,8 @@ func (db *Database) CandidateSets(ctx context.Context, kps []sift.Keypoint) ([][
 			mcs[j] = MergeCand{
 				DistSq: c.DistSq,
 				Probe:  c.Probe,
-				Seq:    db.seqs[c.ID],
-				Pos:    db.positions[c.ID],
+				Seq:    v.seqs[c.ID],
+				Pos:    v.positions[c.ID],
 			}
 		}
 		slices.SortFunc(mcs, compareMergeCands)

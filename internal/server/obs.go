@@ -41,12 +41,12 @@ type dbMetrics struct {
 // record call a no-op. Shared, immutable.
 var noDBMetrics = &dbMetrics{}
 
-// metrics returns the active instrument set. Callers must hold db.mu
-// (either side); the returned pointer is safe to use after unlocking —
-// EnableObs installs it once and never swaps it.
+// metrics returns the active instrument set. Lock-free: the pointer is
+// loaded atomically, so the RCU read paths (Locate, oracle scoring) record
+// without touching db.mu. EnableObs installs it once and never swaps it.
 func (db *Database) metrics() *dbMetrics {
-	if db.met != nil {
-		return db.met
+	if m := db.met.Load(); m != nil {
+		return m
 	}
 	return noDBMetrics
 }
@@ -57,8 +57,8 @@ func (db *Database) metrics() *dbMetrics {
 func (db *Database) EnableObs() *obs.Registry {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.met != nil {
-		return db.met.reg
+	if m := db.met.Load(); m != nil {
+		return m.reg
 	}
 	r := obs.NewRegistry()
 	m := &dbMetrics{
@@ -72,11 +72,11 @@ func (db *Database) EnableObs() *obs.Registry {
 		ingestErrors: r.Counter("ingest_errors"),
 		mappings:     r.Gauge("mappings"),
 	}
-	m.mappings.Set(int64(len(db.positions)))
+	m.mappings.Set(int64(len(db.cur.Load().positions)))
 	if db.recoverDur > 0 {
 		r.Gauge("recovery_ns").Set(int64(db.recoverDur))
 	}
-	db.met = m
+	db.met.Store(m)
 	if db.store != nil {
 		db.store.SetMetrics(storeMetrics(r))
 	}

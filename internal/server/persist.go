@@ -17,7 +17,7 @@ import (
 
 // Durable database lifecycle. Open attaches a data directory to an empty
 // Database: the newest valid snapshot is loaded, the WAL tail is replayed
-// through the same applyLocked path live ingest uses (so the recovered
+// through the same dbView.apply path live ingest uses (so the recovered
 // structures — LSH bucket slices, position ids, oracle counters — are
 // bit-identical to the pre-crash state), and a background snapshotter
 // starts folding the WAL into fresh snapshots whenever it outgrows
@@ -56,7 +56,7 @@ func (db *Database) open(dir string, install func(*store.Store) error) error {
 	if db.store != nil {
 		return errors.New("server: database already has a data directory")
 	}
-	if len(db.positions) != 0 {
+	if len(db.cur.Load().positions) != 0 {
 		return errors.New("server: Open requires an empty database")
 	}
 	st, err := store.Open(dir, store.Options{Log: obs.FuncLogger(db.logf)})
@@ -69,40 +69,65 @@ func (db *Database) open(dir string, install func(*store.Store) error) error {
 			return err
 		}
 	}
+	// Recovery builds a detached view — the published (empty) view keeps
+	// serving lock-free readers untouched until the recovered state is
+	// complete — then publishes it once at the end. The WAL tail replays
+	// through the same dbView.apply path live ingest uses, so the recovered
+	// structures are bit-identical to the pre-crash state.
+	rv, err := newEmptyView(db.cfg)
+	if err != nil {
+		st.Close()
+		return err
+	}
 	recoverStart := time.Now()
 	err = st.Recover(
-		func(r io.Reader) error { return db.loadStateLocked(r) },
+		func(r io.Reader) error {
+			v, err := db.loadState(r)
+			if err != nil {
+				return err
+			}
+			rv = v
+			return nil
+		},
 		func(payload []byte) error {
 			if db.seqMode {
 				ms, seqs, err := decodeSeqMappings(payload)
 				if err != nil {
 					return err
 				}
-				return db.applyLocked(ms, seqs)
+				return rv.apply(ms, seqs)
 			}
 			ms, err := decodeMappings(payload)
 			if err != nil {
 				return err
 			}
-			return db.applyLocked(ms, nil)
+			return rv.apply(ms, nil)
 		},
 	)
 	if err != nil {
 		st.Close()
 		return err
 	}
+	db.publishLocked(rv)
+	db.shadow = nil
+	// The diff window restarts empty: refreshes against pre-crash
+	// versions fall back to a full download.
+	db.snapshots = map[uint64]*core.Oracle{}
+	db.snapOrder = nil
+	db.snapBytes = 0
+	db.snapWarned = false
 	db.recoverDur = time.Since(recoverStart)
 	db.store = st
 	db.dataDir = dir
 	db.snapKick = make(chan struct{}, 1)
 	db.quit = make(chan struct{})
 	db.snapDone = make(chan struct{})
-	if db.met != nil {
+	if m := db.met.Load(); m != nil {
 		// Observability was enabled before the directory was attached:
 		// wire the store's instruments and publish the recovery cost now.
-		st.SetMetrics(storeMetrics(db.met.reg))
-		db.met.reg.Gauge("recovery_ns").Set(int64(db.recoverDur))
-		db.met.mappings.Set(int64(len(db.positions)))
+		st.SetMetrics(storeMetrics(m.reg))
+		m.reg.Gauge("recovery_ns").Set(int64(db.recoverDur))
+		m.mappings.Set(int64(len(rv.positions)))
 	}
 	go db.snapshotter()
 	return nil
@@ -160,26 +185,19 @@ func (db *Database) ReplaceFromSnapshot(seq uint64, blob []byte) error {
 	})
 }
 
-// resetLocked empties the in-memory structures back to NewDatabase state
-// (Recover's loadStateLocked then repopulates them from the installed
-// snapshot). Callers hold db.mu.
+// resetLocked publishes a fresh empty view, returning the in-memory state
+// to NewDatabase equivalence (a subsequent open's Recover then repopulates
+// it from the installed snapshot). Callers hold db.mu.
 func (db *Database) resetLocked() error {
-	ix, err := lsh.NewIndex(db.cfg.LSH)
+	v, err := newEmptyView(db.cfg)
 	if err != nil {
 		return err
 	}
-	o, err := core.New(db.cfg.Oracle)
-	if err != nil {
-		return err
-	}
-	db.index, db.oracle = ix, o
-	db.positions = nil
-	db.lo, db.hi, db.hasBounds = mathx.Vec3{}, mathx.Vec3{}, false
-	db.seqs, db.maxSeq = nil, 0
+	db.publishLocked(v)
+	db.shadow = nil
 	db.snapshots, db.snapOrder, db.snapBytes = map[uint64]*core.Oracle{}, nil, 0
-	if db.met != nil {
-		db.met.mappings.Set(0)
-	}
+	db.snapWarned = false
+	db.metrics().mappings.Set(0)
 	return nil
 }
 
@@ -191,10 +209,12 @@ func (db *Database) resetLocked() error {
 // whichever runs second observes an already-current snapshot and no-ops.
 //
 // Ingest stalls for the duration: serialization and fsync happen under the
-// read lock Ingest's WAL reservation needs for writing, and Go's RWMutex
-// queues new read acquisitions behind the blocked writer. At the default
-// 64 MB threshold this is a latency spike of up to a few seconds; lowering
-// DatabaseConfig.WALCompactBytes trades more frequent, shorter stalls.
+// read lock Ingest's WAL reservation needs for writing. At the default
+// 64 MB threshold this is an ingest latency spike of up to a few seconds;
+// lowering DatabaseConfig.WALCompactBytes trades more frequent, shorter
+// stalls. Locates are unaffected either way — they read pinned RCU
+// snapshots and never touch db.mu (before the snapshot refactor they queued
+// behind the compaction-blocked writer; see rcu.go).
 func (db *Database) Compact() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -202,20 +222,21 @@ func (db *Database) Compact() error {
 		return errors.New("server: in-memory database has nothing to compact")
 	}
 	// Holding the read lock excludes Ingest (whose WAL reservation needs
-	// the write lock) for the duration, so the serialized state is exactly
-	// the state at the log head. Locates proceed concurrently.
+	// the write lock) for the duration, so cur is stable and the serialized
+	// state is exactly the state at the log head.
 	return db.snapshotLockedR(db.store)
 }
 
-// snapshotLockedR folds the state into a durable snapshot with tracing: a
-// compaction slower than the tracer's threshold lands in the slow-request
-// ring with its duration attributed to the snapshot stage. Callers hold
-// db.mu (read side).
+// snapshotLockedR folds the published view into a durable snapshot with
+// tracing: a compaction slower than the tracer's threshold lands in the
+// slow-request ring with its duration attributed to the snapshot stage.
+// Callers hold db.mu (read side), which pins cur without a reader pin.
 func (db *Database) snapshotLockedR(st *store.Store) error {
 	m := db.metrics()
 	tr := m.trace.Begin("compact")
 	t0 := time.Now()
-	err := st.Snapshot(func(w io.Writer) error { return db.writeStateLocked(w) })
+	v := db.cur.Load()
+	err := st.Snapshot(func(w io.Writer) error { return db.writeState(v, w) })
 	tr.StageSince(obs.StageSnapshot, t0)
 	m.trace.End(tr)
 	return err
@@ -244,8 +265,10 @@ func (db *Database) snapshotter() {
 	}
 }
 
-// writeStateLocked serializes the full database state. Callers hold db.mu.
-func (db *Database) writeStateLocked(w io.Writer) error {
+// writeState serializes one view's full state. v must be stable for the
+// duration: either the published view read while holding db.mu (any side —
+// publishing requires the write lock) or a pinned view.
+func (db *Database) writeState(v *dbView, w io.Writer) error {
 	magic := dbSnapMagic
 	if db.seqMode {
 		magic = dbSnapMagicSeq
@@ -253,76 +276,77 @@ func (db *Database) writeStateLocked(w io.Writer) error {
 	if _, err := io.WriteString(w, magic); err != nil {
 		return err
 	}
-	if _, err := db.index.WriteTo(w); err != nil {
+	if _, err := v.index.WriteTo(w); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint64(len(db.positions))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(v.positions))); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, db.positions); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, v.positions); err != nil {
 		return err
 	}
 	if db.seqMode {
-		if err := binary.Write(w, binary.LittleEndian, db.seqs); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, v.seqs); err != nil {
 			return err
 		}
 	}
 	var has byte
-	if db.hasBounds {
+	if v.hasBounds {
 		has = 1
 	}
 	if err := binary.Write(w, binary.LittleEndian, has); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, []mathx.Vec3{db.lo, db.hi}); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, []mathx.Vec3{v.lo, v.hi}); err != nil {
 		return err
 	}
-	if _, err := db.oracle.WriteTo(w); err != nil {
+	if _, err := v.oracle.WriteTo(w); err != nil {
 		return err
 	}
 	return nil
 }
 
-// loadStateLocked replaces the in-memory structures with a deserialized
-// snapshot, refusing state whose parameters disagree with the database's
-// configuration (a server restarted with a different LSH family or oracle
-// sizing would otherwise silently mis-hash every query).
-func (db *Database) loadStateLocked(r io.Reader) error {
+// loadState deserializes a snapshot into a fresh detached view, refusing
+// state whose parameters disagree with the database's configuration (a
+// server restarted with a different LSH family or oracle sizing would
+// otherwise silently mis-hash every query). The caller (open's recovery
+// path) publishes the view once the WAL tail has been replayed into it.
+func (db *Database) loadState(r io.Reader) (*dbView, error) {
 	magic := make([]byte, len(dbSnapMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return err
+		return nil, err
 	}
 	wantMagic := dbSnapMagic
 	if db.seqMode {
 		wantMagic = dbSnapMagicSeq
 	}
 	if string(magic) != wantMagic {
-		return fmt.Errorf("server: bad database snapshot magic %q (want %q)", magic, wantMagic)
+		return nil, fmt.Errorf("server: bad database snapshot magic %q (want %q)", magic, wantMagic)
 	}
 	ix, err := lsh.ReadIndex(r)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if ip := ix.Hasher().Params(); ip != db.cfg.LSH {
-		return fmt.Errorf("server: snapshot LSH params %+v differ from configured %+v", ip, db.cfg.LSH)
+		return nil, fmt.Errorf("server: snapshot LSH params %+v differ from configured %+v", ip, db.cfg.LSH)
 	}
 	var n uint64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return err
+		return nil, err
 	}
 	if n != uint64(ix.Len()) {
-		return fmt.Errorf("server: snapshot has %d positions for %d descriptors", n, ix.Len())
+		return nil, fmt.Errorf("server: snapshot has %d positions for %d descriptors", n, ix.Len())
 	}
 	positions := make([]mathx.Vec3, n)
 	if err := binary.Read(r, binary.LittleEndian, positions); err != nil {
-		return err
+		return nil, err
 	}
 	var seqs []uint64
 	var maxSeq uint64
 	if db.seqMode {
 		seqs = make([]uint64, n)
 		if err := binary.Read(r, binary.LittleEndian, seqs); err != nil {
-			return err
+			return nil, err
 		}
 		for _, s := range seqs {
 			if s > maxSeq {
@@ -332,31 +356,27 @@ func (db *Database) loadStateLocked(r io.Reader) error {
 	}
 	var has byte
 	if err := binary.Read(r, binary.LittleEndian, &has); err != nil {
-		return err
+		return nil, err
 	}
 	bounds := make([]mathx.Vec3, 2)
 	if err := binary.Read(r, binary.LittleEndian, bounds); err != nil {
-		return err
+		return nil, err
 	}
 	oracle, err := core.Read(r)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if op := oracle.Params(); op != db.cfg.Oracle {
-		return fmt.Errorf("server: snapshot oracle params differ from configured")
+		return nil, fmt.Errorf("server: snapshot oracle params differ from configured")
 	}
-	db.index = ix
-	db.positions = positions
-	db.seqs = seqs
-	db.maxSeq = maxSeq
-	db.hasBounds = has == 1
-	db.lo, db.hi = bounds[0], bounds[1]
-	db.oracle = oracle
-	// The diff window restarts empty: refreshes against pre-crash
-	// versions fall back to a full download.
-	db.snapshots = map[uint64]*core.Oracle{}
-	db.snapOrder = nil
-	db.snapBytes = 0
-	db.snapWarned = false
-	return nil
+	return &dbView{
+		index:     ix,
+		positions: positions,
+		seqs:      seqs,
+		maxSeq:    maxSeq,
+		hasBounds: has == 1,
+		lo:        bounds[0],
+		hi:        bounds[1],
+		oracle:    oracle,
+	}, nil
 }

@@ -734,8 +734,8 @@ func (db *Database) OpenWALReader(from uint64) (*store.WALReader, error) {
 
 // SnapshotBlob serializes the full database state for a replica full-sync,
 // returning the WAL offset the blob covers. Taken under the read lock:
-// ingest's append+apply happens under the write lock, so the blob and the
-// offset are mutually consistent.
+// ingest's append+publish happens under the write lock, so the published
+// view is stable here and the blob and the offset are mutually consistent.
 func (db *Database) SnapshotBlob() (seq uint64, blob []byte, err error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -743,7 +743,7 @@ func (db *Database) SnapshotBlob() (seq uint64, blob []byte, err error) {
 		return 0, nil, errors.New("server: replication requires a durable database (no data directory)")
 	}
 	var buf bytes.Buffer
-	if err := db.writeStateLocked(&buf); err != nil {
+	if err := db.writeState(db.cur.Load(), &buf); err != nil {
 		return 0, nil, err
 	}
 	return db.store.Seq(), buf.Bytes(), nil

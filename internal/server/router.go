@@ -554,9 +554,7 @@ func (r *Router) locateSharded(ctx context.Context, v *venue, kps []sift.Keypoin
 		lo.X, lo.Y, lo.Z = math.Min(lo.X, slo.X), math.Min(lo.Y, slo.Y), math.Min(lo.Z, slo.Z)
 		hi.X, hi.Y, hi.Z = math.Max(hi.X, shi.X), math.Max(hi.Y, shi.Y), math.Max(hi.Z, shi.Z)
 	}
-	r.def.mu.RLock()
 	m := r.def.metrics()
-	r.def.mu.RUnlock()
 	tr := m.trace.Begin("locate")
 	tr.StageSince(obs.StageLSHQuery, t0)
 	res, err := solveCandidates(ctx, r.cfg, cands, lo, hi, intr, tr)

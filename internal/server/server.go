@@ -131,21 +131,39 @@ func WithDrainTimeout(d time.Duration) Option {
 	return func(s *Server) { s.drainTimeout = d }
 }
 
+// perCoreLocateQPS is the measured per-core Locate capacity on the full
+// benchmark workload (cmd/vpbench, BENCH_locate.json: ~27 q/s at ~37 ms/op
+// per core on the committed baseline host). The admission-control defaults
+// below are derived from it instead of guessed multipliers, so re-measure
+// and update it when the Locate pipeline's cost changes materially.
+const perCoreLocateQPS = 27
+
+// defaultQueueWaitSeconds is the worst queueing delay the default queue
+// depth is sized to admit: a request at the back of a full default queue
+// waits at most about this long at the measured drain rate before
+// execution (or sheds immediately past it).
+const defaultQueueWaitSeconds = 10
+
 // DefaultMaxInFlight returns the default bound on concurrently executing
-// requests: enough to keep every core busy with headroom for requests
-// blocked on the database write lock.
-func DefaultMaxInFlight() int { return 4 * runtime.GOMAXPROCS(0) }
+// requests. Locate is CPU-bound and lock-free (see rcu.go), so one
+// executing request per core saturates the machine; the 2x factor plus
+// constant covers the remaining off-CPU gaps (WAL fsyncs on ingest,
+// response write-backs) without letting a deep execution pool inflate
+// per-request latency.
+func DefaultMaxInFlight() int { return 2*runtime.GOMAXPROCS(0) + 2 }
 
 // DefaultQueueDepth returns the default dispatch-queue bound for a given
-// in-flight bound. It is deliberately permissive — clients pipelining
-// bursts over a single connection were never shed before admission control
-// existed, and the default preserves that for any plausible burst — while
-// still bounding queue memory against a runaway or malicious load.
-// Latency-sensitive deployments should configure WithQueueDepth far lower.
+// in-flight bound, sized from measured capacity: the queue admits what the
+// machine can drain within defaultQueueWaitSeconds at perCoreLocateQPS per
+// core, with a floor that keeps clients pipelining bursts over a single
+// connection — never shed before admission control existed — unshed for
+// any plausible burst. Latency-sensitive deployments should configure
+// WithQueueDepth far lower.
 func DefaultQueueDepth(maxInFlight int) int {
 	const floor = 256
-	if n := 16 * maxInFlight; n > floor {
-		return n
+	capacity := runtime.GOMAXPROCS(0) * perCoreLocateQPS * defaultQueueWaitSeconds
+	if capacity > floor {
+		return capacity
 	}
 	return floor
 }

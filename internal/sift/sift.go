@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 
+	"visualprint/internal/dist"
 	"visualprint/internal/imaging"
 )
 
@@ -39,12 +40,7 @@ func (d *Descriptor) Float() []float64 {
 
 // DistSq returns the squared Euclidean distance between two descriptors.
 func (d *Descriptor) DistSq(e *Descriptor) int {
-	s := 0
-	for i := 0; i < DescriptorSize; i++ {
-		diff := int(d[i]) - int(e[i])
-		s += diff * diff
-	}
-	return s
+	return dist.Sq(d[:], e[:])
 }
 
 // Keypoint is a detected, described interest point. X and Y are pixel
