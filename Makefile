@@ -1,6 +1,7 @@
 # VisualPrint build/verify targets.
 
-.PHONY: build test verify chaos bench bench-short bench-check bench-cores clean
+.PHONY: build test verify chaos bench bench-short bench-check bench-cores \
+	bench-track bench-track-short clean
 
 build:
 	go build ./...
@@ -18,12 +19,13 @@ verify:
 # under -race: fault-injection proxy (latency, partitions — symmetric and
 # one-way — blackhole, refused dials) against live clients with deadlines,
 # retries and reconnects, plus the replication fleet tests (failover with
-# acked-ingest preservation, full-sync feed loss mid-snapshot). `go test
-# -short` runs an abbreviated round as part of the normal suite.
+# acked-ingest preservation, full-sync feed loss mid-snapshot) and the
+# session-table churn/expiry hammer. `go test -short` runs an abbreviated
+# round as part of the normal suite.
 chaos:
 	go test -race -count=1 -v -run \
 		'TestChaos|TestShutdown|TestShedUnderBurst|TestCancelFreesServerSlot|TestDeadlineEnforcedServerSide|TestProxy' \
-		./internal/server/ ./internal/netsim/ ./internal/repl/
+		./internal/server/ ./internal/netsim/ ./internal/repl/ ./internal/track/
 
 # Full measurement run: Go benchmarks once through, then the standard
 # Locate workload with the machine-readable result in BENCH_locate.json
@@ -50,6 +52,18 @@ bench-check:
 		-locate-json bench_current.json \
 		-baseline BENCH_locate_short.json -max-regress 2.0 \
 		-cores 1,2 -cores-gate 1.5
+
+# Continuous-localization walk benchmark: the standard 24-frame walk
+# solved cold (session-less) and warm (one tracked session), comparing DE
+# generations and pose accuracy. Machine-readable result in
+# BENCH_track.json; the acceptance line is gen_ratio <= 0.5 at
+# median_err_m no worse than cold (pinned by TestTrackBenchmarkWarmSaves).
+bench-track:
+	go run ./cmd/vpbench -exp track -scale full -track-json BENCH_track.json
+
+# CI-sized walk (smaller corpus, 10 frames), same schema and code paths.
+bench-track-short:
+	go run ./cmd/vpbench -exp track -scale quick -track-json BENCH_track_short.json
 
 # QPS-vs-cores sweep alone, at full workload scale: GOMAXPROCS pinned to
 # 1, 2 and 4 per point (plus 8 when the host has that many CPUs — edit the

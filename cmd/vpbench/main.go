@@ -6,10 +6,11 @@
 //	vpbench -exp takeaways          # the paper-vs-measured summary table
 //	vpbench -scale full -csv out/   # paper-scale corpus, CSV files
 //	vpbench -exp locate -scale full -locate-json BENCH_locate.json
+//	vpbench -exp track -scale full -track-json BENCH_track.json
 //	vpbench -exp locate -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment ids: fig02 fig03 fig05 fig06 fig13 fig14 fig15 fig16 fig18
-// fig19 fig20 extra-latency throughput locate takeaways ablations.
+// fig19 fig20 extra-latency throughput locate track takeaways ablations.
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or full")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	locateJSON := flag.String("locate-json", "", "file to write the locate benchmark result as JSON (BENCH_locate.json)")
+	trackJSON := flag.String("track-json", "", "file to write the walk-trajectory tracking benchmark result as JSON (BENCH_track.json)")
 	obsOn := flag.Bool("obs", false, "enable observability instrumentation on the benchmark database (measures tracer overhead)")
 	locateShards := flag.Int("locate-shards", 0, "run the locate benchmark against a venue sharded this many ways (0/1: direct single database; >1 measures scatter-gather routing overhead)")
 	baseline := flag.String("baseline", "", "baseline locate JSON (e.g. BENCH_locate_short.json) to compare ns/op against")
@@ -181,6 +183,31 @@ func main() {
 		}
 	}
 
+	if all || wanted["track"] {
+		// quick scale runs the CI-sized walk (`make bench-track-short`);
+		// full scale runs the standard walk behind `make bench-track`.
+		cfg := bench.ShortTrackWorkload()
+		if *scaleName == "full" {
+			cfg = bench.DefaultTrackWorkload()
+		}
+		res, err := bench.RunTrackBenchmark(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "track: %v\n", err)
+			os.Exit(1)
+		}
+		printTrack(res)
+		if *trackJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*trackJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "track-json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if all || wanted["ablations"] {
 		for _, f := range []func() (*bench.Experiment, error){
 			bench.AblationVerification,
@@ -290,6 +317,18 @@ func checkRegression(path string, maxRegress float64, res *bench.LocateBenchResu
 		return fmt.Errorf("ns/op regressed %.2fx over baseline %s (limit %.2fx)", ratio, path, maxRegress)
 	}
 	return nil
+}
+
+// printTrack prints the walk-trajectory (continuous localization) summary.
+func printTrack(r *bench.TrackBenchResult) {
+	fmt.Printf("== track: continuous localization over a %d-frame walk ==\n", r.Workload.Frames)
+	fmt.Printf("  cold: %5.1f DE generations/frame  %.1f ms/frame  median err %.1f mm (max %.1f)\n",
+		r.Cold.MeanGenerations, r.Cold.NsPerFrame/1e6, r.Cold.MedianErrM*1000, r.Cold.MaxErrM*1000)
+	fmt.Printf("  warm: %5.1f DE generations/frame  %.1f ms/frame  median err %.1f mm (max %.1f)\n",
+		r.Warm.MeanGenerations, r.Warm.NsPerFrame/1e6, r.Warm.MedianErrM*1000, r.Warm.MaxErrM*1000)
+	fmt.Printf("  warm/cold generations: %.3fx   warm hits %d/%d (%.0f%%)   (%s)\n",
+		r.GenRatio, r.WarmHits, r.Warm.Frames, r.WarmHitRatio*100, r.Host)
+	fmt.Println()
 }
 
 // printLocate prints the Locate microbenchmark summary.

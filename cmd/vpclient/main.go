@@ -170,6 +170,36 @@ func printMetrics(client *visualprint.Client, reqCtx func() (context.Context, co
 		}
 	}
 
+	// Continuous-localization sessions likewise: every track_* instrument
+	// in one section, with the warm-hit ratio derived up front. Omitted
+	// entirely on servers without the tracking subsystem.
+	trackCounters, trackGauges := map[string]uint64{}, map[string]int64{}
+	for name, v := range rep.Counters {
+		if strings.HasPrefix(name, "track_") {
+			trackCounters[name] = v
+			delete(rep.Counters, name)
+		}
+	}
+	for name, v := range rep.Gauges {
+		if strings.HasPrefix(name, "track_") {
+			trackGauges[name] = v
+			delete(rep.Gauges, name)
+		}
+	}
+	if len(trackCounters)+len(trackGauges) > 0 {
+		fmt.Println("\ntracking (continuous localization):")
+		if warm, cold := trackCounters["track_warm"], trackCounters["track_cold"]; warm+cold > 0 {
+			fmt.Printf("  %-28s %.1f%% (%d warm / %d session queries)\n",
+				"warm_hit_ratio", 100*float64(warm)/float64(warm+cold), warm, warm+cold)
+		}
+		for _, name := range sortedKeys(trackCounters) {
+			fmt.Printf("  %-28s %d\n", name, trackCounters[name])
+		}
+		for _, name := range sortedKeys(trackGauges) {
+			fmt.Printf("  %-28s %d\n", name, trackGauges[name])
+		}
+	}
+
 	fmt.Println("\ncounters:")
 	for _, name := range sortedKeys(rep.Counters) {
 		fmt.Printf("  %-28s %d\n", name, rep.Counters[name])

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTrackWorkloadShape pins the walk construction: frames step by StepM
+// along X and every frame localizes (the constructor solves frame 0).
+func TestTrackWorkloadShape(t *testing.T) {
+	cfg := ShortTrackWorkload()
+	w, err := NewTrackWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Frames) != cfg.Frames {
+		t.Fatalf("frames = %d, want %d", len(w.Frames), cfg.Frames)
+	}
+	for f := 1; f < len(w.Frames); f++ {
+		d := w.Frames[f].TrueCam.Sub(w.Frames[f-1].TrueCam)
+		if d.Y != 0 || d.Z != 0 || d.X < cfg.StepM-1e-9 || d.X > cfg.StepM+1e-9 {
+			t.Fatalf("frame %d step = %+v, want {%g 0 0}", f, d, cfg.StepM)
+		}
+	}
+	if _, err := w.RunWarm(0); err == nil {
+		t.Fatal("RunWarm(0) accepted the reserved no-session id")
+	}
+}
+
+// TestTrackBenchmarkWarmSaves is the acceptance regression for the
+// tracking subsystem: on the walk workload the warm pass must consume at
+// most half the cold pass's DE generations with median pose error no
+// worse, the first frame (no prior yet) must be the only cold solve, and
+// no prior may be rejected.
+func TestTrackBenchmarkWarmSaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second solver workload")
+	}
+	cfg := ShortTrackWorkload()
+	cfg.FrameDt = 50 * time.Millisecond
+	res, err := RunTrackBenchmark(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GenRatio > 0.5 {
+		t.Errorf("warm/cold generation ratio = %.3f (warm %.1f, cold %.1f), want <= 0.5",
+			res.GenRatio, res.Warm.MeanGenerations, res.Cold.MeanGenerations)
+	}
+	if res.Warm.MedianErrM > res.Cold.MedianErrM {
+		t.Errorf("warm median error %.4f m worse than cold %.4f m",
+			res.Warm.MedianErrM, res.Cold.MedianErrM)
+	}
+	if want := uint64(cfg.Frames - 1); res.WarmHits != want || res.WarmMisses != 1 {
+		t.Errorf("warm pass hits/misses = %d/%d, want %d/1", res.WarmHits, res.WarmMisses, want)
+	}
+}

@@ -208,6 +208,30 @@ type Options struct {
 	// conservative 0.001). <= 0 disables the check and always runs the
 	// full MaxIterations budget.
 	Tol float64
+	// PriorPos and PriorRadius warm-start the search from a predicted
+	// camera position (a tracking session's motion-model extrapolation —
+	// see internal/track). When PriorRadius > 0 the search box is
+	// intersected with the axis-aligned cube PriorPos ± PriorRadius
+	// (when the intersection is non-empty; a prior entirely outside the
+	// caller's box is ignored) and the first member of the initial
+	// population is pinned to the clamped prior itself, so a good prior
+	// converges in a fraction of the cold generations via the Tol stop.
+	//
+	// Bit-identity contract: PriorRadius == 0 leaves every code path,
+	// bound, and RNG draw of the solve untouched — a solve without a
+	// prior is Float64bits-identical to one on a build that predates
+	// these fields (pinned by TestLocalizeZeroPriorBitIdentical).
+	PriorPos    mathx.Vec3
+	PriorRadius float64
+	// MinResidual > 0 stops the search once the best population member's
+	// mean per-pair residual (radians) has dropped to this value — an
+	// absolute "good enough" criterion complementing the relative Tol
+	// stop, which cannot fire when the optimum cost approaches zero
+	// (std and mean shrink together). Warm-started tracking solves use
+	// it to bank the prior's head start instead of polishing an already
+	// sub-millimeter answer for the full budget. 0 disables the check
+	// (the cold default), leaving results bit-identical.
+	MinResidual float64
 }
 
 // DefaultOptions returns solver settings tuned for indoor venues.
@@ -311,6 +335,15 @@ func LocalizeContext(ctx context.Context, corr []Correspondence, intr Intrinsics
 		pairs = pairs[:opt.MaxPairs]
 	}
 
+	warm := false
+	if opt.PriorRadius > 0 {
+		plo := mathx.Vec3{X: opt.PriorPos.X - opt.PriorRadius, Y: opt.PriorPos.Y - opt.PriorRadius, Z: opt.PriorPos.Z - opt.PriorRadius}
+		phi := mathx.Vec3{X: opt.PriorPos.X + opt.PriorRadius, Y: opt.PriorPos.Y + opt.PriorRadius, Z: opt.PriorPos.Z + opt.PriorRadius}
+		if ilo, ihi, ok := intersectBox(lo, hi, plo, phi); ok {
+			lo, hi = ilo, ihi
+			warm = true
+		}
+	}
 	span := [3]float64{hi.X - lo.X, hi.Y - lo.Y, hi.Z - lo.Z}
 	lov := [3]float64{lo.X, lo.Y, lo.Z}
 	sample := func() [3]float64 {
@@ -334,6 +367,15 @@ func LocalizeContext(ctx context.Context, corr []Correspondence, intr Intrinsics
 	cost := make([]float64, opt.PopSize)
 	for i := range pop {
 		pop[i] = sample()
+		if warm && i == 0 {
+			// Pin one member to the predicted pose itself (sample() above
+			// still ran, keeping the RNG stream uniform across the
+			// population regardless of the prior).
+			pp := [3]float64{opt.PriorPos.X, opt.PriorPos.Y, opt.PriorPos.Z}
+			for d := 0; d < 3; d++ {
+				pop[i][d] = mathx.Clamp(pp[d], lov[d], lov[d]+span[d])
+			}
+		}
 		cost[i] = objectiveLimited(pairs, pop[i], math.Inf(1))
 	}
 	evals += opt.PopSize
@@ -376,6 +418,17 @@ func LocalizeContext(ctx context.Context, corr []Correspondence, intr Intrinsics
 		}
 		if opt.Tol > 0 && converged(cost, opt.Tol) {
 			break
+		}
+		if opt.MinResidual > 0 {
+			bc := cost[0]
+			for i := 1; i < opt.PopSize; i++ {
+				if cost[i] < bc {
+					bc = cost[i]
+				}
+			}
+			if bc <= opt.MinResidual*float64(len(pairs)) {
+				break
+			}
 		}
 	}
 	best := 0
@@ -448,6 +501,17 @@ func converged(cost []float64, tol float64) bool {
 		s2 += d * d
 	}
 	return math.Sqrt(s2/float64(len(cost))) <= tol*math.Abs(mean)
+}
+
+// intersectBox returns the axis-aligned intersection of [alo, ahi] and
+// [blo, bhi], and whether it is non-empty in every dimension.
+func intersectBox(alo, ahi, blo, bhi mathx.Vec3) (mathx.Vec3, mathx.Vec3, bool) {
+	lo := mathx.Vec3{X: math.Max(alo.X, blo.X), Y: math.Max(alo.Y, blo.Y), Z: math.Max(alo.Z, blo.Z)}
+	hi := mathx.Vec3{X: math.Min(ahi.X, bhi.X), Y: math.Min(ahi.Y, bhi.Y), Z: math.Min(ahi.Z, bhi.Z)}
+	if lo.X > hi.X || lo.Y > hi.Y || lo.Z > hi.Z {
+		return mathx.Vec3{}, mathx.Vec3{}, false
+	}
+	return lo, hi, true
 }
 
 // EstimateYaw recovers the camera heading given its position: for each

@@ -1,0 +1,116 @@
+package pose
+
+// Warm-start coverage: the prior fields must be inert at their zero value
+// (the bit-identity contract the tracking subsystem's cold fallback relies
+// on), a disjoint prior must be ignored, and a good prior must converge in
+// a fraction of the cold generations with no accuracy loss.
+
+import (
+	"math"
+	"testing"
+
+	"visualprint/internal/mathx"
+)
+
+// TestLocalizeZeroPriorBitIdentical: PriorRadius == 0 must leave the solve
+// byte-for-byte identical to the pre-warm-start solver, even with PriorPos
+// set — proven against the verbatim reference mirror, which has no prior
+// code at all.
+func TestLocalizeZeroPriorBitIdentical(t *testing.T) {
+	for _, seed := range []int64{3, 9, 21} {
+		corr, intr, lo, hi := identityScenario(seed, 18)
+		opt := identityOptions(1)
+		opt.Seed = seed * 7
+		opt.PriorPos = mathx.Vec3{X: 4, Y: 1.5, Z: 3} // must be ignored
+		got, err := Localize(corr, intr, lo, hi, opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := referenceLocalize(corr, intr, lo, hi, opt)
+		if got != want {
+			t.Fatalf("seed %d: zero-prior solve diverged from reference: %+v != %+v",
+				seed, got, want)
+		}
+	}
+}
+
+// TestLocalizeDisjointPriorIgnored: a prior box that does not intersect the
+// search box must be ignored entirely — the solve must match the no-prior
+// solve bit for bit.
+func TestLocalizeDisjointPriorIgnored(t *testing.T) {
+	corr, intr, lo, hi := identityScenario(5, 16)
+	opt := identityOptions(1)
+	base, err := Localize(corr, intr, lo, hi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.PriorPos = mathx.Vec3{X: 1e6, Y: 1e6, Z: 1e6}
+	opt.PriorRadius = 0.5
+	got, err := Localize(corr, intr, lo, hi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Fatalf("disjoint prior changed the solve: %+v != %+v", got, base)
+	}
+}
+
+// warmScenario builds a geometrically consistent correspondence set: 3D
+// points in a wall-like slab, pixels their true pinhole projections from a
+// known camera — the same shape as the bench workload, so the objective has
+// a near-zero optimum and the Tol convergence stop is meaningful.
+func warmScenario(n int) ([]Correspondence, Intrinsics, mathx.Vec3, mathx.Vec3, mathx.Vec3) {
+	intr := Intrinsics{W: 200, H: 150, FovX: 1.1, FovY: 0.85}
+	cam := mathx.Vec3{X: 4, Y: 1.4, Z: 2}
+	cx, cy := float64(intr.W)/2, float64(intr.H)/2
+	focal := cx / math.Tan(intr.FovX/2)
+	corr := make([]Correspondence, n)
+	for i := range corr {
+		fi := float64(i)
+		p := mathx.Vec3{
+			X: 1.5 + 5*math.Mod(fi*0.61803398875, 1),
+			Y: 0.8 + 1.4*math.Mod(fi*0.3819660113, 1),
+			Z: 7.1 + 0.8*math.Mod(fi*0.2360679775, 1),
+		}
+		d := p.Sub(cam)
+		corr[i] = Correspondence{
+			Px: cx + focal*d.X/d.Z,
+			Py: cy - focal*d.Y/d.Z,
+			P:  p,
+		}
+	}
+	return corr, intr, mathx.Vec3{X: -1, Y: 0, Z: -1}, mathx.Vec3{X: 9, Y: 3.5, Z: 9}, cam
+}
+
+// TestLocalizeWarmConvergesFaster: with a prior near the true camera, the
+// solve must reach an equal-or-better answer in at most half the cold
+// solve's generations (Evals counts PopSize per generation).
+func TestLocalizeWarmConvergesFaster(t *testing.T) {
+	corr, intr, lo, hi, cam := warmScenario(24)
+	opt := DefaultOptions()
+	opt.Deadline = 0
+	opt.Workers = 1
+	cold, err := Localize(corr, intr, lo, hi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.PriorPos = mathx.Vec3{X: cam.X + 0.2, Y: cam.Y - 0.1, Z: cam.Z + 0.25}
+	opt.PriorRadius = 0.75
+	opt.MinResidual = 3e-4
+	warm, err := Localize(corr, intr, lo, hi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Evals*2 > cold.Evals {
+		t.Fatalf("warm solve used %d evals, cold %d (want <= 50%%)", warm.Evals, cold.Evals)
+	}
+	coldErr := cold.Position.Sub(cam)
+	warmErr := warm.Position.Sub(cam)
+	ce, we := math.Sqrt(coldErr.Dot(coldErr)), math.Sqrt(warmErr.Dot(warmErr))
+	if we > ce+0.05 {
+		t.Fatalf("warm solve error %.3f m worse than cold %.3f m", we, ce)
+	}
+	if we > 0.5 {
+		t.Fatalf("warm solve landed %.3f m from the true camera", we)
+	}
+}

@@ -176,6 +176,16 @@ type Client struct {
 	// would silently address the default venue, so venue-pinned calls fail
 	// with the typed ErrVenueUnsupported instead.
 	venueNo atomic.Bool
+	// sessNo tracks a server rejecting msgSessionEx (sticky). Unlike the
+	// venue envelope, the session envelope is a pure optimization — a
+	// warm-start hint — so the fallback is a silent resend without it: the
+	// answer from a session-less solve is equally correct, just costs the
+	// server more generations.
+	sessNo atomic.Bool
+	// diff2No tracks a server rejecting msgGetDiff2 (sticky). The fallback
+	// is the original msgGetDiff, which never short-circuits on an
+	// unchanged oracle but returns the same bytes otherwise.
+	diff2No atomic.Bool
 
 	// writeMu serializes frame writes; for v1 it also pins FIFO
 	// registration to wire order. Reconnection swaps the conn under
@@ -853,6 +863,65 @@ func (v Venue) StatsFull(ctx context.Context) (DBStats, error) {
 	return v.c.statsFull(ctx, v.name)
 }
 
+// Session returns a handle for a continuous localization session against
+// the venue: repeated queries carry the same session ID, letting the
+// server warm-start each pose solve from the device's tracked trajectory
+// (see Client.Session).
+func (v Venue) Session() Session { return Session{c: v.c, venue: v.name, id: newSessionID()} }
+
+// Session is a continuous localization session: a stream of queries from
+// one moving device, identified to the server by a random non-zero 64-bit
+// ID so it can warm-start each pose solve from the previous fixes. The
+// handle is a cheap value sharing the client's connection; sessions are
+// independent, so one client may run many concurrently.
+//
+// Sessions are soft state. The server evicts them by TTL and capacity, a
+// failover or restart loses them silently, and an old server rejects the
+// envelope entirely — in every case the query is answered by the ordinary
+// cold solve, bit-identical to a session-less request, and the stream
+// continues. There is no teardown RPC: stop querying and the server's TTL
+// sweep reclaims the slot.
+type Session struct {
+	c     *Client
+	venue string
+	id    uint64
+}
+
+// Session returns a session handle bound to the client's default venue
+// (or its WithVenue pin).
+func (c *Client) Session() Session {
+	return Session{c: c, venue: c.venue, id: newSessionID()}
+}
+
+// ID returns the session's wire identifier. Never zero: zero is the wire
+// encoding for "no session".
+func (s Session) ID() uint64 { return s.id }
+
+// Venue returns the venue name the session addresses.
+func (s Session) Venue() string { return s.venue }
+
+// Query localizes one frame within the session. Identical to
+// Client.Query except the request carries the session ID, so the server
+// may answer from a warm-started solve seeded by the session's motion
+// model. Results that fail the server's residual acceptance gate are
+// transparently re-solved cold server-side, so a session query is never
+// less accurate than a cold one.
+func (s Session) Query(ctx context.Context, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
+	return s.c.querySession(ctx, s.venue, s.id, kps, intr)
+}
+
+// newSessionID draws a random non-zero session identifier. Collisions
+// across 64 bits are negligible at any realistic concurrent-session
+// count, and a collision only merges two motion histories — the residual
+// gate rejects the resulting nonsense prior and the solves fall back cold.
+func newSessionID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
 // FetchOracle downloads the current uniqueness oracle. blobSize is the
 // compressed transfer size in bytes (the paper's ~10 MB download).
 func (c *Client) FetchOracle(ctx context.Context) (o *core.Oracle, blobSize int64, err error) {
@@ -887,11 +956,31 @@ func (c *Client) RefreshOracle(ctx context.Context, o *core.Oracle) (updated *co
 func (c *Client) refreshOracle(ctx context.Context, venue string, o *core.Oracle) (updated *core.Oracle, transferBytes int64, incremental bool, err error) {
 	req := make([]byte, 8)
 	binary.LittleEndian.PutUint64(req, o.Inserts())
-	rt, resp, err := c.readInvoke(ctx, venue, msgGetDiff, req)
+	// Prefer msgGetDiff2, whose not-modified fast path answers an
+	// up-to-date oracle with an 8-byte ack instead of building (and
+	// shipping) an empty diff. An old server rejects the type; fall back
+	// to msgGetDiff and remember (sticky) — same bytes, no fast path.
+	typ := byte(msgGetDiff2)
+	if c.diff2No.Load() {
+		typ = msgGetDiff
+	}
+	rt, resp, err := c.readInvoke(ctx, venue, typ, req)
+	if err != nil && typ == msgGetDiff2 && isUnknownTypeErr(err, msgGetDiff2) {
+		c.diff2No.Store(true)
+		c.logf("visualprint client: server predates the not-modified oracle refresh")
+		rt, resp, err = c.readInvoke(ctx, venue, msgGetDiff, req)
+	}
 	if err != nil {
 		return nil, 0, false, err
 	}
 	switch rt {
+	case msgDiffUnchanged:
+		// The server's insert count equals ours: the oracle cannot have
+		// changed (inserts are monotonic), so o is already current.
+		if len(resp) != 8 || binary.LittleEndian.Uint64(resp) != o.Inserts() {
+			return nil, 0, false, errRemote{msg: "bad unchanged ack"}
+		}
+		return o, int64(len(resp)), true, nil
 	case msgDiffBlob:
 		if err := core.ApplyDiff(o, resp); err != nil {
 			return nil, 0, false, err
@@ -938,8 +1027,28 @@ func (c *Client) Query(ctx context.Context, kps []sift.Keypoint, intr pose.Intri
 }
 
 func (c *Client) query(ctx context.Context, venue string, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
+	return c.querySession(ctx, venue, 0, kps, intr)
+}
+
+// querySession is query plus the optional msgSessionEx envelope. The
+// envelope nests inside the venue envelope (the server unwraps venue,
+// then session, then dispatches the plain query). Against a server
+// predating sessions the call silently resends without the envelope and
+// remembers (sticky): the session is an optimization, and a cold answer
+// is still the right answer — unlike the venue envelope, where a silent
+// downgrade would address the wrong data.
+func (c *Client) querySession(ctx context.Context, venue string, sid uint64, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
 	payload := encodeQuery(intr, codec.MarshalKeypoints(kps))
-	resp, err := c.readRoundTrip(ctx, venue, msgQuery, payload, msgQueryResult)
+	typ, pl := byte(msgQuery), payload
+	if sid != 0 && !c.v1 && !c.sessNo.Load() {
+		typ, pl = msgSessionEx, wrapSession(sid, msgQuery, payload)
+	}
+	resp, err := c.readRoundTrip(ctx, venue, typ, pl, msgQueryResult)
+	if err != nil && typ == msgSessionEx && isUnknownTypeErr(err, msgSessionEx) {
+		c.sessNo.Store(true)
+		c.logf("visualprint client: server predates localization sessions; continuing with cold queries")
+		resp, err = c.readRoundTrip(ctx, venue, msgQuery, payload, msgQueryResult)
+	}
 	if err != nil {
 		return LocateResult{}, err
 	}

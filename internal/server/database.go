@@ -481,6 +481,15 @@ func (db *Database) OracleDiff(sinceInserts uint64) (diff []byte, ok bool, err e
 	return d, true, nil
 }
 
+// OracleInserts returns the live oracle's insert counter from a pinned
+// read snapshot — the version a client cites in refresh requests, and the
+// equality test behind the msgGetDiff2 not-modified fast path.
+func (db *Database) OracleInserts() uint64 {
+	v, t := db.pinView()
+	defer db.unpin(v, t)
+	return v.oracle.Inserts()
+}
+
 // Oracle exposes the live oracle for in-process use (the public API's
 // single-process mode).
 //
@@ -581,6 +590,11 @@ type LocateResult struct {
 	Residual float64
 	// Matched counts the keypoints whose matches survived clustering.
 	Matched int
+	// Generations is the DE generation count the pose solve consumed
+	// (initialization included) — the quantity the warm-start tracking
+	// path halves. In-process only: it is not carried on the wire, so
+	// results decoded from a remote server report 0.
+	Generations int
 }
 
 // locateCand pairs a query pixel with one retrieved 3D candidate.
@@ -759,6 +773,14 @@ func (db *Database) locateView(ctx context.Context, v *dbView, kps []sift.Keypoi
 // merged venue bounds feed the same search box arithmetic (per-axis min/max
 // commute across shards), and clustering order is fixed by the list order.
 func solveCandidates(ctx context.Context, cfg DatabaseConfig, cands []locateCand, lo, hi mathx.Vec3, intr pose.Intrinsics, tr *obs.Trace) (LocateResult, error) {
+	return solveCandidatesOpt(ctx, cfg, cands, lo, hi, intr, tr, cfg.Pose)
+}
+
+// solveCandidatesOpt is solveCandidates with the pose options made explicit:
+// the tracking path substitutes warm-start options (prior pose, shrunk
+// bounds, early convergence stop — see track.go) while every cold caller
+// passes cfg.Pose verbatim, keeping that path bit-identical.
+func solveCandidatesOpt(ctx context.Context, cfg DatabaseConfig, cands []locateCand, lo, hi mathx.Vec3, intr pose.Intrinsics, tr *obs.Trace, popt pose.Options) (LocateResult, error) {
 	if len(cands) < 3 {
 		return LocateResult{}, ErrTooFewMatches
 	}
@@ -792,16 +814,23 @@ func solveCandidates(ctx context.Context, cfg DatabaseConfig, cands []locateCand
 	// venue interior excludes.
 	pad := mathx.Vec3{X: 0.3, Y: 0.3, Z: 0.3}
 	t0 = time.Now()
-	res, err := pose.LocalizeContext(ctx, corr, intr, lo.Sub(pad), hi.Add(pad), cfg.Pose)
+	res, err := pose.LocalizeContext(ctx, corr, intr, lo.Sub(pad), hi.Add(pad), popt)
 	tr.StageSince(obs.StagePoseSolve, t0)
 	if err != nil {
 		return LocateResult{}, ctxError(err)
 	}
+	// Evals = effective-PopSize × (init + generations); the solver clamps
+	// PopSize to a floor of 8, so mirror that clamp here.
+	ps := popt.PopSize
+	if ps < 8 {
+		ps = 8
+	}
 	return LocateResult{
-		Position: res.Position,
-		Yaw:      res.Yaw,
-		Residual: res.Residual,
-		Matched:  len(largest.Indices),
+		Position:    res.Position,
+		Yaw:         res.Yaw,
+		Residual:    res.Residual,
+		Matched:     len(largest.Indices),
+		Generations: res.Evals / ps,
 	}, nil
 }
 

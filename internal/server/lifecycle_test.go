@@ -273,6 +273,7 @@ func TestShutdownDrains(t *testing.T) {
 	if wantErr != nil {
 		t.Fatal(wantErr)
 	}
+	want.Generations = 0 // in-process only, not carried on the wire
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

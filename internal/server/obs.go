@@ -106,8 +106,8 @@ type srvMetrics struct {
 
 	// Indexed by request message type (< len); unknown or out-of-range
 	// types fall through to reqUnknown with no latency histogram.
-	reqCount   [28]*obs.Counter
-	reqNs      [28]*obs.Histogram
+	reqCount   [31]*obs.Counter
+	reqNs      [31]*obs.Histogram
 	reqUnknown *obs.Counter
 
 	// Indexed by wire error code; codes past the known range count as
@@ -139,6 +139,8 @@ var requestTypeNames = map[byte]string{
 	msgReplFollow:   "repl_follow",
 	msgReplPromote:  "repl_promote",
 	msgPing:         "ping",
+
+	msgGetDiff2: "get_diff2",
 }
 
 // errCodeNames maps wire error codes to metric name suffixes.

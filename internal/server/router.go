@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"visualprint/internal/bloom"
@@ -20,6 +21,7 @@ import (
 	"visualprint/internal/obs"
 	"visualprint/internal/pose"
 	"visualprint/internal/sift"
+	"visualprint/internal/track"
 )
 
 // Router fans requests out across venues and, within a venue, across spatial
@@ -58,6 +60,11 @@ type Router struct {
 	// created on this registry as venues appear.
 	reg       *obs.Registry
 	venueGage *obs.Gauge
+
+	// trk is the continuous-localization session state (table + metrics;
+	// see track.go). Always non-nil after NewRouter; swapped wholesale by
+	// ConfigureTracking, read lock-free on the LocateSession hot path.
+	trk atomic.Pointer[trackState]
 
 	log *obs.Logger
 }
@@ -114,12 +121,14 @@ type venue struct {
 // NewRouter builds a router over def as the default venue. Named venues are
 // created lazily with def's configuration.
 func NewRouter(def *Database, cfg DatabaseConfig) *Router {
-	return &Router{
+	r := &Router{
 		cfg:    cfg,
 		def:    def,
 		venues: make(map[string]*venue),
 		pre:    make(map[string]VenueConfig),
 	}
+	r.trk.Store(&trackState{tb: track.New(track.DefaultConfig())})
+	return r
 }
 
 // SetLogger routes venue lifecycle messages through l (nil silences).
@@ -189,6 +198,13 @@ func (r *Router) instrument(reg *obs.Registry) {
 		v.ingests = reg.Counter("venue_" + v.name + "_ingests")
 	}
 	r.venueGage.Set(int64(len(r.venues)))
+	// Re-publish the tracking state with instruments attached (the table's
+	// session gauge starts at the current — normally zero — count).
+	if st := r.trk.Load(); st != nil {
+		ns := &trackState{tb: st.tb, tm: newTrackMetrics(reg)}
+		ns.tb.Instrument(reg)
+		r.trk.Store(ns)
+	}
 }
 
 // venueMetaFile is the per-venue topology record inside the venue directory.
@@ -486,17 +502,22 @@ func (r *Router) Locate(ctx context.Context, venueName string, kps []sift.Keypoi
 	if len(v.shards) == 1 {
 		return v.shards[0].Locate(ctx, kps, intr)
 	}
-	return r.locateSharded(ctx, v, kps, intr)
+	res, _, err := r.locateSharded(ctx, v, kps, intr, nil)
+	return res, err
 }
 
 // locateSharded is the scatter-gather Locate: per-shard candidate retrieval
-// in parallel, merge under the venue total order, shared solve tail.
-func (r *Router) locateSharded(ctx context.Context, v *venue, kps []sift.Keypoint, intr pose.Intrinsics) (LocateResult, error) {
+// in parallel, merge under the venue total order, shared solve tail. A
+// non-nil ws threads a session prior into the tail (warm solve with cold
+// fallback — "router affinity": the prior applies after the shard fan-out
+// merge, so any shard topology reuses it); the bool reports warm
+// acceptance and is always false when ws is nil.
+func (r *Router) locateSharded(ctx context.Context, v *venue, kps []sift.Keypoint, intr pose.Intrinsics, ws *warmSolve) (LocateResult, bool, error) {
 	if v.len() == 0 {
-		return LocateResult{}, ErrEmptyDatabase
+		return LocateResult{}, false, ErrEmptyDatabase
 	}
 	if err := ctx.Err(); err != nil {
-		return LocateResult{}, ctxError(err)
+		return LocateResult{}, false, ctxError(err)
 	}
 	t0 := time.Now()
 	sets := make([][][]MergeCand, len(v.shards))
@@ -512,7 +533,7 @@ func (r *Router) locateSharded(ctx context.Context, v *venue, kps []sift.Keypoin
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
-			return LocateResult{}, e
+			return LocateResult{}, false, e
 		}
 	}
 	// Merge per keypoint: concatenate the shard sets, restore the venue
@@ -557,13 +578,20 @@ func (r *Router) locateSharded(ctx context.Context, v *venue, kps []sift.Keypoin
 	m := r.def.metrics()
 	tr := m.trace.Begin("locate")
 	tr.StageSince(obs.StageLSHQuery, t0)
-	res, err := solveCandidates(ctx, r.cfg, cands, lo, hi, intr, tr)
+	var res LocateResult
+	var warm bool
+	var err error
+	if ws != nil {
+		res, warm, err = solveWarmThenCold(ctx, r.cfg, cands, lo, hi, intr, tr, *ws)
+	} else {
+		res, err = solveCandidates(ctx, r.cfg, cands, lo, hi, intr, tr)
+	}
 	m.locateNs.Observe(m.trace.End(tr))
 	m.locates.Inc()
 	if err != nil {
 		m.locateErrors.Inc()
 	}
-	return res, err
+	return res, warm, err
 }
 
 // OracleBlob serializes a venue's uniqueness oracle, gzip-compressed. A
@@ -614,6 +642,25 @@ func (r *Router) OracleDiff(venueName string, sinceInserts uint64) (diff []byte,
 		return nil, false, nil
 	}
 	return v.shards[0].OracleDiff(sinceInserts)
+}
+
+// OracleInserts returns a venue's oracle insert count: the per-shard sum,
+// which equals the merged oracle's counter (core.Merge adds the counts the
+// same way). A venue that does not exist reports 0 — consistent with the
+// empty oracle a client would have downloaded.
+func (r *Router) OracleInserts(venueName string) uint64 {
+	if venueName == "" {
+		return r.def.OracleInserts()
+	}
+	v := r.lookup(venueName)
+	if v == nil {
+		return 0
+	}
+	var n uint64
+	for _, sh := range v.shards {
+		n += sh.OracleInserts()
+	}
+	return n
 }
 
 // Stats aggregates a venue's shard stats. A venue that does not exist

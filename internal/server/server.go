@@ -606,11 +606,13 @@ func (s *Server) serveV2(conn net.Conn) {
 	<-writerDone
 }
 
-// serveRequest runs one request end to end: venue unwrap, drain gate,
-// instrumentation, admission, dispatch. Framing and request IDs belong to
-// the caller; serveRequest never fails — request errors become msgError
-// responses. The venue envelope is unwrapped before instrumentation so the
-// per-type metrics count the inner request, not the envelope.
+// serveRequest runs one request end to end: venue/session unwrap, drain
+// gate, instrumentation, admission, dispatch. Framing and request IDs
+// belong to the caller; serveRequest never fails — request errors become
+// msgError responses. The envelopes are unwrapped before instrumentation
+// so the per-type metrics count the inner request, not the envelope.
+// Nesting order on the wire is deadline (outermost, unwrapped in serveV2)
+// → venue → session → plain request.
 func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
 	venue := ""
 	if typ == msgVenueEx {
@@ -620,6 +622,14 @@ func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte) (by
 		}
 		venue, typ, payload = v, ityp, ipayload
 	}
+	sid := uint64(0)
+	if typ == msgSessionEx {
+		id, ityp, ipayload, err := unwrapSession(payload)
+		if err != nil {
+			return errorResponse(err)
+		}
+		sid, typ, payload = id, ityp, ipayload
+	}
 	if !s.beginRequest() {
 		rt, resp := errorResponse(ErrShuttingDown)
 		if m := s.met; m != nil {
@@ -628,28 +638,28 @@ func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte) (by
 		return rt, resp
 	}
 	defer s.endRequest()
-	return s.handle(ctx, venue, typ, payload)
+	return s.handle(ctx, venue, sid, typ, payload)
 }
 
 // handle wraps dispatch with the wire-level instrumentation: request
 // counts and latency per message type, payload bytes in each direction,
 // the in-flight gauge and error-code counters.
-func (s *Server) handle(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte) {
+func (s *Server) handle(ctx context.Context, venue string, sid uint64, typ byte, payload []byte) (byte, []byte) {
 	m := s.met
 	if m == nil {
-		return s.admitAndDispatch(ctx, venue, typ, payload)
+		return s.admitAndDispatch(ctx, venue, sid, typ, payload)
 	}
 	m.inflight.Add(1)
 	m.bytesIn.Add(uint64(len(payload)))
 	start := time.Now()
-	rt, resp := s.admitAndDispatch(ctx, venue, typ, payload)
+	rt, resp := s.admitAndDispatch(ctx, venue, sid, typ, payload)
 	m.record(typ, start, rt, resp)
 	m.inflight.Add(-1)
 	return rt, resp
 }
 
 // admitAndDispatch applies admission control, then routes the request.
-func (s *Server) admitAndDispatch(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte) {
+func (s *Server) admitAndDispatch(ctx context.Context, venue string, sid uint64, typ byte, payload []byte) (byte, []byte) {
 	if err := s.admit(ctx); err != nil {
 		if m := s.met; m != nil && errors.Is(err, ErrOverloaded) {
 			m.shed.Inc()
@@ -657,13 +667,13 @@ func (s *Server) admitAndDispatch(ctx context.Context, venue string, typ byte, p
 		return errorResponse(err)
 	}
 	defer s.release()
-	return s.dispatch(ctx, venue, typ, payload)
+	return s.dispatch(ctx, venue, sid, typ, payload)
 }
 
 // dispatch routes one request to its venue's engine(s). The empty venue is
 // the default database, served directly (the pre-venue fast path every
 // legacy client takes); named venues go through the router.
-func (s *Server) dispatch(ctx context.Context, venue string, typ byte, payload []byte) (byte, []byte) {
+func (s *Server) dispatch(ctx context.Context, venue string, sid uint64, typ byte, payload []byte) (byte, []byte) {
 	if venue != "" && s.router == nil {
 		return errorResponse(errors.New("venue routing not enabled on this server"))
 	}
@@ -742,20 +752,44 @@ func (s *Server) dispatch(ctx context.Context, venue string, typ byte, payload [
 			return errorResponse(err)
 		}
 		var res LocateResult
-		if venue == "" {
+		switch {
+		case sid != 0 && s.router != nil:
+			// The session path covers the default venue too (venue == "");
+			// a bare Server without a router serves the query cold below —
+			// the envelope is an optimization, never a correctness gate.
+			res, err = s.router.LocateSession(ctx, venue, sid, kps, intr)
+		case venue == "":
 			res, err = s.db.Locate(ctx, kps, intr)
-		} else {
+		default:
 			res, err = s.router.Locate(ctx, venue, kps, intr)
 		}
 		if err != nil {
 			return errorResponse(err)
 		}
 		return msgQueryResult, encodeLocateResult(res)
-	case msgGetDiff:
+	case msgGetDiff, msgGetDiff2:
 		if len(payload) != 8 {
 			return errorResponse(errors.New("bad diff request"))
 		}
 		since := binary.LittleEndian.Uint64(payload)
+		if typ == msgGetDiff2 {
+			// Not-modified fast path: oracle insert counts are monotonic,
+			// so a client whose count equals the live oracle's holds an
+			// identical oracle — ack with 8 bytes instead of a diff blob.
+			// Only msgGetDiff2 may answer this way; old clients asking via
+			// msgGetDiff get the original diff-or-blob behavior unchanged.
+			var cur uint64
+			if venue == "" {
+				cur = s.db.OracleInserts()
+			} else {
+				cur = s.router.OracleInserts(venue)
+			}
+			if since == cur {
+				ack := make([]byte, 8)
+				binary.LittleEndian.PutUint64(ack, cur)
+				return msgDiffUnchanged, ack
+			}
+		}
 		var diff []byte
 		var ok bool
 		var err error

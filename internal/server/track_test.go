@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"visualprint/internal/mathx"
+	"visualprint/internal/obs"
+	"visualprint/internal/pose"
+	"visualprint/internal/sift"
+	"visualprint/internal/track"
+)
+
+// trackFixture builds an instrumented router over the synthetic corpus
+// ingested into the default venue.
+func trackFixture(t *testing.T) (*Router, *obs.Registry, []Mapping, queryFixture) {
+	t.Helper()
+	cfg := routerTestConfig()
+	ms, kps, intr := syntheticCorpus(7, 160, 1200, 200)
+	def := newTestDB(t, cfg)
+	r := NewRouter(def, cfg)
+	reg := obs.NewRegistry()
+	r.instrument(reg)
+	if err := def.Ingest(context.Background(), ms); err != nil {
+		t.Fatal(err)
+	}
+	return r, reg, ms, queryFixture{kps: kps, intr: intr}
+}
+
+type queryFixture struct {
+	kps  []sift.Keypoint
+	intr pose.Intrinsics
+}
+
+// TestLocateSessionWarmAcceptance: the second query of a session must be
+// answered by an accepted warm solve that consumes no more DE generations
+// than the cold solve, and the session metrics must record it.
+func TestLocateSessionWarmAcceptance(t *testing.T) {
+	r, reg, _, q := trackFixture(t)
+	ctx := context.Background()
+	const sid = 77
+
+	cold, err := r.LocateSession(ctx, "", sid, q.kps, q.intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("track_cold").Value(); got != 1 {
+		t.Fatalf("track_cold = %d after first query, want 1", got)
+	}
+	if cold.Generations == 0 {
+		t.Fatal("cold solve reported zero generations")
+	}
+
+	warm, err := r.LocateSession(ctx, "", sid, q.kps, q.intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("track_warm").Value(); got != 1 {
+		t.Fatalf("track_warm = %d after second query, want 1", got)
+	}
+	if got := reg.Counter("track_prior_rejected").Value(); got != 0 {
+		t.Fatalf("track_prior_rejected = %d, want 0", got)
+	}
+	if warm.Generations > cold.Generations {
+		t.Fatalf("warm solve used %d generations, cold %d", warm.Generations, cold.Generations)
+	}
+	if d := warm.Position.Dist(cold.Position); d > 0.5 {
+		t.Fatalf("warm pose drifted %.3f m from cold pose", d)
+	}
+	if reg.Gauge("track_sessions").Value() != 1 {
+		t.Fatalf("track_sessions = %d, want 1", reg.Gauge("track_sessions").Value())
+	}
+	if h := reg.Histogram("track_prior_error_mm"); h.Count() != 1 {
+		t.Fatalf("track_prior_error_mm count = %d, want 1", h.Count())
+	}
+}
+
+// TestLocateSessionZeroSidBitIdentical: sid == 0 is the plain Locate path
+// — bit-identical result, and no session state is created.
+func TestLocateSessionZeroSidBitIdentical(t *testing.T) {
+	r, _, _, q := trackFixture(t)
+	ctx := context.Background()
+	plain, errP := r.Locate(ctx, "", q.kps, q.intr)
+	viaSession, errS := r.LocateSession(ctx, "", 0, q.kps, q.intr)
+	requireBitIdentical(t, plain, errP, viaSession, errS)
+	if n := r.trackState().tb.Len(); n != 0 {
+		t.Fatalf("sid 0 created %d session(s)", n)
+	}
+}
+
+// TestLocateSessionRejectedPriorBitIdentical is the headline fallback
+// guarantee: when the residual gate rejects the prior, the cold re-solve
+// over the same candidates must reproduce the session-less Locate answer
+// down to the float bits.
+func TestLocateSessionRejectedPriorBitIdentical(t *testing.T) {
+	r, reg, _, q := trackFixture(t)
+	tcfg := track.DefaultConfig()
+	// Unreachably tight floor and factor: every prior is rejected.
+	tcfg.AcceptResidual = 1e-12
+	tcfg.AcceptFactor = 1e-9
+	r.ConfigureTracking(tcfg)
+	ctx := context.Background()
+	const sid = 31
+
+	if _, err := r.LocateSession(ctx, "", sid, q.kps, q.intr); err != nil {
+		t.Fatal(err)
+	}
+	fell, errS := r.LocateSession(ctx, "", sid, q.kps, q.intr)
+	plain, errP := r.Locate(ctx, "", q.kps, q.intr)
+	requireBitIdentical(t, plain, errP, fell, errS)
+	if got := reg.Counter("track_prior_rejected").Value(); got != 1 {
+		t.Fatalf("track_prior_rejected = %d, want 1", got)
+	}
+	if got := reg.Counter("track_warm").Value(); got != 0 {
+		t.Fatalf("track_warm = %d, want 0", got)
+	}
+}
+
+// TestLocateSessionShardedWarm runs the same session flow through the
+// scatter-gather path of a 4-shard venue: warm acceptance on the repeat
+// query, and bit-identity with the unsharded database on prior rejection.
+func TestLocateSessionShardedWarm(t *testing.T) {
+	cfg := routerTestConfig()
+	ms, kps, intr := syntheticCorpus(7, 160, 1200, 200)
+	single, r, venueName := shardedFixture(t, cfg, 4, ms, 311)
+	reg := obs.NewRegistry()
+	r.instrument(reg)
+	ctx := context.Background()
+	const sid = 55
+
+	cold, err := r.LocateSession(ctx, venueName, sid, kps, intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.LocateSession(ctx, venueName, sid, kps, intr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("track_warm").Value(); got != 1 {
+		t.Fatalf("track_warm = %d, want 1", got)
+	}
+	if warm.Generations > cold.Generations {
+		t.Fatalf("sharded warm solve used %d generations, cold %d", warm.Generations, cold.Generations)
+	}
+
+	// Rejected prior on the sharded path must still equal the unsharded
+	// cold answer bit for bit (the existing scatter-gather guarantee).
+	tcfg := track.DefaultConfig()
+	tcfg.AcceptResidual = 1e-12
+	tcfg.AcceptFactor = 1e-9
+	r.ConfigureTracking(tcfg)
+	if _, err := r.LocateSession(ctx, venueName, sid, kps, intr); err != nil {
+		t.Fatal(err)
+	}
+	fell, errS := r.LocateSession(ctx, venueName, sid, kps, intr)
+	rs, errR := single.Locate(ctx, kps, intr)
+	requireBitIdentical(t, rs, errR, fell, errS)
+}
+
+// TestSessionVenueScoping: the same session ID in two venues keeps two
+// independent histories (the table key folds the venue name in).
+func TestSessionVenueScoping(t *testing.T) {
+	if k1, k2 := sessionKey("venue-a", 9), sessionKey("venue-b", 9); k1 == k2 {
+		t.Fatal("session keys collide across venues")
+	}
+	if k := sessionKey("", 9); k != 9 {
+		t.Fatalf("default-venue key = %d, want the raw sid", k)
+	}
+}
+
+// TestEndSessionForgets: EndSession drops the tracked state so the next
+// query of the same sid is cold again.
+func TestEndSessionForgets(t *testing.T) {
+	r, reg, _, q := trackFixture(t)
+	ctx := context.Background()
+	const sid = 12
+	if _, err := r.LocateSession(ctx, "", sid, q.kps, q.intr); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.trackState().tb.Len(); n != 1 {
+		t.Fatalf("Len = %d after first session query, want 1", n)
+	}
+	r.EndSession("", sid)
+	if n := r.trackState().tb.Len(); n != 0 {
+		t.Fatalf("Len = %d after EndSession, want 0", n)
+	}
+	if _, err := r.LocateSession(ctx, "", sid, q.kps, q.intr); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("track_cold").Value(); got != 2 {
+		t.Fatalf("track_cold = %d, want 2 (both queries cold)", got)
+	}
+	r.EndSession("", 0) // no-op
+}
+
+// TestWarmPoseOptionsLayering pins what the warm option set changes — and,
+// by elimination, what it leaves alone.
+func TestWarmPoseOptionsLayering(t *testing.T) {
+	cold := routerTestConfig().Pose
+	p := track.Prior{Pos: mathx.Vec3{X: 1, Y: 2, Z: 3}, Radius: 0.75}
+	tcfg := track.DefaultConfig()
+	w := warmPoseOptions(cold, p, tcfg)
+	if w.PriorPos != p.Pos || w.PriorRadius != p.Radius {
+		t.Fatalf("prior not threaded: %+v", w)
+	}
+	if w.MinResidual != tcfg.WarmMinResidual {
+		t.Fatalf("MinResidual = %v, want %v", w.MinResidual, tcfg.WarmMinResidual)
+	}
+	if w.Tol != tcfg.WarmTol {
+		t.Fatalf("Tol = %v, want the warm override %v", w.Tol, tcfg.WarmTol)
+	}
+	w.PriorPos, w.PriorRadius, w.MinResidual, w.Tol = cold.PriorPos, cold.PriorRadius, cold.MinResidual, cold.Tol
+	if w != cold {
+		t.Fatalf("warm options changed more than the prior fields:\n cold: %+v\n warm: %+v", cold, w)
+	}
+
+	// WarmTol zero (not defaulted — e.g. a hand-built Config) keeps the
+	// cold tolerance.
+	tcfg.WarmTol = 0
+	if w := warmPoseOptions(cold, p, tcfg); w.Tol != cold.Tol {
+		t.Fatalf("Tol = %v with WarmTol 0, want cold's %v", w.Tol, cold.Tol)
+	}
+}

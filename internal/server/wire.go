@@ -51,6 +51,11 @@ const (
 	msgPing               byte = 26 // liveness probe, no payload
 	msgPong               byte = 27
 
+	// Continuous localization & incremental refresh (protocol v2, additive).
+	msgSessionEx     byte = 28 // [u64 session id][inner type][inner payload]
+	msgGetDiff2      byte = 29 // like msgGetDiff, but the server may answer msgDiffUnchanged
+	msgDiffUnchanged byte = 30 // [u64 inserts] — client's oracle is already current
+
 	msgError byte = 0x7f
 )
 
@@ -160,6 +165,48 @@ func unwrapVenue(payload []byte) (venue string, typ byte, inner []byte, err erro
 		return "", 0, nil, fmt.Errorf("server: invalid venue name %q", venue)
 	}
 	return venue, payload[1+n], payload[2+n:], nil
+}
+
+// Session envelope (protocol v2, additive).
+//
+// A client localizing continuously wraps its queries in msgSessionEx — an
+// eight-byte session ID followed by the inner request — and the server
+// threads the ID to the tracking subsystem (internal/track) so repeat
+// solves warm-start from the session's motion-model prior. Nesting order
+// extends the existing chain: deadline (msgRequestEx, outermost) → venue
+// (msgVenueEx) → session (msgSessionEx) → plain request. The envelope is a
+// pure optimization: a server predating it rejects the unknown type, the
+// client marks the connection session-incapable (sticky) and silently
+// resends without the envelope — unlike the venue envelope, dropping it
+// never changes which data answers the query, only how fast. Session ID 0
+// is reserved as "no session" and never encoded.
+//
+// Oracle refresh fast path: msgGetDiff2 carries the same payload as
+// msgGetDiff (the client's oracle insert count), but a server that sees
+// the count already matches its live oracle answers with a tiny
+// msgDiffUnchanged ack instead of a diff blob — insert counts are
+// monotonic, so equal counts mean an unchanged oracle. Against an old
+// server the client falls back (sticky) to plain msgGetDiff.
+
+// wrapSession builds a msgSessionEx payload around an inner request.
+func wrapSession(sid uint64, typ byte, payload []byte) []byte {
+	buf := make([]byte, 9+len(payload))
+	binary.LittleEndian.PutUint64(buf, sid)
+	buf[8] = typ
+	copy(buf[9:], payload)
+	return buf
+}
+
+// unwrapSession parses a msgSessionEx payload.
+func unwrapSession(payload []byte) (sid uint64, typ byte, inner []byte, err error) {
+	if len(payload) < 9 {
+		return 0, 0, nil, errors.New("server: short session envelope")
+	}
+	sid = binary.LittleEndian.Uint64(payload)
+	if sid == 0 {
+		return 0, 0, nil, errors.New("server: session id 0 is reserved")
+	}
+	return sid, payload[8], payload[9:], nil
 }
 
 // maxFrameSize bounds a single protocol frame (oracle blobs dominate).

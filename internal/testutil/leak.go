@@ -17,6 +17,7 @@ var leakPrefixes = []string{
 	"visualprint/internal/server.",
 	"visualprint/internal/store.",
 	"visualprint/internal/obs.",
+	"visualprint/internal/track.",
 }
 
 // CheckGoroutines registers a cleanup that fails the test if any

@@ -1,0 +1,87 @@
+package track
+
+// Session-table churn under the race detector: concurrent create, locate
+// (predict), observe, forget and TTL expiry over a deliberately tiny table
+// so capacity eviction and expiry race with reads on the same shards.
+// `make chaos` runs this full-length; the normal suite (and scripts/
+// verify.sh) runs the -short round.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"visualprint/internal/mathx"
+	"visualprint/internal/obs"
+	"visualprint/internal/testutil"
+)
+
+// TestChaosTrackChurn hammers one small table from many goroutines. The
+// assertions are structural — the table must stay within capacity, the
+// sessions gauge must agree with Len, and nothing may deadlock or race.
+func TestChaosTrackChurn(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	reg := obs.NewRegistry()
+	const capacity = 64
+	tb := New(Config{
+		Capacity: capacity,
+		Shards:   4,
+		TTL:      2 * time.Millisecond,
+		History:  3,
+	})
+	tb.Instrument(reg)
+
+	workers, opsPer := 8, 4000
+	if testing.Short() {
+		workers, opsPer = 4, 800
+	}
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	var virtual atomic.Int64 // virtual nanos so expiry is deterministic-ish but racy
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				// 96 IDs over a 64-capacity table: constant create/evict churn.
+				id := uint64(w*13+i) % 96
+				now := base.Add(time.Duration(virtual.Add(50_000))) // 50 µs per op
+				switch i % 7 {
+				case 0, 1, 2:
+					tb.Observe(id, mathx.Vec3{X: float64(i % 10), Y: 1.5, Z: float64(w)}, 0, 0.01, now)
+				case 3, 4:
+					if p, ok := tb.Predict(id, now); ok && p.Radius <= 0 {
+						t.Errorf("prediction with non-positive radius %v", p.Radius)
+						return
+					}
+				case 5:
+					tb.Forget(id)
+				case 6:
+					tb.ExpireIdle(now)
+				}
+				if n := tb.Len(); n > capacity {
+					t.Errorf("table grew to %d sessions (capacity %d)", n, capacity)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := tb.Len(); n > capacity {
+		t.Fatalf("final Len %d exceeds capacity %d", n, capacity)
+	}
+	if g, n := reg.Gauge("track_sessions").Value(), tb.Len(); g != int64(n) {
+		t.Fatalf("track_sessions gauge %d disagrees with Len %d", g, n)
+	}
+	// Everything idles out: a full sweep far in the future must empty the
+	// table and zero the gauge.
+	tb.ExpireIdle(base.Add(time.Hour))
+	if n := tb.Len(); n != 0 {
+		t.Fatalf("%d sessions survived a full expiry sweep", n)
+	}
+	if g := reg.Gauge("track_sessions").Value(); g != 0 {
+		t.Fatalf("track_sessions gauge %d after full expiry, want 0", g)
+	}
+}

@@ -1,0 +1,189 @@
+package track
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"visualprint/internal/mathx"
+	"visualprint/internal/obs"
+	"visualprint/internal/testutil"
+)
+
+// TestMain sweeps for leaked goroutines after the whole package (the table
+// must run no background loops — eviction is amortized inline).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := testutil.VerifyNone(); err != nil {
+		os.Stderr.WriteString(err.Error() + "\n")
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+var t0 = time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+
+func TestPredictUnknownSession(t *testing.T) {
+	tb := New(Config{})
+	if _, ok := tb.Predict(42, t0); ok {
+		t.Fatal("prediction for a never-observed session")
+	}
+}
+
+func TestSingleFixHoldsPosition(t *testing.T) {
+	tb := New(Config{})
+	pos := mathx.Vec3{X: 3, Y: 1.5, Z: 4}
+	tb.Observe(7, pos, 0.25, 0.01, t0)
+	p, ok := tb.Predict(7, t0.Add(100*time.Millisecond))
+	if !ok {
+		t.Fatal("no prediction after one fix")
+	}
+	if p.Pos != pos {
+		t.Fatalf("single-fix prediction moved: %+v != %+v", p.Pos, pos)
+	}
+	if p.Yaw != 0.25 {
+		t.Fatalf("yaw %v != 0.25", p.Yaw)
+	}
+	if p.Radius < tb.Config().BaseRadius {
+		t.Fatalf("radius %v below base %v", p.Radius, tb.Config().BaseRadius)
+	}
+}
+
+func TestConstantVelocityExtrapolation(t *testing.T) {
+	tb := New(Config{})
+	// 1 m/s along +X: fixes at t0 and t0+1s, predict at t0+1.5s.
+	tb.Observe(9, mathx.Vec3{X: 1, Y: 1.5, Z: 2}, 0, 0.01, t0)
+	tb.Observe(9, mathx.Vec3{X: 2, Y: 1.5, Z: 2}, 0, 0.01, t0.Add(time.Second))
+	p, ok := tb.Predict(9, t0.Add(1500*time.Millisecond))
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	want := mathx.Vec3{X: 2.5, Y: 1.5, Z: 2}
+	if p.Pos.Dist(want) > 1e-9 {
+		t.Fatalf("predicted %+v, want %+v", p.Pos, want)
+	}
+	// A faster walk at the same age must widen the radius.
+	tb.Observe(11, mathx.Vec3{X: 1, Y: 1.5, Z: 2}, 0, 0.01, t0)
+	tb.Observe(11, mathx.Vec3{X: 3.5, Y: 1.5, Z: 2}, 0, 0.01, t0.Add(time.Second))
+	q, ok := tb.Predict(11, t0.Add(1500*time.Millisecond))
+	if !ok {
+		t.Fatal("no prediction for fast walker")
+	}
+	if q.Radius <= p.Radius {
+		t.Fatalf("faster motion did not widen radius: %v <= %v", q.Radius, p.Radius)
+	}
+}
+
+func TestSpeedClampAndRadiusCap(t *testing.T) {
+	cfg := DefaultConfig()
+	tb := New(Config{})
+	// A 100 m jump in 100 ms — corrupt or teleporting. Speed clamps to
+	// MaxSpeed, so extrapolation stays bounded.
+	tb.Observe(5, mathx.Vec3{}, 0, 0.01, t0)
+	tb.Observe(5, mathx.Vec3{X: 100}, 0, 0.01, t0.Add(100*time.Millisecond))
+	p, ok := tb.Predict(5, t0.Add(1100*time.Millisecond))
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	maxDrift := cfg.MaxSpeed*1.0 + 1e-9
+	if d := p.Pos.Dist(mathx.Vec3{X: 100}); d > maxDrift {
+		t.Fatalf("clamped extrapolation drifted %v m (> %v)", d, maxDrift)
+	}
+	if p.Radius > cfg.MaxRadius {
+		t.Fatalf("radius %v above cap %v", p.Radius, cfg.MaxRadius)
+	}
+}
+
+func TestPredictionAgeCutoff(t *testing.T) {
+	tb := New(Config{})
+	tb.Observe(3, mathx.Vec3{X: 1}, 0, 0.01, t0)
+	if _, ok := tb.Predict(3, t0.Add(tb.Config().MaxPredictAge+time.Millisecond)); ok {
+		t.Fatal("prediction from a stale fix")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	reg := obs.NewRegistry()
+	tb := New(Config{TTL: time.Second})
+	tb.Instrument(reg)
+	tb.Observe(1, mathx.Vec3{}, 0, 0.01, t0)
+	tb.Observe(2, mathx.Vec3{}, 0, 0.01, t0)
+	if n := tb.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	// Access after TTL: the expired session is dropped, not predicted.
+	if _, ok := tb.Predict(1, t0.Add(2*time.Second)); ok {
+		t.Fatal("prediction from an expired session")
+	}
+	if n := tb.ExpireIdle(t0.Add(2 * time.Second)); n != 1 {
+		t.Fatalf("ExpireIdle removed %d, want 1", n)
+	}
+	if n := tb.Len(); n != 0 {
+		t.Fatalf("Len = %d after expiry, want 0", n)
+	}
+	if v := reg.Gauge("track_sessions").Value(); v != 0 {
+		t.Fatalf("track_sessions gauge %d, want 0", v)
+	}
+	if v := reg.Counter("track_expired").Value(); v != 2 {
+		t.Fatalf("track_expired %d, want 2", v)
+	}
+}
+
+func TestCapacityEvictsLRU(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Single shard, capacity 4: the 5th session evicts the least recent.
+	tb := New(Config{Capacity: 4, Shards: 1})
+	tb.Instrument(reg)
+	for id := uint64(1); id <= 4; id++ {
+		tb.Observe(id, mathx.Vec3{}, 0, 0.01, t0.Add(time.Duration(id)*time.Millisecond))
+	}
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, ok := tb.Predict(1, t0.Add(10*time.Millisecond)); !ok {
+		t.Fatal("session 1 missing")
+	}
+	tb.Observe(5, mathx.Vec3{}, 0, 0.01, t0.Add(20*time.Millisecond))
+	if n := tb.Len(); n != 4 {
+		t.Fatalf("Len = %d, want 4", n)
+	}
+	if _, ok := tb.Predict(2, t0.Add(21*time.Millisecond)); ok {
+		t.Fatal("LRU session 2 survived eviction")
+	}
+	if _, ok := tb.Predict(1, t0.Add(21*time.Millisecond)); !ok {
+		t.Fatal("recently-touched session 1 was evicted")
+	}
+	if v := reg.Counter("track_evicted").Value(); v != 1 {
+		t.Fatalf("track_evicted %d, want 1", v)
+	}
+}
+
+func TestHistoryRingWraps(t *testing.T) {
+	tb := New(Config{History: 4})
+	// Walk +X at 1 m/s for 10 fixes; the ring keeps the last 4, so the
+	// velocity estimate uses fixes 9 and 10.
+	for i := 0; i < 10; i++ {
+		tb.Observe(8, mathx.Vec3{X: float64(i)}, 0, 0.01, t0.Add(time.Duration(i)*time.Second))
+	}
+	p, ok := tb.Predict(8, t0.Add(9500*time.Millisecond))
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if math.Abs(p.Pos.X-9.5) > 1e-9 {
+		t.Fatalf("predicted X %v, want 9.5", p.Pos.X)
+	}
+}
+
+func TestForget(t *testing.T) {
+	tb := New(Config{})
+	tb.Observe(6, mathx.Vec3{}, 0, 0.01, t0)
+	tb.Forget(6)
+	if _, ok := tb.Predict(6, t0); ok {
+		t.Fatal("forgotten session still predicts")
+	}
+	tb.Forget(6) // idempotent
+	if n := tb.Len(); n != 0 {
+		t.Fatalf("Len = %d, want 0", n)
+	}
+}

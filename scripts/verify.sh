@@ -20,11 +20,11 @@ echo "== go test -race =="
 go test -race ./...
 echo "== chaos / fault-injection (race) =="
 # The request-lifecycle suite (deadline propagation, cancel, shed, drain),
-# the netsim fault-injection run, and the replication fleet suite
-# (failover preserving acked ingests, full-sync surviving feed loss).
-# Already part of the full -race pass above; re-run un-cached and
-# verbose-on-failure so a flake names itself.
+# the netsim fault-injection run, the replication fleet suite (failover
+# preserving acked ingests, full-sync surviving feed loss), and the
+# session-table churn/expiry hammer. Already part of the full -race pass
+# above; re-run un-cached and verbose-on-failure so a flake names itself.
 go test -race -count=1 -short -run \
 	'TestChaos|TestShutdown|TestShedUnderBurst|TestCancelFreesServerSlot|TestDeadlineEnforcedServerSide|TestProxy' \
-	./internal/server/ ./internal/netsim/ ./internal/repl/
+	./internal/server/ ./internal/netsim/ ./internal/repl/ ./internal/track/
 echo "verify: OK"

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"visualprint/internal/repl"
 	"visualprint/internal/server"
 	"visualprint/internal/sift"
+	"visualprint/internal/track"
 )
 
 // Configuration substrate types, re-exported so ServerConfig is expressible
@@ -453,6 +455,41 @@ func (s *Server) Locate(ctx context.Context, venue string, kps []Keypoint, intr 
 	return s.router.Locate(ctx, venue, kps, intr)
 }
 
+// TrackConfig tunes the server-side continuous-localization session
+// table: capacity and TTL of the session slots, the constant-velocity
+// motion model's radius growth, and the residual gates deciding when a
+// warm-started solve is accepted versus re-run cold.
+type TrackConfig = track.Config
+
+// DefaultTrackConfig returns the session-tracking configuration servers
+// start with. Zero fields in a custom config fall back to these values.
+func DefaultTrackConfig() TrackConfig { return track.DefaultConfig() }
+
+// ConfigureTracking replaces the server's continuous-localization session
+// configuration. Existing sessions are dropped (their next query solves
+// cold and re-seeds); in-flight session queries finish against the old
+// table. Safe to call on a live server.
+func (s *Server) ConfigureTracking(cfg TrackConfig) { s.router.ConfigureTracking(cfg) }
+
+// LocateSession is Locate within a continuous localization session: the
+// non-zero sid keys server-side tracking state, letting repeat queries
+// from the same moving device warm-start the pose solver from a motion
+// prior. Results failing the residual acceptance gate are transparently
+// re-solved cold, so a session query is never less accurate than Locate —
+// and with sid 0 it is exactly Locate, bit for bit. Sessions are soft
+// state (TTL- and capacity-evicted); callers just keep querying.
+func (s *Server) LocateSession(ctx context.Context, venue string, sid uint64, kps []Keypoint, intr Intrinsics) (LocateResult, error) {
+	return s.router.LocateSession(ctx, venue, sid, kps, intr)
+}
+
+// EndSession drops a session's tracking state eagerly (TTL eviction
+// reclaims abandoned sessions anyway). No-op for sid 0 or unknown IDs.
+func (s *Server) EndSession(venue string, sid uint64) { s.router.EndSession(venue, sid) }
+
+// SessionHandle pins a client's queries to one continuous localization
+// session; build one with Client.Session or VenueHandle.Session.
+type SessionHandle = server.Session
+
 // VenueOracle returns a venue's uniqueness oracle for in-process keypoint
 // filtering. The default venue ("") shares the live oracle object (the
 // in-process equivalent of FetchOracle); a named venue's oracle is
@@ -698,7 +735,37 @@ type Pipeline struct {
 	// any extraction work (0 disables the check). The client app performs
 	// this quick check to skip motion-blurred frames.
 	BlurThreshold float64
+
+	// sessionID, when non-zero, threads every Localize call through the
+	// server's continuous-localization session keyed by it (StartSession /
+	// EndSession manage it).
+	sessionID uint64
 }
+
+// StartSession begins a continuous localization session: subsequent
+// Localize calls carry a shared session ID, so the server warm-starts
+// each pose solve from the device's tracked trajectory. Starting a new
+// session while one is active ends the old one first.
+func (p *Pipeline) StartSession() {
+	if p.sessionID != 0 {
+		p.EndSession()
+	}
+	for p.sessionID == 0 {
+		p.sessionID = rand.Uint64()
+	}
+}
+
+// EndSession ends the active session (if any): the server's tracking
+// state is dropped and subsequent Localize calls solve cold.
+func (p *Pipeline) EndSession() {
+	if p.sessionID != 0 {
+		p.Server.EndSession(p.Venue, p.sessionID)
+		p.sessionID = 0
+	}
+}
+
+// SessionID returns the active session's ID, or 0 when none is active.
+func (p *Pipeline) SessionID() uint64 { return p.sessionID }
 
 // ErrFrameBlurred is returned by LocalizeFrame for frames rejected by the
 // blur gate.
@@ -806,7 +873,7 @@ func (p *Pipeline) LocalizeFrameContext(ctx context.Context, fr *Frame) (LocateR
 		UploadedKeypoints:  len(sel),
 		UploadBytes:        QueryUploadBytes(len(sel)),
 	}
-	res, err := p.Server.Locate(ctx, p.Venue, sel, IntrinsicsOf(fr.Cam))
+	res, err := p.Server.LocateSession(ctx, p.Venue, p.sessionID, sel, IntrinsicsOf(fr.Cam))
 	if err != nil {
 		return LocateResult{}, stats, err
 	}
