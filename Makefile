@@ -1,7 +1,7 @@
 # VisualPrint build/verify targets.
 
 .PHONY: build test verify chaos bench bench-short bench-check bench-cores \
-	bench-track bench-track-short clean
+	bench-track bench-track-short bench-oracle clean
 
 build:
 	go build ./...
@@ -35,6 +35,7 @@ bench:
 	go test -run NONE -bench . -benchtime 1x .
 	go run ./cmd/vpbench -exp locate -scale full -cores 1,2,4 \
 		-locate-json BENCH_locate.json
+	go run ./cmd/vpbench -exp oracle -scale full -oracle-json BENCH_oracle.json
 
 # CI-sized locate benchmark: same schema and code paths at ~10x less
 # compute, keeping BENCH_locate.json generation exercised on every push.
@@ -52,6 +53,8 @@ bench-check:
 		-locate-json bench_current.json \
 		-baseline BENCH_locate_short.json -max-regress 2.0 \
 		-cores 1,2 -cores-gate 1.5
+	go run ./cmd/vpbench -exp oracle -scale quick \
+		-oracle-json bench_oracle_current.json -oracle-gate 5
 
 # Continuous-localization walk benchmark: the standard 24-frame walk
 # solved cold (session-less) and warm (one tracked session), comparing DE
@@ -64,6 +67,13 @@ bench-track:
 # CI-sized walk (smaller corpus, 10 frames), same schema and code paths.
 bench-track-short:
 	go run ./cmd/vpbench -exp track -scale quick -track-json BENCH_track_short.json
+
+# Oracle distribution downlink benchmark alone: bytes-per-client-per-update
+# for versioned delta sync vs pre-epoch full refetch across wardrive update
+# sizes, written to BENCH_oracle.json. The acceptance line is >= 5x
+# reduction at the smallest update size (gated by bench-check).
+bench-oracle:
+	go run ./cmd/vpbench -exp oracle -scale full -oracle-json BENCH_oracle.json
 
 # QPS-vs-cores sweep alone, at full workload scale: GOMAXPROCS pinned to
 # 1, 2 and 4 per point (plus 8 when the host has that many CPUs — edit the

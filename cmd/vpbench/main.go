@@ -7,10 +7,12 @@
 //	vpbench -scale full -csv out/   # paper-scale corpus, CSV files
 //	vpbench -exp locate -scale full -locate-json BENCH_locate.json
 //	vpbench -exp track -scale full -track-json BENCH_track.json
+//	vpbench -exp oracle -scale full -oracle-json BENCH_oracle.json
 //	vpbench -exp locate -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment ids: fig02 fig03 fig05 fig06 fig13 fig14 fig15 fig16 fig18
-// fig19 fig20 extra-latency throughput locate track takeaways ablations.
+// fig19 fig20 extra-latency throughput locate track oracle takeaways
+// ablations.
 package main
 
 import (
@@ -34,6 +36,8 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
 	locateJSON := flag.String("locate-json", "", "file to write the locate benchmark result as JSON (BENCH_locate.json)")
 	trackJSON := flag.String("track-json", "", "file to write the walk-trajectory tracking benchmark result as JSON (BENCH_track.json)")
+	oracleJSON := flag.String("oracle-json", "", "file to write the oracle distribution benchmark result as JSON (BENCH_oracle.json)")
+	oracleGate := flag.Float64("oracle-gate", 0, "with -exp oracle: fail (exit 1) if the smallest-batch bytes-per-update reduction of versioned sync vs full refetch falls below this factor")
 	obsOn := flag.Bool("obs", false, "enable observability instrumentation on the benchmark database (measures tracer overhead)")
 	locateShards := flag.Int("locate-shards", 0, "run the locate benchmark against a venue sharded this many ways (0/1: direct single database; >1 measures scatter-gather routing overhead)")
 	baseline := flag.String("baseline", "", "baseline locate JSON (e.g. BENCH_locate_short.json) to compare ns/op against")
@@ -208,6 +212,37 @@ func main() {
 		}
 	}
 
+	if all || wanted["oracle"] {
+		// quick scale runs the CI-sized workload (behind `make bench-check`);
+		// full scale runs the standard 4k-mapping venue.
+		cfg := bench.ShortOracleWorkload()
+		if *scaleName == "full" {
+			cfg = bench.DefaultOracleWorkload()
+		}
+		res, err := bench.RunOracleBenchmark(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oracle: %v\n", err)
+			os.Exit(1)
+		}
+		printOracle(res)
+		if *oracleJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*oracleJSON, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oracle-json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *oracleGate > 0 {
+			if err := checkOracleGate(*oracleGate, res); err != nil {
+				fmt.Fprintf(os.Stderr, "oracle gate: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if all || wanted["ablations"] {
 		for _, f := range []func() (*bench.Experiment, error){
 			bench.AblationVerification,
@@ -317,6 +352,39 @@ func checkRegression(path string, maxRegress float64, res *bench.LocateBenchResu
 		return fmt.Errorf("ns/op regressed %.2fx over baseline %s (limit %.2fx)", ratio, path, maxRegress)
 	}
 	return nil
+}
+
+// checkOracleGate enforces the downlink-saving floor: at the smallest
+// measured update size, versioned sync must cost at least `factor` times
+// fewer bytes per client per update than full refetch.
+func checkOracleGate(factor float64, res *bench.OracleBenchResult) error {
+	if len(res.Points) == 0 {
+		return fmt.Errorf("no measured points")
+	}
+	p := res.Points[0]
+	for _, q := range res.Points[1:] {
+		if q.BatchMappings < p.BatchMappings {
+			p = q
+		}
+	}
+	fmt.Printf("  oracle gate: %d-mapping updates cost %.0f B vs %.0f B full = %.1fx reduction (floor %.1fx)\n",
+		p.BatchMappings, p.DeltaBytesPerUpdate, p.FullBytesPerUpdate, p.ReductionX, factor)
+	if p.ReductionX < factor {
+		return fmt.Errorf("smallest-batch reduction %.2fx below floor %.2fx", p.ReductionX, factor)
+	}
+	return nil
+}
+
+// printOracle prints the oracle distribution downlink summary.
+func printOracle(r *bench.OracleBenchResult) {
+	fmt.Printf("== oracle: bytes-per-client-per-update, versioned sync vs full refetch ==\n")
+	fmt.Printf("  base corpus %d mappings, full blob %d B (%s)\n",
+		r.Workload.BaseMappings, r.FullBlobBytes, r.Host)
+	for _, p := range r.Points {
+		fmt.Printf("  %4d-mapping updates: %8.0f B/update delta  %8.0f B/update full  %6.1fx reduction\n",
+			p.BatchMappings, p.DeltaBytesPerUpdate, p.FullBytesPerUpdate, p.ReductionX)
+	}
+	fmt.Println()
 }
 
 // printTrack prints the walk-trajectory (continuous localization) summary.

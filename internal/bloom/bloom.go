@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mathbits "math/bits"
 
 	"visualprint/internal/hash"
 )
@@ -440,6 +441,80 @@ func (f *Filter) ApplyDiffWords(diff []uint64) error {
 	}
 	for i := range diff {
 		f.data[i] ^= diff[i]
+	}
+	return nil
+}
+
+// Counter returns the value of counter i — the cell-level read used by the
+// odelta sparse encoder.
+func (c *Counting) Counter(i uint64) uint32 { return c.counterAt(i) }
+
+// SetCounter overwrites counter i — the cell-level write the odelta decoder
+// uses to replay a sparse delta (records carry absolute new values, not
+// increments, so replay is idempotent).
+func (c *Counting) SetCounter(i uint64, v uint32) { c.setCounterAt(i, v) }
+
+// SetInserts overwrites the insert count; odelta replay sets it to the
+// delta's recorded post-state so a reconstructed filter serializes
+// byte-identically to the original.
+func (c *Counting) SetInserts(n uint64) { c.inserts = n }
+
+// DiffCells calls fn(i, newValue) for every counter whose value differs
+// between old (an earlier snapshot: same n, bits, k, seed) and c, in
+// ascending index order. The scan is word-granular — counters only ever
+// increment, so after a small ingest batch almost every packed word is
+// unchanged and is skipped with one comparison.
+func (c *Counting) DiffCells(old *Counting, fn func(i uint64, v uint32)) error {
+	if old.n != c.n || old.bits != c.bits || old.k != c.k || old.seed != c.seed {
+		return errors.New("bloom: diff between incompatible counting filters")
+	}
+	// lastDone tracks the highest counter index already emitted, so a
+	// counter straddling two differing words is reported once.
+	lastDone := int64(-1)
+	for w := range c.data {
+		if c.data[w] == old.data[w] {
+			continue
+		}
+		// Counter indices overlapping word w.
+		first := uint64(w) * 64 / uint64(c.bits)
+		last := (uint64(w)*64 + 63) / uint64(c.bits)
+		if last >= c.n {
+			last = c.n - 1
+		}
+		for i := first; i <= last; i++ {
+			if int64(i) <= lastDone {
+				continue
+			}
+			nv := c.counterAt(i)
+			if nv != old.counterAt(i) {
+				fn(i, nv)
+			}
+			lastDone = int64(i)
+		}
+	}
+	return nil
+}
+
+// SetBit sets bit i — the decoder-side write for odelta's verify-filter
+// deltas (bits are only ever set, so deltas are lists of newly-set bits).
+func (f *Filter) SetBit(i uint64) { f.data[i/64] |= 1 << (i % 64) }
+
+// NumBits returns the filter's bit count m.
+func (f *Filter) NumBits() uint64 { return f.m }
+
+// DiffBits calls fn(i) for every bit set in f but not in old (same m, k,
+// seed), in ascending order. Binary Bloom bits are monotone, so this is the
+// complete delta between the two versions.
+func (f *Filter) DiffBits(old *Filter, fn func(i uint64)) error {
+	if old.m != f.m || old.k != f.k || old.seed != f.seed {
+		return errors.New("bloom: diff between incompatible filters")
+	}
+	for w := range f.data {
+		x := f.data[w] &^ old.data[w]
+		for x != 0 {
+			fn(uint64(w)*64 + uint64(mathbits.TrailingZeros64(x)))
+			x &= x - 1
+		}
 	}
 	return nil
 }

@@ -181,6 +181,22 @@ func (o *Oracle) Params() Params { return o.p }
 // Inserts returns the number of descriptors inserted.
 func (o *Oracle) Inserts() uint64 { return o.inserts }
 
+// NumTables returns the number of primary counting filters (LSH.L).
+func (o *Oracle) NumTables() int { return len(o.primary) }
+
+// Table returns primary counting filter t. Mutating it through the
+// bloom-level cell writers is how odelta replays a sparse delta; all other
+// callers must treat it as read-only.
+func (o *Oracle) Table(t int) *bloom.Counting { return o.primary[t] }
+
+// Verify returns the verification filter, nil when VerifyBits is 0.
+func (o *Oracle) Verify() *bloom.Filter { return o.verify }
+
+// SetInserts overwrites the oracle-level insert count; odelta replay sets
+// it to the delta's recorded post-state so a reconstructed oracle
+// serializes byte-identically to the original.
+func (o *Oracle) SetInserts(n uint64) { o.inserts = n }
+
 // bucketBytes serializes a bucket coordinate for Bloom hashing.
 func bucketBytes(buf []byte, coords []int32) []byte {
 	buf = buf[:0]

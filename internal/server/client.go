@@ -39,8 +39,8 @@ type RetryPolicy struct {
 	MaxAttempts int
 	// BaseDelay is the backoff before the first retry. Each subsequent
 	// retry multiplies it by Multiplier (default 2), capped at MaxDelay.
-	BaseDelay time.Duration
-	MaxDelay  time.Duration
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
 	Multiplier float64
 	// Jitter randomizes each delay within ±(Jitter/2) of its nominal
 	// value, in [0, 1]; it decorrelates clients retrying a shared server.
@@ -182,10 +182,14 @@ type Client struct {
 	// answer from a session-less solve is equally correct, just costs the
 	// server more generations.
 	sessNo atomic.Bool
-	// diff2No tracks a server rejecting msgGetDiff2 (sticky). The fallback
-	// is the original msgGetDiff, which never short-circuits on an
-	// unchanged oracle but returns the same bytes otherwise.
-	diff2No atomic.Bool
+	// Capability probe record (see capability): per-connection-generation
+	// outcome bits for optional oracle-distribution requests, replacing the
+	// per-feature sticky booleans those requests used to carry. Guarded by
+	// mu; capGen names the generation the bits were probed on, so a
+	// reconnect (which may land on a different server binary) re-probes.
+	capGen   int
+	capKnown uint32
+	capHave  uint32
 
 	// writeMu serializes frame writes; for v1 it also pins FIFO
 	// registration to wire order. Reconnection swaps the conn under
@@ -199,7 +203,12 @@ type Client struct {
 	closed  bool                      // Close called; no further reconnects
 	pending map[uint32]chan rpcResult // v2 in-flight requests by ID
 	fifo    []chan rpcResult          // v1 in-flight requests in send order
-	readErr error                     // terminal demux error, sticky until reconnect
+	// subs routes server-initiated event frames (oracle subscriptions) by
+	// request ID. Unlike pending entries, a sub survives across frames and
+	// its channel is a latest-wins mailbox: epoch events are cumulative, so
+	// the demux drops the stale one rather than block on a slow watcher.
+	subs    map[uint32]chan rpcResult
+	readErr error // terminal demux error, sticky until reconnect
 
 	sent, received atomic.Int64
 }
@@ -209,6 +218,24 @@ type rpcResult struct {
 	typ     byte
 	payload []byte
 	err     error
+}
+
+// deliverLatest puts r into a capacity-1 subscription mailbox, displacing
+// any undelivered older result: epoch events carry the full latest version,
+// so the stale one is worthless the moment a newer one exists, and the
+// demux loop must never block on a slow watcher.
+func deliverLatest(ch chan rpcResult, r rpcResult) {
+	for {
+		select {
+		case ch <- r:
+			return
+		default:
+		}
+		select {
+		case <-ch:
+		default:
+		}
+	}
 }
 
 // NewClient wraps an established connection (TCP or net.Pipe), announcing
@@ -222,6 +249,7 @@ func NewClient(conn net.Conn, opts ...DialOption) *Client {
 	}
 	c := &Client{
 		conn: conn, pending: make(map[uint32]chan rpcResult),
+		subs:  make(map[uint32]chan rpcResult),
 		retry: cfg.retry, log: cfg.log, venue: cfg.venue,
 	}
 	c.deadlineOK.Store(true)
@@ -369,6 +397,7 @@ func (c *Client) demux(conn net.Conn, gen int) {
 			return
 		}
 		var ch chan rpcResult
+		sub := false
 		if c.v1 {
 			if len(c.fifo) > 0 {
 				ch = c.fifo[0]
@@ -376,10 +405,18 @@ func (c *Client) demux(conn net.Conn, gen int) {
 			}
 		} else {
 			ch = c.pending[id]
-			delete(c.pending, id)
+			if ch != nil {
+				delete(c.pending, id)
+			} else if sch, ok := c.subs[id]; ok {
+				ch, sub = sch, true
+			}
 		}
 		c.mu.Unlock()
-		if ch != nil {
+		switch {
+		case ch == nil:
+		case sub:
+			deliverLatest(ch, rpcResult{typ: typ, payload: payload})
+		default:
 			ch <- rpcResult{typ: typ, payload: payload} // buffered; never blocks
 		}
 	}
@@ -413,6 +450,10 @@ func (c *Client) failGen(err error, gen int) {
 		ch <- rpcResult{err: err}
 	}
 	c.fifo = nil
+	for id, ch := range c.subs {
+		delete(c.subs, id)
+		deliverLatest(ch, rpcResult{err: err})
+	}
 	c.mu.Unlock()
 }
 
@@ -571,6 +612,10 @@ func (c *Client) retarget(ctx context.Context, addr string) bool {
 		ch <- rpcResult{err: redirErr}
 	}
 	c.fifo = nil
+	for id, ch := range c.subs {
+		delete(c.subs, id)
+		deliverLatest(ch, rpcResult{err: redirErr})
+	}
 	c.conn = conn
 	c.gen++
 	gen := c.gen
@@ -613,6 +658,48 @@ func isUnknownTypeErr(err error, typ byte) bool {
 // would silently address the default venue — so the caller must decide.
 // Match with errors.Is.
 var ErrVenueUnsupported = errors.New("visualprint client: server does not support venue routing")
+
+// Capability bits probed against the connected server, one probe per bit
+// per connection generation. These fold the oracle-distribution fallback
+// ladder (msgGetOracle → msgGetDiff → msgGetDiff2 → msgOracleSync) into
+// one record: the first request of each kind doubles as the probe, its
+// unknown-type rejection (or success) is recorded, and later requests on
+// the same connection skip the dead round trip. A reconnect re-probes —
+// the redial may reach a different server binary mid-upgrade.
+const (
+	// capDiff2 — the msgGetDiff2 not-modified refresh fast path.
+	capDiff2 uint32 = 1 << iota
+	// capOracleSync — versioned oracle syncs and epoch subscriptions.
+	capOracleSync
+)
+
+// capability reports the probe outcome for one capability bit on the
+// current connection generation; known is false until the bit has been
+// probed on this generation (callers then try the optimistic request).
+func (c *Client) capability(bit uint32) (supported, known bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capGen != c.gen {
+		return false, false
+	}
+	return c.capHave&bit != 0, c.capKnown&bit != 0
+}
+
+// recordCapability stores a probe outcome for the current connection
+// generation, invalidating outcomes probed on earlier generations.
+func (c *Client) recordCapability(bit uint32, supported bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capGen != c.gen {
+		c.capGen, c.capKnown, c.capHave = c.gen, 0, 0
+	}
+	c.capKnown |= bit
+	if supported {
+		c.capHave |= bit
+	} else {
+		c.capHave &^= bit
+	}
+}
 
 // call sends one request and waits for its routed response. A non-empty
 // venue wraps the request in the msgVenueEx envelope; a context deadline
@@ -830,14 +917,24 @@ func (v Venue) Name() string { return v.name }
 
 // FetchOracle downloads the venue's uniqueness oracle (see
 // Client.FetchOracle).
+//
+// Deprecated: use OracleSync (see Client.FetchOracle).
 func (v Venue) FetchOracle(ctx context.Context) (*core.Oracle, int64, error) {
 	return v.c.fetchOracle(ctx, v.name)
 }
 
 // RefreshOracle updates a previously downloaded venue oracle (see
 // Client.RefreshOracle).
+//
+// Deprecated: use OracleSync (see Client.RefreshOracle).
 func (v Venue) RefreshOracle(ctx context.Context, o *core.Oracle) (*core.Oracle, int64, bool, error) {
 	return v.c.refreshOracle(ctx, v.name, o)
+}
+
+// OracleSync returns the venue's oracle-distribution handle (see
+// Client.OracleSync).
+func (v Venue) OracleSync() *OracleSync {
+	return &OracleSync{c: v.c, venue: v.name}
 }
 
 // Ingest uploads mappings into the venue, creating it on first upload (see
@@ -924,6 +1021,11 @@ func newSessionID() uint64 {
 
 // FetchOracle downloads the current uniqueness oracle. blobSize is the
 // compressed transfer size in bytes (the paper's ~10 MB download).
+//
+// Deprecated: use OracleSync, whose Sync both fetches and refreshes —
+// versioned, delta-compressed, and push-invalidated where the server
+// supports it. FetchOracle remains for callers that need the original
+// one-shot download; its wire behavior is unchanged against every server.
 func (c *Client) FetchOracle(ctx context.Context) (o *core.Oracle, blobSize int64, err error) {
 	return c.fetchOracle(ctx, c.venue)
 }
@@ -949,6 +1051,14 @@ func (c *Client) fetchOracle(ctx context.Context, venue string) (o *core.Oracle,
 // (typically a small fraction of the full blob); otherwise the oracle is
 // replaced wholesale. The returned oracle is o itself after an incremental
 // patch, or a fresh instance after a full refresh.
+//
+// Deprecated: use OracleSync. RefreshOracle identifies the held version by
+// insert count alone, which collides across compaction or re-ingest
+// histories — a server holding a different oracle with an equal count
+// answers "unchanged" and strands the client on stale state. OracleSync
+// compares (epoch, inserts) version identities instead, which cannot
+// collide. RefreshOracle remains for old callers; its wire behavior is
+// unchanged against every server.
 func (c *Client) RefreshOracle(ctx context.Context, o *core.Oracle) (updated *core.Oracle, transferBytes int64, incremental bool, err error) {
 	return c.refreshOracle(ctx, c.venue, o)
 }
@@ -959,16 +1069,22 @@ func (c *Client) refreshOracle(ctx context.Context, venue string, o *core.Oracle
 	// Prefer msgGetDiff2, whose not-modified fast path answers an
 	// up-to-date oracle with an 8-byte ack instead of building (and
 	// shipping) an empty diff. An old server rejects the type; fall back
-	// to msgGetDiff and remember (sticky) — same bytes, no fast path.
+	// to msgGetDiff and record the probe outcome for this connection —
+	// same bytes either way, no fast path on the fallback.
 	typ := byte(msgGetDiff2)
-	if c.diff2No.Load() {
+	if ok, known := c.capability(capDiff2); known && !ok {
 		typ = msgGetDiff
 	}
 	rt, resp, err := c.readInvoke(ctx, venue, typ, req)
-	if err != nil && typ == msgGetDiff2 && isUnknownTypeErr(err, msgGetDiff2) {
-		c.diff2No.Store(true)
-		c.logf("visualprint client: server predates the not-modified oracle refresh")
-		rt, resp, err = c.readInvoke(ctx, venue, msgGetDiff, req)
+	if typ == msgGetDiff2 {
+		switch {
+		case err != nil && isUnknownTypeErr(err, msgGetDiff2):
+			c.recordCapability(capDiff2, false)
+			c.logf("visualprint client: server predates the not-modified oracle refresh")
+			rt, resp, err = c.readInvoke(ctx, venue, msgGetDiff, req)
+		case err == nil:
+			c.recordCapability(capDiff2, true)
+		}
 	}
 	if err != nil {
 		return nil, 0, false, err

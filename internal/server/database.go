@@ -21,6 +21,7 @@ import (
 	"visualprint/internal/lsh"
 	"visualprint/internal/mathx"
 	"visualprint/internal/obs"
+	"visualprint/internal/odelta"
 	"visualprint/internal/pose"
 	"visualprint/internal/scene"
 	"visualprint/internal/sift"
@@ -61,6 +62,15 @@ type DatabaseConfig struct {
 	// copy (~190 MB at the paper's 2.5M-descriptor sizing). 0 means
 	// defaultOracleSnapshotBudget.
 	OracleSnapshotBudgetBytes int64
+	// OracleDeltaWindow bounds the per-epoch delta ring serving versioned
+	// OracleSync requests: how many recent ingest batches stay answerable
+	// as compressed cell deltas before a client must full-sync. 0 means
+	// defaultOracleDeltaWindow; negative disables delta retention.
+	OracleDeltaWindow int
+	// OracleDeltaBudgetBytes caps the delta ring's total payload bytes
+	// (0 means defaultOracleDeltaBudget). The ring evicts oldest-first
+	// past either bound.
+	OracleDeltaBudgetBytes int64
 }
 
 // defaultWALCompactBytes triggers compaction once the WAL outgrows 64 MB —
@@ -132,6 +142,20 @@ type Database struct {
 	snapOrder  []uint64
 	snapBytes  int64
 	snapWarned bool
+	// deltaRing retains the per-epoch odelta records (consecutive epochs,
+	// oldest first) serving versioned OracleSync requests; deltaBytes
+	// accounts their payload total against OracleDeltaBudgetBytes. Guarded
+	// by mu; cleared on recovery and reset (continuity would be broken).
+	deltaRing  []*odelta.Record
+	deltaBytes int64
+	// epochCh is closed and replaced on every epoch bump — the wakeup
+	// primitive behind oracle subscriptions (see EpochSignal). Guarded by
+	// mu.
+	epochCh chan struct{}
+	// lastBlobLen caches the most recent gzip full-blob size, seeding the
+	// delta-vs-full cost comparison in OracleSyncSince so small-delta
+	// answers never pay a gzip just to prove they are cheap.
+	lastBlobLen atomic.Int64
 
 	// Persistence (nil/zero when running in-memory; see Open).
 	store    *store.Store
@@ -207,7 +231,11 @@ func NewDatabase(cfg DatabaseConfig) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &Database{cfg: cfg, snapshots: map[uint64]*core.Oracle{}}
+	db := &Database{
+		cfg:       cfg,
+		snapshots: map[uint64]*core.Oracle{},
+		epochCh:   make(chan struct{}),
+	}
 	db.cur.Store(v)
 	return db, nil
 }

@@ -106,8 +106,8 @@ type srvMetrics struct {
 
 	// Indexed by request message type (< len); unknown or out-of-range
 	// types fall through to reqUnknown with no latency histogram.
-	reqCount   [31]*obs.Counter
-	reqNs      [31]*obs.Histogram
+	reqCount   [37]*obs.Counter
+	reqNs      [37]*obs.Histogram
 	reqUnknown *obs.Counter
 
 	// Indexed by wire error code; codes past the known range count as
@@ -120,6 +120,17 @@ type srvMetrics struct {
 	shed       *obs.Counter
 	canceled   *obs.Counter
 	queueDepth *obs.Gauge
+
+	// Oracle distribution: how each versioned sync was answered and the
+	// payload bytes it cost, plus the live subscriber count and the epoch
+	// events pushed to them. bytes-per-client-per-update is
+	// oracle_sync_bytes / (oracle_syncs_delta + oracle_syncs_full).
+	syncUnchanged *obs.Counter
+	syncDelta     *obs.Counter
+	syncFull      *obs.Counter
+	syncBytes     *obs.Counter
+	subscribers   *obs.Gauge
+	epochPushes   *obs.Counter
 }
 
 // requestTypeNames maps request message types to metric name suffixes.
@@ -141,6 +152,9 @@ var requestTypeNames = map[byte]string{
 	msgPing:         "ping",
 
 	msgGetDiff2: "get_diff2",
+
+	msgOracleSync:      "oracle_sync",
+	msgSubscribeOracle: "subscribe_oracle",
 }
 
 // errCodeNames maps wire error codes to metric name suffixes.
@@ -161,6 +175,13 @@ func newSrvMetrics(r *obs.Registry) *srvMetrics {
 		shed:       r.Counter("requests_shed"),
 		canceled:   r.Counter("requests_canceled"),
 		queueDepth: r.Gauge("queue_depth"),
+
+		syncUnchanged: r.Counter("oracle_syncs_unchanged"),
+		syncDelta:     r.Counter("oracle_syncs_delta"),
+		syncFull:      r.Counter("oracle_syncs_full"),
+		syncBytes:     r.Counter("oracle_sync_bytes"),
+		subscribers:   r.Gauge("oracle_subscribers"),
+		epochPushes:   r.Counter("oracle_epoch_pushes"),
 	}
 	for typ, name := range requestTypeNames {
 		m.reqCount[typ] = r.Counter("requests_" + name)

@@ -108,14 +108,20 @@ func (db *Database) open(dir string, install func(*store.Store) error) error {
 		st.Close()
 		return err
 	}
+	// The epoch is anchored to the store's record sequence — one WAL record
+	// per ingest batch — so the version history survives restarts and full
+	// syncs, and replicas replaying the same records serve the same epochs.
+	rv.epoch = st.Seq()
 	db.publishLocked(rv)
 	db.shadow = nil
-	// The diff window restarts empty: refreshes against pre-crash
-	// versions fall back to a full download.
+	db.bumpEpochLocked()
+	// The diff window and delta ring restart empty: refreshes against
+	// pre-crash versions fall back to a full download.
 	db.snapshots = map[uint64]*core.Oracle{}
 	db.snapOrder = nil
 	db.snapBytes = 0
 	db.snapWarned = false
+	db.deltaRing, db.deltaBytes = nil, 0
 	db.recoverDur = time.Since(recoverStart)
 	db.store = st
 	db.dataDir = dir
@@ -195,8 +201,10 @@ func (db *Database) resetLocked() error {
 	}
 	db.publishLocked(v)
 	db.shadow = nil
+	db.bumpEpochLocked()
 	db.snapshots, db.snapOrder, db.snapBytes = map[uint64]*core.Oracle{}, nil, 0
 	db.snapWarned = false
+	db.deltaRing, db.deltaBytes = nil, 0
 	db.metrics().mappings.Set(0)
 	return nil
 }

@@ -57,6 +57,12 @@ type dbView struct {
 	hasBounds bool
 	seqs      []uint64
 	maxSeq    uint64
+	// epoch is the oracle version: the count of ingest batches ever applied
+	// to this database. On a durable database it is anchored to the store's
+	// record sequence (one WAL record per batch), so it survives restarts
+	// and replays identically on replicas — the version identity clients
+	// cite in OracleSync requests.
+	epoch uint64
 
 	pins pinSet
 }
@@ -180,6 +186,7 @@ func (v *dbView) clone() (*dbView, error) {
 		hasBounds: v.hasBounds,
 		seqs:      slices.Clone(v.seqs),
 		maxSeq:    v.maxSeq,
+		epoch:     v.epoch,
 	}, nil
 }
 
@@ -249,12 +256,21 @@ func (db *Database) applyPublishLocked(ms []Mapping, seqs []uint64) error {
 	if err := next.apply(ms, seqs); err != nil {
 		return err
 	}
+	// Version the batch: the pre-batch published view and the post-batch
+	// shadow are both stable here (publishing requires db.mu), which is the
+	// one window where the epoch's cell-wise delta can be computed against
+	// immutable endpoints.
+	cur := db.cur.Load()
+	next.epoch = cur.epoch + 1
+	db.recordDeltaLocked(cur, next)
 	old := db.publishLocked(next)
+	db.bumpEpochLocked()
 	if err := old.apply(ms, seqs); err != nil {
 		// The published generation is complete; only the would-be shadow is
 		// torn. Drop it and let the next batch re-clone.
 		return err
 	}
+	old.epoch = next.epoch
 	db.shadow = old
 	return nil
 }

@@ -663,6 +663,90 @@ func (r *Router) OracleInserts(venueName string) uint64 {
 	return n
 }
 
+// oracleEpoch sums the shard version identities. Both coordinates are
+// monotonic per shard, so the sums are monotonic venue-wide — the property
+// the unchanged check needs. The sum can be torn across shards under a
+// concurrent ingest; callers tolerate that by reading it before any oracle
+// snapshot (a stale cited version only costs the client an extra sync).
+func (v *venue) oracleEpoch() (epoch, inserts uint64) {
+	for _, sh := range v.shards {
+		e, i := sh.OracleEpoch()
+		epoch += e
+		inserts += i
+	}
+	return epoch, inserts
+}
+
+// OracleSyncSince answers a versioned oracle sync for a venue. Single-shard
+// venues delegate to the shard engine's delta ring; a multi-shard venue has
+// no single delta history (its oracle is assembled per request), so it is
+// versioned by the shard sums and served unchanged-or-full. Like
+// OracleBlob, syncing a venue that does not exist yet creates it.
+func (r *Router) OracleSyncSince(venueName string, haveEpoch, haveInserts uint64) (OracleSyncResult, error) {
+	if venueName == "" {
+		return r.def.OracleSyncSince(haveEpoch, haveInserts)
+	}
+	v, err := r.getOrCreate(venueName)
+	if err != nil {
+		return OracleSyncResult{}, err
+	}
+	if len(v.shards) == 1 {
+		return v.shards[0].OracleSyncSince(haveEpoch, haveInserts)
+	}
+	// Read the version before assembling the blob: an ingest racing the
+	// clones can only make the blob newer than the stamped version, which a
+	// later sync repairs — stamping newer than the blob would instead let
+	// the unchanged check strand a stale client.
+	epoch, inserts := v.oracleEpoch()
+	res := OracleSyncResult{Epoch: epoch, Inserts: inserts}
+	if haveEpoch == epoch && haveInserts == inserts {
+		res.Unchanged = true
+		return res, nil
+	}
+	blob, err := r.OracleBlob(venueName)
+	if err != nil {
+		return OracleSyncResult{}, err
+	}
+	res.Blob = blob
+	return res, nil
+}
+
+// VenueEpochSignal returns a venue's version identity plus a channel closed
+// by the next epoch bump after it (see Database.EpochSignal for the
+// no-missed-wakeup argument). A multi-shard venue merges the per-shard
+// signals through funnel goroutines; stop bounds their lifetime — pass the
+// subscriber's cancellation so an idle venue doesn't accumulate them.
+func (r *Router) VenueEpochSignal(venueName string, stop <-chan struct{}) (epoch, inserts uint64, ch <-chan struct{}, err error) {
+	if venueName == "" {
+		e, i, c := r.def.EpochSignal()
+		return e, i, c, nil
+	}
+	v, err := r.getOrCreate(venueName)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(v.shards) == 1 {
+		e, i, c := v.shards[0].EpochSignal()
+		return e, i, c, nil
+	}
+	merged := make(chan struct{})
+	var once sync.Once
+	for _, sh := range v.shards {
+		e, i, c := sh.EpochSignal()
+		epoch += e
+		inserts += i
+		go func(c <-chan struct{}) {
+			select {
+			case <-c:
+				once.Do(func() { close(merged) })
+			case <-stop:
+			case <-merged: // another shard fired; don't park on a quiet one
+			}
+		}(c)
+	}
+	return epoch, inserts, merged, nil
+}
+
 // Stats aggregates a venue's shard stats. A venue that does not exist
 // reports zeros (consistent with Len).
 func (r *Router) Stats(venueName string) DBStats {

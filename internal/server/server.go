@@ -473,7 +473,7 @@ func (s *Server) serveV1(conn net.Conn, firstLen uint32) {
 		if err != nil {
 			return // EOF or broken connection
 		}
-		rt, resp := s.serveRequest(ctx, typ, payload)
+		rt, resp := s.serveRequest(ctx, typ, payload, nil)
 		if err := writeFrame(conn, rt, resp); err != nil {
 			s.logf("visualprint server: %v", err)
 			return
@@ -596,7 +596,21 @@ func (s *Server) serveV2(conn net.Conn) {
 		go func(ctx context.Context, id uint32, typ byte, payload []byte) {
 			defer handlers.Done()
 			defer inflight.remove(id)
-			rt, resp := s.serveRequest(ctx, typ, payload)
+			// push delivers a server-initiated event frame tagged with this
+			// request's ID (oracle subscriptions). Blocking on the bounded out
+			// channel is the per-subscriber queue: a slow connection stalls
+			// its own stream while newer epochs coalesce behind it. A dead
+			// connection never wedges a handler — the writer drains out after
+			// a write error and ctx is canceled when the read loop exits.
+			push := func(t byte, p []byte) bool {
+				select {
+				case out <- v2Response{id: id, typ: t, payload: p}:
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			}
+			rt, resp := s.serveRequest(ctx, typ, payload, push)
 			out <- v2Response{id: id, typ: rt, payload: resp}
 		}(reqCtx, id, typ, payload)
 	}
@@ -612,8 +626,10 @@ func (s *Server) serveV2(conn net.Conn) {
 // msgError responses. The envelopes are unwrapped before instrumentation
 // so the per-type metrics count the inner request, not the envelope.
 // Nesting order on the wire is deadline (outermost, unwrapped in serveV2)
-// → venue → session → plain request.
-func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
+// → venue → session → plain request. push, non-nil only on v2, delivers
+// server-initiated event frames for the streaming requests (oracle
+// subscriptions); the returned pair is still the terminal response.
+func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte, push func(byte, []byte) bool) (byte, []byte) {
 	venue := ""
 	if typ == msgVenueEx {
 		v, ityp, ipayload, err := unwrapVenue(payload)
@@ -621,6 +637,13 @@ func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte) (by
 			return errorResponse(err)
 		}
 		venue, typ, payload = v, ityp, ipayload
+	}
+	if typ == msgSubscribeOracle {
+		// Long-lived stream: it skips admission (it holds no execution slot
+		// while parked on the epoch signal) and the drain barrier (Shutdown
+		// would otherwise wait forever on it; instead it ends when the
+		// connection contexts cancel).
+		return s.serveSubscription(ctx, venue, payload, push)
 	}
 	sid := uint64(0)
 	if typ == msgSessionEx {
@@ -639,6 +662,66 @@ func (s *Server) serveRequest(ctx context.Context, typ byte, payload []byte) (by
 	}
 	defer s.endRequest()
 	return s.handle(ctx, venue, sid, typ, payload)
+}
+
+// serveSubscription runs one oracle subscription stream until the request
+// context cancels (msgCancel, connection loss, server close/shutdown). It
+// pushes the current version as msgOracleEpoch immediately — the
+// subscription ack a client can wait on — then one event per epoch bump,
+// re-reading the latest version after each wakeup so bursts coalesce into
+// a single event carrying the newest epoch. The return value is the
+// stream's terminal response.
+func (s *Server) serveSubscription(ctx context.Context, venue string, payload []byte, push func(byte, []byte) bool) (byte, []byte) {
+	if push == nil {
+		return errorResponse(errors.New("oracle subscriptions require protocol v2"))
+	}
+	if len(payload) != 8 {
+		return errorResponse(errors.New("bad subscribe request"))
+	}
+	if venue != "" && s.router == nil {
+		return errorResponse(errors.New("venue routing not enabled on this server"))
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return errorResponse(ErrShuttingDown)
+	}
+	if m := s.met; m != nil {
+		m.subscribers.Add(1)
+		defer m.subscribers.Add(-1)
+	}
+	signal := func() (uint64, uint64, <-chan struct{}, error) {
+		if venue == "" {
+			e, i, ch := s.db.EpochSignal()
+			return e, i, ch, nil
+		}
+		return s.router.VenueEpochSignal(venue, ctx.Done())
+	}
+	last := uint64(0)
+	first := true
+	for {
+		epoch, inserts, ch, err := signal()
+		if err != nil {
+			return errorResponse(err)
+		}
+		// The channel was read alongside the version, so a bump past `epoch`
+		// closes exactly `ch` — sleeping below can never miss it.
+		if first || epoch != last {
+			if !push(msgOracleEpoch, encodeOracleVersion(epoch, inserts)) {
+				return errorResponse(ctxError(ctx.Err()))
+			}
+			if m := s.met; m != nil {
+				m.epochPushes.Inc()
+			}
+			last, first = epoch, false
+		}
+		select {
+		case <-ctx.Done():
+			return errorResponse(ctxError(ctx.Err()))
+		case <-ch:
+		}
+	}
 }
 
 // handle wraps dispatch with the wire-level instrumentation: request
@@ -816,6 +899,40 @@ func (s *Server) dispatch(ctx context.Context, venue string, sid uint64, typ byt
 			return errorResponse(err)
 		}
 		return msgOracleBlob, blob
+	case msgOracleSync:
+		haveEpoch, haveInserts, err := decodeOracleVersion(payload)
+		if err != nil {
+			return errorResponse(err)
+		}
+		var res OracleSyncResult
+		if venue == "" {
+			res, err = s.db.OracleSyncSince(haveEpoch, haveInserts)
+		} else {
+			res, err = s.router.OracleSyncSince(venue, haveEpoch, haveInserts)
+		}
+		if err != nil {
+			return errorResponse(err)
+		}
+		m := s.met
+		switch {
+		case res.Unchanged:
+			if m != nil {
+				m.syncUnchanged.Inc()
+			}
+			return msgOracleSyncNone, encodeOracleVersion(res.Epoch, res.Inserts)
+		case res.Delta != nil:
+			if m != nil {
+				m.syncDelta.Inc()
+				m.syncBytes.Add(uint64(len(res.Delta)))
+			}
+			return msgOracleSyncDelta, res.Delta
+		default:
+			if m != nil {
+				m.syncFull.Inc()
+				m.syncBytes.Add(uint64(len(res.Blob)))
+			}
+			return msgOracleSyncFull, encodeOracleSyncFull(res.Epoch, res.Blob)
+		}
 	case msgStats:
 		// Legacy count-only response: deployed clients require exactly 8
 		// bytes here. The extended report lives under msgStatsFull.

@@ -442,7 +442,7 @@ func TestStatsWireCompat(t *testing.T) {
 	if err := db.Ingest(context.Background(), ms); err != nil {
 		t.Fatal(err)
 	}
-	rt, resp := s.serveRequest(context.Background(), msgStats, nil)
+	rt, resp := s.serveRequest(context.Background(), msgStats, nil, nil)
 	if rt != msgStatsResult {
 		t.Fatalf("msgStats response type = %d", rt)
 	}
@@ -452,7 +452,7 @@ func TestStatsWireCompat(t *testing.T) {
 	if got := binary.LittleEndian.Uint64(resp); got != 7 {
 		t.Fatalf("msgStats count = %d, want 7", got)
 	}
-	rt, resp = s.serveRequest(context.Background(), msgStatsFull, nil)
+	rt, resp = s.serveRequest(context.Background(), msgStatsFull, nil, nil)
 	if rt != msgStatsResult {
 		t.Fatalf("msgStatsFull response type = %d", rt)
 	}

@@ -56,6 +56,15 @@ const (
 	msgGetDiff2      byte = 29 // like msgGetDiff, but the server may answer msgDiffUnchanged
 	msgDiffUnchanged byte = 30 // [u64 inserts] — client's oracle is already current
 
+	// Versioned oracle distribution (protocol v2, additive). See DESIGN.md
+	// "Oracle distribution".
+	msgOracleSync      byte = 31 // [u64 haveEpoch][u64 haveInserts] -> one of the three below
+	msgOracleSyncFull  byte = 32 // [u64 epoch][gzip oracle blob]
+	msgOracleSyncDelta byte = 33 // odelta.EncodeChain payload (self-describing epochs)
+	msgOracleSyncNone  byte = 34 // [u64 epoch][u64 inserts] — client already current
+	msgSubscribeOracle byte = 35 // [u64 haveEpoch] — long-lived epoch subscription
+	msgOracleEpoch     byte = 36 // event [u64 epoch][u64 inserts]; first one acks the subscription
+
 	msgError byte = 0x7f
 )
 
@@ -207,6 +216,59 @@ func unwrapSession(payload []byte) (sid uint64, typ byte, inner []byte, err erro
 		return 0, 0, nil, errors.New("server: session id 0 is reserved")
 	}
 	return sid, payload[8], payload[9:], nil
+}
+
+// Versioned oracle sync (protocol v2, additive).
+//
+// msgOracleSync carries the version the client holds — the epoch stamped by
+// the engine on every ingest batch plus the oracle insert count, both zero
+// for "nothing yet" — and the server answers with the cheapest transfer
+// that makes the client current: msgOracleSyncNone (already current, both
+// coordinates matched), msgOracleSyncDelta (an odelta chain from the
+// retained per-epoch ring), or msgOracleSyncFull (full blob, for clients
+// outside the delta window). msgSubscribeOracle opens a long-lived
+// subscription on the multiplexed v2 connection: the server pushes a
+// msgOracleEpoch event under the subscription's request ID on every epoch
+// bump (coalescing intermediate epochs — events are cumulative version
+// announcements, not increments), starting with an immediate event that
+// doubles as the subscription ack. The subscription ends with a terminal
+// msgError when the connection drains or the client cancels it
+// (msgCancel on the subscription ID). Old servers reject all four request
+// types as unknown; the client's capability probe records that per
+// connection generation and falls back to the legacy fetch/refresh ladder.
+
+// encodeOracleVersion packs a (epoch, inserts) version identity — the
+// msgOracleSync request and msgOracleSyncNone / msgOracleEpoch payloads.
+func encodeOracleVersion(epoch, inserts uint64) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, epoch)
+	binary.LittleEndian.PutUint64(buf[8:], inserts)
+	return buf
+}
+
+// decodeOracleVersion parses an encodeOracleVersion payload.
+func decodeOracleVersion(data []byte) (epoch, inserts uint64, err error) {
+	if len(data) != 16 {
+		return 0, 0, fmt.Errorf("server: bad oracle version payload size %d", len(data))
+	}
+	return binary.LittleEndian.Uint64(data), binary.LittleEndian.Uint64(data[8:]), nil
+}
+
+// encodeOracleSyncFull prefixes a gzip oracle blob with the epoch it
+// represents.
+func encodeOracleSyncFull(epoch uint64, blob []byte) []byte {
+	buf := make([]byte, 8+len(blob))
+	binary.LittleEndian.PutUint64(buf, epoch)
+	copy(buf[8:], blob)
+	return buf
+}
+
+// decodeOracleSyncFull parses an encodeOracleSyncFull payload.
+func decodeOracleSyncFull(data []byte) (epoch uint64, blob []byte, err error) {
+	if len(data) < 8 {
+		return 0, nil, errors.New("server: short oracle sync payload")
+	}
+	return binary.LittleEndian.Uint64(data), data[8:], nil
 }
 
 // maxFrameSize bounds a single protocol frame (oracle blobs dominate).

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"visualprint/internal/cluster"
@@ -16,6 +17,7 @@ import (
 	"visualprint/internal/core"
 	"visualprint/internal/lsh"
 	"visualprint/internal/obs"
+	"visualprint/internal/odelta"
 	"visualprint/internal/pose"
 	"visualprint/internal/repl"
 	"visualprint/internal/server"
@@ -66,6 +68,15 @@ type ServerConfig struct {
 	// OracleSnapshotBudgetBytes caps memory spent on retained oracle
 	// download versions used for diff refreshes (0 = engine default).
 	OracleSnapshotBudgetBytes int64
+	// OracleDeltaWindow bounds how many recent oracle epochs keep
+	// compressed cell-delta records for versioned OracleSync requests:
+	// clients within the window refresh by delta chain, older clients
+	// full-sync. 0 is the engine default (64 epochs); negative disables
+	// delta retention entirely.
+	OracleDeltaWindow int
+	// OracleDeltaBudgetBytes caps the bytes retained by the delta window
+	// (0 = engine default, 64 MB).
+	OracleDeltaBudgetBytes int64
 }
 
 // engine converts the public configuration to the internal engine's. The
@@ -545,6 +556,21 @@ type Client = server.Client
 // single connection.
 type VenueHandle = server.Venue
 
+// OracleSync is the oracle-distribution handle — the one API for keeping a
+// device's uniqueness oracle current. Sync pulls the cheapest sufficient
+// transfer for the version the handle holds (an unchanged ack, a
+// compressed cell-delta chain, or a full blob); Watch subscribes to the
+// server's epoch-bump pushes and resyncs on each, replacing polling. Build
+// one with Client.OracleSync or VenueHandle.OracleSync; it deprecates the
+// FetchOracle/RefreshOracle pair. Pipeline.OracleSync mirrors the surface
+// in-process.
+type OracleSync = server.OracleSync
+
+// OracleUpdate is one push-driven oracle refresh delivered by
+// OracleSync.Watch. A non-nil Err is the watch's terminal failure; the
+// channel closes after delivering it.
+type OracleUpdate = server.OracleUpdate
+
 // DialOption configures a client built by Connect.
 type DialOption = server.DialOption
 
@@ -660,6 +686,9 @@ var (
 	ErrMetricsUnsupported = server.ErrMetricsUnsupported
 	// ErrConnectionLost: the transport died with requests in flight.
 	ErrConnectionLost = server.ErrConnectionLost
+	// ErrWatchUnsupported: OracleSync.Watch reached a server predating
+	// oracle subscriptions, or a protocol-v1 connection; poll Sync instead.
+	ErrWatchUnsupported = server.ErrWatchUnsupported
 )
 
 // Replication surface, re-exported for fleet-aware callers.
@@ -818,6 +847,154 @@ func (p *Pipeline) Wardrive(cfg WardriveConfig, correctDrift bool) (int, error) 
 	}
 	p.Oracle = o
 	return len(ms), nil
+}
+
+// PipelineOracleSync mirrors the networked OracleSync handle for
+// single-process deployments: the same Sync / Watch / Version surface,
+// served by the embedded engine through the identical version-and-delta
+// logic a remote client exercises — TransferBytes reports what the syncs
+// would have cost on the wire. Build one with Pipeline.OracleSync.
+type PipelineOracleSync struct {
+	p *Pipeline
+
+	mu        sync.Mutex
+	oracle    *Oracle
+	epoch     uint64
+	inserts   uint64
+	versioned bool
+	bytes     int64
+}
+
+// OracleSync returns the in-process oracle-distribution handle for the
+// pipeline's venue. Syncing it also installs the result as the pipeline's
+// filtering oracle (p.Oracle), so push-driven deployments can keep a
+// wardriving pipeline's client-side filter current with Watch.
+func (p *Pipeline) OracleSync() *PipelineOracleSync { return &PipelineOracleSync{p: p} }
+
+// Version returns the held oracle's version identity; ok is false before
+// the first successful Sync.
+func (h *PipelineOracleSync) Version() (epoch, inserts uint64, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epoch, h.inserts, h.versioned
+}
+
+// TransferBytes returns the cumulative bytes the handle's syncs would have
+// transferred over the wire (delta chains and full blobs; unchanged acks
+// cost the fixed version stamp).
+func (h *PipelineOracleSync) TransferBytes() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bytes
+}
+
+// Sync brings the handle (and p.Oracle) up to the engine's latest epoch,
+// applying a delta chain when the held version is inside the server's
+// retained window and a full rebuild otherwise.
+func (h *PipelineOracleSync) Sync(ctx context.Context) (*Oracle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.syncLocked()
+}
+
+func (h *PipelineOracleSync) syncLocked() (*Oracle, error) {
+	haveEpoch, haveInserts := ^uint64(0), ^uint64(0)
+	if h.oracle != nil && h.versioned {
+		haveEpoch, haveInserts = h.epoch, h.inserts
+	}
+	res, err := h.p.Server.router.OracleSyncSince(h.p.Venue, haveEpoch, haveInserts)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case res.Unchanged:
+		h.bytes += 16
+		return h.oracle, nil
+	case res.Delta != nil:
+		h.bytes += int64(len(res.Delta))
+		recs, err := odelta.DecodeChain(res.Delta)
+		if err != nil {
+			return nil, err
+		}
+		o, err := odelta.ApplyChain(h.oracle, recs)
+		if err != nil {
+			return nil, err
+		}
+		h.install(o, res.Epoch, res.Inserts)
+		return o, nil
+	default:
+		h.bytes += int64(len(res.Blob))
+		raw, err := codec.Gunzip(res.Blob)
+		if err != nil {
+			return nil, err
+		}
+		o, err := core.Read(bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		h.install(o, res.Epoch, res.Inserts)
+		return o, nil
+	}
+}
+
+func (h *PipelineOracleSync) install(o *Oracle, epoch, inserts uint64) {
+	h.oracle, h.epoch, h.inserts, h.versioned = o, epoch, inserts, true
+	h.p.Oracle = o
+}
+
+// Watch mirrors OracleSync.Watch in-process: it delivers a synced oracle
+// whenever the engine's epoch advances past the held version, coalescing
+// bursts to the latest state. The channel closes when ctx is canceled, or
+// after delivering a terminal failure in OracleUpdate.Err.
+func (h *PipelineOracleSync) Watch(ctx context.Context) (<-chan OracleUpdate, error) {
+	// Fail venue problems synchronously, like the networked handle does.
+	if _, _, _, err := h.p.Server.router.VenueEpochSignal(h.p.Venue, ctx.Done()); err != nil {
+		return nil, err
+	}
+	out := make(chan OracleUpdate, 1)
+	go func() {
+		defer close(out)
+		for {
+			epoch, inserts, ch, err := h.p.Server.router.VenueEpochSignal(h.p.Venue, ctx.Done())
+			if err == nil {
+				he, hi, ok := h.Version()
+				if !ok || he != epoch || hi != inserts {
+					var o *Oracle
+					if o, err = h.Sync(ctx); err == nil {
+						// Snapshot: the next delta sync patches the held
+						// oracle in place (see the networked handle).
+						o, err = o.Clone()
+					}
+					if err == nil {
+						e2, i2, _ := h.Version()
+						select {
+						case out <- OracleUpdate{Oracle: o, Epoch: e2, Inserts: i2}:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}
+			if err != nil {
+				if ctx.Err() == nil {
+					select {
+					case out <- OracleUpdate{Err: err}:
+					case <-ctx.Done():
+					}
+				}
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+	return out, nil
 }
 
 // QueryStats reports what a localization query consumed.
